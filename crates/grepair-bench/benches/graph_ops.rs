@@ -1,0 +1,65 @@
+//! Microbenchmarks of the storage substrate: mutations, index lookups,
+//! and graph edit distance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grepair_bench::clean_kg_fixture;
+use grepair_graph::{graph_edit_distance, EditCosts, Graph, Value};
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+
+    group.bench_function("add_edge_remove_edge", |b| {
+        let mut g = clean_kg_fixture(1_000);
+        let nodes: Vec<_> = g.nodes().take(64).collect();
+        let rel = g.label("benchRel");
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = nodes[i % nodes.len()];
+            let d = nodes[(i * 7 + 1) % nodes.len()];
+            i += 1;
+            let e = g.add_edge(s, d, rel).unwrap();
+            g.remove_edge(e).unwrap();
+        })
+    });
+
+    group.bench_function("set_attr_indexed", |b| {
+        let mut g = clean_kg_fixture(1_000);
+        let nodes: Vec<_> = g.nodes().take(64).collect();
+        let k = g.attr_key("benchAttr");
+        let mut i = 0i64;
+        b.iter(|| {
+            let n = nodes[(i as usize) % nodes.len()];
+            i += 1;
+            g.set_attr(n, k, Value::Int(i % 16)).unwrap();
+        })
+    });
+
+    group.bench_function("attr_index_lookup", |b| {
+        let g = clean_kg_fixture(5_000);
+        let ssn = g.try_attr_key("ssn").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            g.nodes_with_attr(ssn, &Value::Int(i % 5_000)).len()
+        })
+    });
+
+    group.bench_function("ged_small", |b| {
+        let mut a = Graph::new();
+        let mut bb = Graph::new();
+        for i in 0..5 {
+            let n1 = a.add_node_named(if i % 2 == 0 { "P" } else { "Q" });
+            let n2 = bb.add_node_named("P");
+            if i > 0 {
+                a.add_edge_named(n1, grepair_graph::NodeId(0), "r").unwrap();
+                bb.add_edge_named(n2, grepair_graph::NodeId(0), "s").unwrap();
+            }
+        }
+        b.iter(|| graph_edit_distance(&a, &bb, &EditCosts::unit(), 8))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! F5 bench: match-enumeration throughput per matcher configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_gen::gold_kg_rules;
+use grepair_match::{MatchConfig, Matcher};
+
+fn bench_matching(c: &mut Criterion) {
+    let g = dirty_kg_fixture(2_000);
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("matching");
+    let full = MatchConfig::default();
+    let configs: Vec<(&str, MatchConfig)> = vec![
+        ("full", full),
+        ("no-label-index", MatchConfig { use_label_index: false, ..full }),
+        ("no-signature", MatchConfig { use_signature: false, ..full }),
+        ("no-degree", MatchConfig { use_degree_filter: false, ..full }),
+        ("no-attr-index", MatchConfig { use_attr_index: false, ..full }),
+        ("no-join-order", MatchConfig { connected_order: false, ..full }),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::new("scan", name), &cfg, |b, cfg| {
+            let m = Matcher::with_config(&g, *cfg);
+            b.iter(|| {
+                let mut total = 0usize;
+                for r in &rules.rules {
+                    total += m.count(&r.pattern);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

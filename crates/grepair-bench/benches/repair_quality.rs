@@ -1,0 +1,40 @@
+//! F1/F7 bench: end-to-end repair throughput, GRR engine vs baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::RepairEngine;
+use grepair_eval::{delete_only_rules, random_repair};
+use grepair_gen::gold_kg_rules;
+
+fn bench_repair_quality(c: &mut Criterion) {
+    let dirty = dirty_kg_fixture(1_000);
+    let gold = gold_kg_rules();
+    let del = delete_only_rules(&gold);
+    let mut group = c.benchmark_group("repair");
+    group.sample_size(10);
+    group.bench_function("grr", |b| {
+        b.iter_batched(
+            || dirty.clone(),
+            |mut g| RepairEngine::default().repair(&mut g, &gold.rules),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("delete_only", |b| {
+        b.iter_batched(
+            || dirty.clone(),
+            |mut g| RepairEngine::default().repair(&mut g, &del.rules),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("random", |b| {
+        b.iter_batched(
+            || dirty.clone(),
+            |mut g| random_repair(&mut g, &gold.rules, 17, 64),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_repair_quality);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! F3 bench: full repair wall-time vs |G| for both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::{EngineConfig, RepairEngine};
+use grepair_gen::gold_kg_rules;
+
+fn bench_scale_graph(c: &mut Criterion) {
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("scale_graph");
+    group.sample_size(10);
+    for persons in [500usize, 1_000, 2_000, 5_000] {
+        let dirty = dirty_kg_fixture(persons);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", persons),
+            &dirty,
+            |b, dirty| {
+                b.iter_batched(
+                    || dirty.clone(),
+                    |mut g| RepairEngine::default().repair(&mut g, &rules.rules),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        if persons <= 2_000 {
+            group.bench_with_input(
+                BenchmarkId::new("naive_rescan", persons),
+                &dirty,
+                |b, dirty| {
+                    b.iter_batched(
+                        || dirty.clone(),
+                        |mut g| {
+                            RepairEngine::new(EngineConfig::naive_with_indexes())
+                                .repair(&mut g, &rules.rules)
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_graph);
+criterion_main!(benches);

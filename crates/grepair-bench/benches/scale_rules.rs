@@ -1,0 +1,27 @@
+//! F4 bench: repair wall-time vs rule-set size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::RepairEngine;
+use grepair_gen::{gold_kg_rules, synthetic_rules};
+
+fn bench_scale_rules(c: &mut Criterion) {
+    let dirty = dirty_kg_fixture(1_000);
+    let mut group = c.benchmark_group("scale_rules");
+    group.sample_size(10);
+    for n in [10usize, 20, 40, 80] {
+        let mut rules = gold_kg_rules().rules;
+        rules.extend(synthetic_rules(n).rules);
+        group.bench_with_input(BenchmarkId::new("incremental", n + 10), &rules, |b, rules| {
+            b.iter_batched(
+                || dirty.clone(),
+                |mut g| RepairEngine::default().repair(&mut g, rules),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale_rules);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! # grepair-bench
+//!
+//! Criterion benchmarks and the `experiments` binary that regenerates the
+//! reconstructed evaluation tables/figures (see `EXPERIMENTS.md`).
+//!
+//! Shared fixtures for the benches live here so every bench measures the
+//! same workloads the experiment harness reports on.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use grepair_gen::{generate_kg, inject_kg_noise, KgConfig, NoiseConfig};
+use grepair_graph::Graph;
+
+/// A dirty KG fixture at the given person count (10% mixed noise, fixed
+/// seeds — identical across benches).
+pub fn dirty_kg_fixture(persons: usize) -> Graph {
+    let (mut g, refs) = generate_kg(&KgConfig::with_persons(persons));
+    inject_kg_noise(&mut g, &refs, &NoiseConfig::default());
+    g
+}
+
+/// A clean KG fixture.
+pub fn clean_kg_fixture(persons: usize) -> Graph {
+    generate_kg(&KgConfig::with_persons(persons)).0
+}

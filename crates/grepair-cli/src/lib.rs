@@ -1,0 +1,579 @@
+//! # grepair-cli
+//!
+//! Command-line workflows over the `grepair` stack. All command logic
+//! lives here (the binary is a thin wrapper) so it is unit-testable.
+//!
+//! ```text
+//! grepair gen kg --persons 2000 --noise 0.1 -o dirty.json --clean clean.json
+//! grepair stats dirty.json
+//! grepair check -r rules.grr -g dirty.json
+//! grepair repair -r rules.grr -g dirty.json -o repaired.json
+//! grepair analyze -r rules.grr
+//! grepair mine -g clean.json -o mined.grr
+//! grepair fmt -r rules.grr
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use grepair_core::{
+    analyze, parse_rules, rule_to_dsl, EngineConfig, RepairEngine, RuleSet,
+};
+use grepair_gen::{
+    generate_kg, generate_social, inject_kg_noise, KgConfig, NoiseConfig, SocialConfig,
+};
+use grepair_graph::{Graph, GraphDoc, GraphStats};
+use grepair_mine::{mine_all, MinerConfig};
+use std::fmt::Write as _;
+
+/// CLI error: message + suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+    fn io(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+type CliResult = Result<String, CliError>;
+
+/// Minimal flag parser: `--key value` pairs plus positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse a raw token list. Tokens starting with `--` take the next
+    /// token as value unless they are known boolean switches.
+    pub fn parse(tokens: &[String]) -> Self {
+        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel"];
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(name) = t.strip_prefix("--") {
+                if SWITCHES.contains(&t.as_str()) {
+                    out.switches.push(name.to_owned());
+                    i += 1;
+                } else if i + 1 < tokens.len() {
+                    out.flags.push((name.to_owned(), tokens[i + 1].clone()));
+                    i += 2;
+                } else {
+                    out.switches.push(name.to_owned());
+                    i += 1;
+                }
+            } else if let Some(name) = t.strip_prefix('-') {
+                if i + 1 < tokens.len() {
+                    out.flags.push((name.to_owned(), tokens[i + 1].clone()));
+                    i += 2;
+                } else {
+                    out.switches.push(name.to_owned());
+                    i += 1;
+                }
+            } else {
+                out.positional.push(t.clone());
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn get(&self, names: &[&str]) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| names.contains(&k.as_str()))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_usize(&self, names: &[&str], default: usize) -> Result<usize, CliError> {
+        match self.get(names) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad integer for {names:?}: {v}"))),
+        }
+    }
+
+    fn get_f64(&self, names: &[&str], default: f64) -> Result<f64, CliError> {
+        match self.get(names) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad number for {names:?}: {v}"))),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    let doc = if path.ends_with(".txt") {
+        GraphDoc::from_text(&text)
+    } else {
+        GraphDoc::from_json(&text)
+    }
+    .map_err(|e| CliError::io(format!("cannot parse {path}: {e}")))?;
+    Graph::from_doc(&doc).map_err(|e| CliError::io(format!("cannot build graph: {e}")))
+}
+
+fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
+    let doc = g.to_doc();
+    let text = if path.ends_with(".txt") {
+        doc.to_text()
+    } else {
+        doc.to_json()
+    };
+    std::fs::write(path, text).map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
+}
+
+fn load_rules(path: &str) -> Result<RuleSet, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
+    if path.ends_with(".json") {
+        RuleSet::from_json(&text).map_err(|e| CliError::io(format!("bad rule json: {e}")))
+    } else {
+        let rules =
+            parse_rules(&text).map_err(|e| CliError::io(format!("bad rule DSL: {e}")))?;
+        RuleSet::new(path.to_owned(), rules)
+            .map_err(|e| CliError::io(format!("invalid rule set: {e}")))
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "grepair — rule-based graph repairing
+
+usage: grepair <command> [args]
+
+commands:
+  gen kg       --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
+  gen social   --accounts N [--seed S] -o OUT
+  stats        GRAPH
+  check        -r RULES -g GRAPH
+  repair       -r RULES -g GRAPH -o OUT [--naive] [--report R]
+  analyze      -r RULES
+  mine         -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
+  fmt          -r RULES
+
+Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
+.grr DSL or .json.";
+
+/// Dispatch a command line (without the program name). Returns the text
+/// to print on stdout.
+pub fn dispatch(tokens: &[String]) -> CliResult {
+    let Some(cmd) = tokens.first().map(String::as_str) else {
+        return Err(CliError::usage(USAGE));
+    };
+    let rest = &tokens[1..];
+    match cmd {
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "check" => cmd_check(rest),
+        "repair" => cmd_repair(rest),
+        "analyze" => cmd_analyze(rest),
+        "mine" => cmd_mine(rest),
+        "fmt" => cmd_fmt(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_gen(tokens: &[String]) -> CliResult {
+    let Some(kind) = tokens.first().map(String::as_str) else {
+        return Err(CliError::usage("gen: expected 'kg' or 'social'"));
+    };
+    let args = Args::parse(&tokens[1..]);
+    let out = args
+        .get(&["o", "out"])
+        .ok_or_else(|| CliError::usage("gen: missing -o OUT"))?
+        .to_owned();
+    match kind {
+        "kg" => {
+            let persons = args.get_usize(&["persons"], 1000)?;
+            let seed = args.get_usize(&["seed"], 42)? as u64;
+            let noise = args.get_f64(&["noise"], 0.0)?;
+            let (clean, refs) = generate_kg(&KgConfig {
+                seed,
+                ..KgConfig::with_persons(persons)
+            });
+            let mut report = String::new();
+            if noise > 0.0 {
+                let mut dirty = clean.clone();
+                let truth = inject_kg_noise(
+                    &mut dirty,
+                    &refs,
+                    &NoiseConfig {
+                        rate: noise,
+                        seed,
+                        ..NoiseConfig::default()
+                    },
+                );
+                save_graph(&dirty, &out)?;
+                if let Some(clean_path) = args.get(&["clean"]) {
+                    save_graph(&clean, clean_path)?;
+                }
+                if let Some(ledger_path) = args.get(&["ledger"]) {
+                    let json = serde_json::to_string_pretty(&truth.errors)
+                        .expect("ledger serializes");
+                    std::fs::write(ledger_path, json)
+                        .map_err(|e| CliError::io(e.to_string()))?;
+                }
+                let (i, c, r) = truth.class_counts();
+                writeln!(
+                    report,
+                    "wrote dirty KG to {out} ({} errors: {i} incompleteness, {c} conflict, {r} redundancy)",
+                    truth.len()
+                )
+                .unwrap();
+            } else {
+                save_graph(&clean, &out)?;
+                writeln!(report, "wrote clean KG to {out}").unwrap();
+            }
+            write!(report, "{}", GraphStats::compute(&clean)).unwrap();
+            Ok(report)
+        }
+        "social" => {
+            let accounts = args.get_usize(&["accounts"], 1000)?;
+            let seed = args.get_usize(&["seed"], 99)? as u64;
+            let (g, _) = generate_social(&SocialConfig {
+                accounts,
+                seed,
+                ..SocialConfig::default()
+            });
+            save_graph(&g, &out)?;
+            Ok(format!(
+                "wrote social graph to {out}\n{}",
+                GraphStats::compute(&g)
+            ))
+        }
+        other => Err(CliError::usage(format!("gen: unknown kind {other:?}"))),
+    }
+}
+
+fn cmd_stats(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("stats: expected GRAPH path"))?;
+    let g = load_graph(path)?;
+    Ok(format!("{path}: {}", GraphStats::compute(&g)))
+}
+
+fn cmd_check(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("check: missing -r RULES"))?,
+    )?;
+    let g = load_graph(
+        args.get(&["g", "graph"])
+            .ok_or_else(|| CliError::usage("check: missing -g GRAPH"))?,
+    )?;
+    let matcher = grepair_match::Matcher::new(&g);
+    let mut out = String::new();
+    let mut total = 0usize;
+    for r in &rules.rules {
+        let n = matcher.count(&r.pattern);
+        total += n;
+        writeln!(out, "{:<40} {:>6}", r.name, n).unwrap();
+    }
+    writeln!(out, "{:<40} {:>6}", "TOTAL", total).unwrap();
+    Ok(out)
+}
+
+fn cmd_repair(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("repair: missing -r RULES"))?,
+    )?;
+    let mut g = load_graph(
+        args.get(&["g", "graph"])
+            .ok_or_else(|| CliError::usage("repair: missing -g GRAPH"))?,
+    )?;
+    let out_path = args
+        .get(&["o", "out"])
+        .ok_or_else(|| CliError::usage("repair: missing -o OUT"))?;
+    let config = if args.has("naive") {
+        EngineConfig::naive_with_indexes()
+    } else {
+        EngineConfig::default()
+    };
+    let report = RepairEngine::new(config).repair(&mut g, &rules.rules);
+    save_graph(&g, out_path)?;
+    if let Some(rp) = args.get(&["report"]) {
+        std::fs::write(rp, serde_json::to_string_pretty(&report).unwrap())
+            .map_err(|e| CliError::io(e.to_string()))?;
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "applied {} repairs in {:?} (converged: {}, residual: {})",
+        report.repairs_applied, report.wall, report.converged, report.violations_remaining
+    )
+    .unwrap();
+    for s in report.per_rule.iter().filter(|s| s.repairs_applied > 0) {
+        writeln!(out, "  {:<40} {:>6}", s.name, s.repairs_applied).unwrap();
+    }
+    write!(out, "wrote repaired graph to {out_path}").unwrap();
+    Ok(out)
+}
+
+fn cmd_analyze(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("analyze: missing -r RULES"))?,
+    )?;
+    let report = analyze(&rules.rules);
+    let mut out = String::new();
+    writeln!(out, "analysed {} rules in {}µs", rules.len(), report.micros).unwrap();
+    for (r, e) in rules.rules.iter().zip(&report.effectiveness) {
+        writeln!(out, "  {:<40} {:?}", r.name, e).unwrap();
+    }
+    writeln!(out, "terminating: {}", report.terminating).unwrap();
+    for c in &report.cycles {
+        let names: Vec<&str> = c.iter().map(|&i| rules.rules[i].name.as_str()).collect();
+        writeln!(out, "  cycle: {}", names.join(" → ")).unwrap();
+    }
+    writeln!(out, "conflicts: {}", report.conflicts.len()).unwrap();
+    for c in &report.conflicts {
+        writeln!(
+            out,
+            "  {} ↔ {} [{}] {}",
+            rules.rules[c.a].name, rules.rules[c.b].name, c.kind, c.detail
+        )
+        .unwrap();
+    }
+    writeln!(out, "implications: {}", report.implications.len()).unwrap();
+    for i in &report.implications {
+        writeln!(
+            out,
+            "  {} ⊑ {}",
+            rules.rules[i.redundant].name, rules.rules[i.by].name
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_mine(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let g = load_graph(
+        args.get(&["g", "graph"])
+            .ok_or_else(|| CliError::usage("mine: missing -g GRAPH"))?,
+    )?;
+    let cfg = MinerConfig {
+        min_support: args.get_usize(&["min-support"], 20)?,
+        min_confidence: args.get_f64(&["min-confidence"], 0.9)?,
+        ..MinerConfig::default()
+    };
+    let mined = mine_all(&g, &cfg);
+    let mut dsl = String::new();
+    let mut summary = String::new();
+    writeln!(summary, "mined {} rules:", mined.len()).unwrap();
+    for m in &mined {
+        writeln!(
+            summary,
+            "  {:<55} {:?} support {:>5} confidence {:.3}",
+            m.rule.name, m.kind, m.support, m.confidence
+        )
+        .unwrap();
+        writeln!(
+            dsl,
+            "# {:?}: support {}, confidence {:.3}",
+            m.kind, m.support, m.confidence
+        )
+        .unwrap();
+        dsl.push_str(&rule_to_dsl(&m.rule));
+        dsl.push('\n');
+    }
+    if let Some(out) = args.get(&["o", "out"]) {
+        std::fs::write(out, &dsl).map_err(|e| CliError::io(e.to_string()))?;
+        writeln!(summary, "wrote DSL to {out}").unwrap();
+    } else {
+        summary.push('\n');
+        summary.push_str(&dsl);
+    }
+    Ok(summary)
+}
+
+fn cmd_fmt(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("fmt: missing -r RULES"))?,
+    )?;
+    Ok(grepair_core::ruleset_to_dsl(&rules))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "grepair-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(dispatch(&toks(&["help"])).unwrap().contains("usage:"));
+        let err = dispatch(&toks(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn full_file_workflow() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty.json");
+        let clean = dir.join("clean.json");
+        let repaired = dir.join("repaired.json");
+        let rules = dir.join("rules.grr");
+        let mined = dir.join("mined.grr");
+        let report = dir.join("report.json");
+
+        // gen with noise.
+        let out = dispatch(&toks(&[
+            "gen", "kg", "--persons", "300", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+            "--clean", clean.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("errors"), "{out}");
+
+        // stats.
+        let out = dispatch(&toks(&["stats", dirty.to_str().unwrap()])).unwrap();
+        assert!(out.contains("|V|="), "{out}");
+
+        // mine rules from the clean graph.
+        let out = dispatch(&toks(&[
+            "mine", "-g", clean.to_str().unwrap(), "-o", mined.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("mined"), "{out}");
+
+        // write the gold rules and check.
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("TOTAL"), "{out}");
+        let total: usize = out
+            .lines()
+            .find(|l| l.starts_with("TOTAL"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(total > 0);
+
+        // repair.
+        let out = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", repaired.to_str().unwrap(), "--report", report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("converged: true"), "{out}");
+        assert!(report.exists());
+
+        // re-check: zero violations.
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", repaired.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let total: usize = out
+            .lines()
+            .find(|l| l.starts_with("TOTAL"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert_eq!(total, 0, "{out}");
+
+        // analyze + fmt on the gold rules.
+        let out = dispatch(&toks(&["analyze", "-r", rules.to_str().unwrap()])).unwrap();
+        assert!(out.contains("analysed 10 rules"), "{out}");
+        let out = dispatch(&toks(&["fmt", "-r", rules.to_str().unwrap()])).unwrap();
+        assert!(out.contains("rule add_citizenship"), "{out}");
+
+        // mined rules parse back and can repair too.
+        let out = dispatch(&toks(&[
+            "repair", "-r", mined.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", repaired.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("applied"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn social_gen_and_text_format() {
+        let dir = tmpdir();
+        let social = dir.join("social.txt");
+        let out = dispatch(&toks(&[
+            "gen", "social", "--accounts", "100", "-o", social.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("social"), "{out}");
+        // .txt graphs load back.
+        let out = dispatch(&toks(&["stats", social.to_str().unwrap()])).unwrap();
+        assert!(out.contains("|V|="), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_args_are_usage_errors() {
+        for cmd in [
+            vec!["gen", "kg"],
+            vec!["check", "-r", "x.grr"],
+            vec!["repair", "-g", "x.json"],
+            vec!["analyze"],
+            vec!["mine"],
+            vec!["fmt"],
+        ] {
+            let err = dispatch(&toks(&cmd)).unwrap_err();
+            assert!(err.code == 2 || err.code == 1, "{cmd:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn bad_files_are_io_errors() {
+        let err = dispatch(&toks(&["stats", "/nonexistent/graph.json"])).unwrap_err();
+        assert_eq!(err.code, 1);
+    }
+}

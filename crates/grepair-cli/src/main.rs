@@ -1,0 +1,12 @@
+//! `grepair` binary: thin wrapper over [`grepair_cli::dispatch`].
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match grepair_cli::dispatch(&tokens) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,1101 @@
+//! Text DSL for Graph Repairing Rules.
+//!
+//! Rules ship as data: rule sets are mined, curated, and exchanged as
+//! files. The DSL is a compact Cypher-flavoured syntax:
+//!
+//! ```text
+//! rule add_citizenship [incompleteness] priority 2
+//! match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+//! where not (x)-[citizenOf]->(k)
+//! repair insert edge (x)-[citizenOf]->(k)
+//!
+//! rule dedup_person [redundancy]
+//! match (x:Person), (y:Person)
+//! where x.ssn == y.ssn
+//! repair merge y into x
+//! ```
+//!
+//! Grammar (keywords case-insensitive, `#` starts a line comment):
+//!
+//! ```text
+//! rule    := "rule" NAME [ "[" category "]" ] [ "priority" INT ]
+//!            "match" chain ("," chain)*
+//!            [ "where" cond ("," cond)* ]
+//!            "repair" action ((";" | ",") action)*
+//! chain   := node ( "-[" rel "]->" node )*
+//! node    := "(" VAR [ ":" LABEL ] ")"
+//! rel     := NAME | "*"
+//! cond    := "not" node "-[" rel "]->" node
+//!          | "missing" "(" VAR "." KEY ")" | "has" "(" VAR "." KEY ")"
+//!          | VAR "." KEY op rhs
+//! op      := "==" | "!=" | "<" | "<=" | ">" | ">="
+//! rhs     := literal | VAR "." KEY
+//! action  := "insert node" "(" BINDER ":" LABEL [ "{" KEY ":" rhs ("," KEY ":" rhs)* "}" ] ")"
+//!          | "insert edge" node "-[" NAME "]->" node
+//!          | "delete node" VAR
+//!          | "delete edge" node "-[" rel "]->" node      (a matched edge)
+//!          | "relabel node" VAR "to" LABEL
+//!          | "relabel edge" node "-[" rel "]->" node "to" NAME
+//!          | "set" VAR "." KEY "=" rhs
+//!          | "unset" VAR "." KEY
+//!          | "merge" VAR "into" VAR
+//! ```
+
+use crate::rule::{Action, Category, Grr, PatternEdgeRef, Target, ValueSource};
+use grepair_match::{CmpOp, Constraint, Pattern, PatternEdge, PatternNode, Rhs, Var};
+use grepair_graph::Value;
+use std::fmt;
+
+/// DSL parse error with line information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line of the offending token.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole rules file (zero or more rules).
+pub fn parse_rules(src: &str) -> Result<Vec<Grr>, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut rules = Vec::new();
+    while !p.at_end() {
+        rules.push(p.rule()?);
+    }
+    Ok(rules)
+}
+
+/// Parse exactly one rule.
+pub fn parse_rule(src: &str) -> Result<Grr, ParseError> {
+    let rules = parse_rules(src)?;
+    match rules.len() {
+        1 => Ok(rules.into_iter().next().unwrap()),
+        n => Err(ParseError {
+            line: 1,
+            message: format!("expected exactly one rule, found {n}"),
+        }),
+    }
+}
+
+// ---- lexer ---------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Colon,
+    Comma,
+    Semi,
+    Dot,
+    Star,
+    Assign,
+    EqEq,
+    Ne,
+    Le,
+    Ge,
+    Lt,
+    Gt,
+    /// `-[`: edge opener.
+    EdgeOpen,
+    /// `]->`: edge closer.
+    EdgeClose,
+}
+
+#[derive(Clone, Debug)]
+struct Sp {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let err = |line: usize, msg: String| ParseError { line, message: msg };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Sp { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Sp { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Sp { tok: Tok::LBrack, line });
+                i += 1;
+            }
+            ']' => {
+                // "]->" closes an edge.
+                if bytes.get(i + 1) == Some(&'-') && bytes.get(i + 2) == Some(&'>') {
+                    out.push(Sp { tok: Tok::EdgeClose, line });
+                    i += 3;
+                } else {
+                    out.push(Sp { tok: Tok::RBrack, line });
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Sp { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Sp { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Sp { tok: Tok::Colon, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Sp { tok: Tok::Comma, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Sp { tok: Tok::Semi, line });
+                i += 1;
+            }
+            '.' => {
+                out.push(Sp { tok: Tok::Dot, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Sp { tok: Tok::Star, line });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'[') {
+                    out.push(Sp { tok: Tok::EdgeOpen, line });
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    let (tok, ni) = lex_number(&bytes, i, line)?;
+                    out.push(Sp { tok, line });
+                    i = ni;
+                } else {
+                    return Err(err(line, "stray '-' (expected '-[' or a number)".into()));
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Sp { tok: Tok::EqEq, line });
+                    i += 2;
+                } else {
+                    out.push(Sp { tok: Tok::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Sp { tok: Tok::Ne, line });
+                    i += 2;
+                } else {
+                    return Err(err(line, "stray '!' (expected '!=')".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Sp { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Sp { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Sp { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Sp { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            match bytes.get(i + 1) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('n') => s.push('\n'),
+                                other => {
+                                    return Err(err(
+                                        line,
+                                        format!("bad escape {other:?} in string"),
+                                    ))
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                return Err(err(line, "unterminated string".into()));
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(err(line, "unterminated string".into())),
+                    }
+                }
+                out.push(Sp { tok: Tok::Str(s), line });
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, ni) = lex_number(&bytes, i, line)?;
+                out.push(Sp { tok, line });
+                i = ni;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                out.push(Sp {
+                    tok: Tok::Ident(word),
+                    line,
+                });
+            }
+            other => return Err(err(line, format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[char], mut i: usize, line: usize) -> Result<(Tok, usize), ParseError> {
+    let start = i;
+    if bytes[i] == '-' {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i + 1 < bytes.len() && bytes[i] == '.' && bytes[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text: String = bytes[start..i].iter().collect();
+    let tok = if is_float {
+        Tok::Float(text.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad float {text:?}"),
+        })?)
+    } else {
+        Tok::Int(text.parse().map_err(|_| ParseError {
+            line,
+            message: format!("bad integer {text:?}"),
+        })?)
+    };
+    Ok((tok, i))
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Sp>,
+    pos: usize,
+}
+
+/// Pattern under construction, with name → var resolution.
+#[derive(Default)]
+struct PatternCtx {
+    nodes: Vec<PatternNode>,
+    edges: Vec<PatternEdge>,
+    neg_edges: Vec<PatternEdge>,
+    constraints: Vec<Constraint>,
+}
+
+impl PatternCtx {
+    fn declare(&mut self, name: &str, label: Option<String>, line: usize) -> Result<Var, ParseError> {
+        if let Some(i) = self.nodes.iter().position(|n| n.name == name) {
+            // Re-mention: label must agree (or be omitted).
+            if let Some(l) = label {
+                match &self.nodes[i].label {
+                    Some(prev) if *prev != l => {
+                        return Err(ParseError {
+                            line,
+                            message: format!(
+                                "variable {name:?} redeclared with label {l:?} (was {prev:?})"
+                            ),
+                        })
+                    }
+                    Some(_) => {}
+                    None => self.nodes[i].label = Some(l),
+                }
+            }
+            Ok(Var(i as u8))
+        } else {
+            if self.nodes.len() >= 64 {
+                return Err(ParseError {
+                    line,
+                    message: "too many pattern variables (max 64)".into(),
+                });
+            }
+            self.nodes.push(PatternNode {
+                name: name.to_owned(),
+                label,
+            });
+            Ok(Var((self.nodes.len() - 1) as u8))
+        }
+    }
+
+    fn lookup(&self, name: &str, line: usize) -> Result<Var, ParseError> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| Var(i as u8))
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown variable {name:?} (declare it in the match clause)"),
+            })
+    }
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                line: self.line(),
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Case-insensitive keyword check without consuming.
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    // rule := "rule" NAME [ "[" category "]" ] [ "priority" INT ] match … repair …
+    fn rule(&mut self) -> Result<Grr, ParseError> {
+        self.expect_kw("rule")?;
+        let name = self.ident("rule name")?;
+        let mut category = Category::Conflict;
+        if self.peek() == Some(&Tok::LBrack) {
+            self.pos += 1;
+            let cat = self.ident("category")?;
+            category = match cat.to_ascii_lowercase().as_str() {
+                "incompleteness" => Category::Incompleteness,
+                "conflict" => Category::Conflict,
+                "redundancy" => Category::Redundancy,
+                other => {
+                    return Err(self.err(format!(
+                        "unknown category {other:?} (expected incompleteness/conflict/redundancy)"
+                    )))
+                }
+            };
+            self.expect(&Tok::RBrack, "']'")?;
+        }
+        let mut priority = 0i32;
+        if self.eat_kw("priority") {
+            match self.next() {
+                Some(Tok::Int(i)) => priority = i as i32,
+                other => return Err(self.err(format!("expected integer priority, found {other:?}"))),
+            }
+        }
+
+        let mut ctx = PatternCtx::default();
+        self.expect_kw("match")?;
+        loop {
+            self.chain(&mut ctx)?;
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.eat_kw("where") {
+            loop {
+                self.cond(&mut ctx)?;
+                if self.peek() == Some(&Tok::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("repair")?;
+        let mut actions = Vec::new();
+        let mut binders: Vec<String> = Vec::new();
+        loop {
+            actions.push(self.action(&ctx, &mut binders)?);
+            if matches!(self.peek(), Some(Tok::Semi | Tok::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+
+        let pattern = Pattern {
+            nodes: ctx.nodes,
+            edges: ctx.edges,
+            neg_edges: ctx.neg_edges,
+            constraints: ctx.constraints,
+        };
+        let grr = Grr {
+            name,
+            category,
+            pattern,
+            actions,
+            priority,
+        };
+        grr.validate().map_err(|e| self.err(e.to_string()))?;
+        Ok(grr)
+    }
+
+    // node := "(" VAR [":" LABEL] ")"
+    fn node(&mut self, ctx: &mut PatternCtx) -> Result<Var, ParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let name = self.ident("variable name")?;
+        let label = if self.peek() == Some(&Tok::Colon) {
+            self.pos += 1;
+            Some(self.ident("label")?)
+        } else {
+            None
+        };
+        let line = self.line();
+        let v = ctx.declare(&name, label, line)?;
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(v)
+    }
+
+    // rel := NAME | "*"
+    fn rel(&mut self) -> Result<Option<String>, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(Some(s)),
+            Some(Tok::Star) => Ok(None),
+            other => Err(self.err(format!("expected relation name or '*', found {other:?}"))),
+        }
+    }
+
+    // chain := node ( "-[" rel "]->" node )*
+    fn chain(&mut self, ctx: &mut PatternCtx) -> Result<(), ParseError> {
+        let mut prev = self.node(ctx)?;
+        while self.peek() == Some(&Tok::EdgeOpen) {
+            self.pos += 1;
+            let label = self.rel()?;
+            self.expect(&Tok::EdgeClose, "']->'")?;
+            let next = self.node(ctx)?;
+            ctx.edges.push(PatternEdge {
+                src: prev,
+                dst: next,
+                label,
+            });
+            prev = next;
+        }
+        Ok(())
+    }
+
+    // cond := not-edge | missing(..) | has(..) | comparison
+    fn cond(&mut self, ctx: &mut PatternCtx) -> Result<(), ParseError> {
+        if self.eat_kw("not") {
+            // Endpoints must be matched variables or the `(*)` wildcard;
+            // `not (c)-[r]->(*)` means "c has no outgoing r edge at all".
+            let src = self.neg_endpoint(ctx)?;
+            self.expect(&Tok::EdgeOpen, "'-['")?;
+            let label = self.rel()?;
+            self.expect(&Tok::EdgeClose, "']->'")?;
+            let dst = self.neg_endpoint(ctx)?;
+            match (src, dst) {
+                (Some(s), Some(d)) => ctx.neg_edges.push(PatternEdge {
+                    src: s,
+                    dst: d,
+                    label,
+                }),
+                (Some(s), None) => ctx.constraints.push(Constraint::NoOutEdge(s, label)),
+                (None, Some(d)) => ctx.constraints.push(Constraint::NoInEdge(d, label)),
+                (None, None) => {
+                    return Err(self.err("at most one endpoint of 'not' may be '(*)'"))
+                }
+            }
+            return Ok(());
+        }
+        if self.eat_kw("missing") || self.peek_kw("has") {
+            let is_missing = !self.eat_kw("has");
+            self.expect(&Tok::LParen, "'('")?;
+            let var_name = self.ident("variable")?;
+            self.expect(&Tok::Dot, "'.'")?;
+            let key = self.ident("attribute key")?;
+            self.expect(&Tok::RParen, "')'")?;
+            let line = self.line();
+            let v = ctx.lookup(&var_name, line)?;
+            ctx.constraints.push(if is_missing {
+                Constraint::MissingAttr(v, key)
+            } else {
+                Constraint::HasAttr(v, key)
+            });
+            return Ok(());
+        }
+        // comparison: VAR "." KEY op rhs
+        let var_name = self.ident("variable")?;
+        self.expect(&Tok::Dot, "'.'")?;
+        let key = self.ident("attribute key")?;
+        let op = match self.next() {
+            Some(Tok::EqEq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other:?}"))),
+        };
+        let rhs = self.rhs(ctx)?;
+        let line = self.line();
+        let var = ctx.lookup(&var_name, line)?;
+        ctx.constraints.push(Constraint::Cmp { var, key, op, rhs });
+        Ok(())
+    }
+
+    /// Endpoint of a `not` condition: `(var)` (must be declared in the
+    /// match clause — negative conditions cannot introduce variables, which
+    /// would silently flip the quantifier from "no edge" to "some node
+    /// without an edge") or `(*)`.
+    fn neg_endpoint(&mut self, ctx: &mut PatternCtx) -> Result<Option<Var>, ParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let out = match self.next() {
+            Some(Tok::Star) => None,
+            Some(Tok::Ident(name)) => {
+                let label = if self.peek() == Some(&Tok::Colon) {
+                    self.pos += 1;
+                    Some(self.ident("label")?)
+                } else {
+                    None
+                };
+                let line = self.line();
+                if !ctx.nodes.iter().any(|n| n.name == name) {
+                    return Err(ParseError {
+                        line,
+                        message: format!(
+                            "variable {name:?} in 'not' is not bound by the match clause; \
+                             use '(*)' for \"no such edge to any node\""
+                        ),
+                    });
+                }
+                Some(ctx.declare(&name, label, line)?)
+            }
+            other => {
+                return Err(self.err(format!("expected variable or '*', found {other:?}")))
+            }
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(out)
+    }
+
+    // rhs := literal | VAR "." KEY
+    fn rhs(&mut self, ctx: &PatternCtx) -> Result<Rhs, ParseError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Rhs::Const(Value::Int(i))),
+            Some(Tok::Float(f)) => Ok(Rhs::Const(Value::Float(f))),
+            Some(Tok::Str(s)) => Ok(Rhs::Const(Value::Str(s))),
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("true") => {
+                Ok(Rhs::Const(Value::Bool(true)))
+            }
+            Some(Tok::Ident(w)) if w.eq_ignore_ascii_case("false") => {
+                Ok(Rhs::Const(Value::Bool(false)))
+            }
+            Some(Tok::Ident(var_name)) => {
+                self.expect(&Tok::Dot, "'.' (or a literal)")?;
+                let key = self.ident("attribute key")?;
+                let line = self.line();
+                let v = ctx.lookup(&var_name, line)?;
+                Ok(Rhs::Attr(v, key))
+            }
+            other => Err(self.err(format!("expected value or var.attr, found {other:?}"))),
+        }
+    }
+
+    /// Parse an edge reference `(x)-[rel]->(y)` and resolve it to a declared
+    /// positive pattern edge.
+    fn edge_ref(&mut self, ctx: &mut PatternCtx) -> Result<PatternEdgeRef, ParseError> {
+        let line = self.line();
+        let src = self.node(ctx)?;
+        self.expect(&Tok::EdgeOpen, "'-['")?;
+        let label = self.rel()?;
+        self.expect(&Tok::EdgeClose, "']->'")?;
+        let dst = self.node(ctx)?;
+        ctx.edges
+            .iter()
+            .position(|e| e.src == src && e.dst == dst && e.label == label)
+            .map(PatternEdgeRef)
+            .ok_or_else(|| ParseError {
+                line,
+                message: "edge reference does not match any edge in the match clause".into(),
+            })
+    }
+
+    fn action(
+        &mut self,
+        ctx: &PatternCtx,
+        binders: &mut Vec<String>,
+    ) -> Result<Action, ParseError> {
+        // A mutable clone for edge_ref resolution (node() requires &mut; it
+        // must not add variables, so we work on a scratch copy and verify).
+        let mut scratch = PatternCtx {
+            nodes: ctx.nodes.clone(),
+            edges: ctx.edges.clone(),
+            neg_edges: vec![],
+            constraints: vec![],
+        };
+        let nvars = ctx.nodes.len();
+        let check_no_new_vars = |s: &PatternCtx, line: usize| -> Result<(), ParseError> {
+            if s.nodes.len() != nvars {
+                Err(ParseError {
+                    line,
+                    message: format!(
+                        "unknown variable {:?} in repair clause (declare it in match)",
+                        s.nodes.last().unwrap().name
+                    ),
+                })
+            } else {
+                Ok(())
+            }
+        };
+
+        if self.eat_kw("insert") {
+            if self.eat_kw("node") {
+                self.expect(&Tok::LParen, "'('")?;
+                let binder = self.ident("binder name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let label = self.ident("label")?;
+                let mut attrs = Vec::new();
+                if self.peek() == Some(&Tok::LBrace) {
+                    self.pos += 1;
+                    loop {
+                        let key = self.ident("attribute key")?;
+                        self.expect(&Tok::Colon, "':'")?;
+                        let rhs = self.rhs(ctx)?;
+                        attrs.push((
+                            key,
+                            match rhs {
+                                Rhs::Const(v) => ValueSource::Const(v),
+                                Rhs::Attr(v, k) => ValueSource::CopyAttr(v, k),
+                            },
+                        ));
+                        if self.peek() == Some(&Tok::Comma) {
+                            self.pos += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RBrace, "'}'")?;
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                binders.push(binder.clone());
+                return Ok(Action::InsertNode {
+                    binder,
+                    label,
+                    attrs,
+                });
+            }
+            self.expect_kw("edge")?;
+            let src = self.target(ctx, binders)?;
+            self.expect(&Tok::EdgeOpen, "'-['")?;
+            let label = self.ident("relation label")?;
+            self.expect(&Tok::EdgeClose, "']->'")?;
+            let dst = self.target(ctx, binders)?;
+            return Ok(Action::InsertEdge { src, dst, label });
+        }
+        if self.eat_kw("delete") {
+            if self.eat_kw("node") {
+                let name = self.ident("variable")?;
+                let line = self.line();
+                let v = ctx.lookup(&name, line)?;
+                return Ok(Action::DeleteNode(v));
+            }
+            self.expect_kw("edge")?;
+            let r = self.edge_ref(&mut scratch)?;
+            check_no_new_vars(&scratch, self.line())?;
+            return Ok(Action::DeleteEdge(r));
+        }
+        if self.eat_kw("relabel") {
+            if self.eat_kw("node") {
+                let name = self.ident("variable")?;
+                let line = self.line();
+                let v = ctx.lookup(&name, line)?;
+                self.expect_kw("to")?;
+                let label = self.ident("label")?;
+                return Ok(Action::UpdateNode {
+                    node: v,
+                    set_label: Some(label),
+                    set_attrs: vec![],
+                    del_attrs: vec![],
+                });
+            }
+            self.expect_kw("edge")?;
+            let r = self.edge_ref(&mut scratch)?;
+            check_no_new_vars(&scratch, self.line())?;
+            self.expect_kw("to")?;
+            let label = self.ident("relation label")?;
+            return Ok(Action::UpdateEdgeLabel { edge: r, label });
+        }
+        if self.eat_kw("set") {
+            let name = self.ident("variable")?;
+            self.expect(&Tok::Dot, "'.'")?;
+            let key = self.ident("attribute key")?;
+            self.expect(&Tok::Assign, "'='")?;
+            let rhs = self.rhs(ctx)?;
+            let line = self.line();
+            let v = ctx.lookup(&name, line)?;
+            return Ok(Action::UpdateNode {
+                node: v,
+                set_label: None,
+                set_attrs: vec![(
+                    key,
+                    match rhs {
+                        Rhs::Const(val) => ValueSource::Const(val),
+                        Rhs::Attr(o, k) => ValueSource::CopyAttr(o, k),
+                    },
+                )],
+                del_attrs: vec![],
+            });
+        }
+        if self.eat_kw("unset") {
+            let name = self.ident("variable")?;
+            self.expect(&Tok::Dot, "'.'")?;
+            let key = self.ident("attribute key")?;
+            let line = self.line();
+            let v = ctx.lookup(&name, line)?;
+            return Ok(Action::UpdateNode {
+                node: v,
+                set_label: None,
+                set_attrs: vec![],
+                del_attrs: vec![key],
+            });
+        }
+        if self.eat_kw("merge") {
+            let merged_name = self.ident("variable")?;
+            self.expect_kw("into")?;
+            let keep_name = self.ident("variable")?;
+            let line = self.line();
+            let merged = ctx.lookup(&merged_name, line)?;
+            let keep = ctx.lookup(&keep_name, line)?;
+            return Ok(Action::MergeNodes { keep, merged });
+        }
+        Err(self.err(format!("expected a repair action, found {:?}", self.peek())))
+    }
+
+    /// Edge endpoint in `insert edge`: pattern var or fresh binder.
+    fn target(&mut self, ctx: &PatternCtx, binders: &[String]) -> Result<Target, ParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let name = self.ident("variable or binder")?;
+        self.expect(&Tok::RParen, "')'")?;
+        if let Ok(v) = ctx.lookup(&name, self.line()) {
+            Ok(Target::Var(v))
+        } else if binders.contains(&name) {
+            Ok(Target::Fresh(name))
+        } else {
+            Err(self.err(format!("unknown variable or binder {name:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_incompleteness_rule() {
+        let src = r#"
+            # Every person living in a city of a country is its citizen.
+            rule add_citizenship [incompleteness] priority 2
+            match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+            where not (x)-[citizenOf]->(k)
+            repair insert edge (x)-[citizenOf]->(k)
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.name, "add_citizenship");
+        assert_eq!(r.category, Category::Incompleteness);
+        assert_eq!(r.priority, 2);
+        assert_eq!(r.pattern.num_vars(), 3);
+        assert_eq!(r.pattern.edges.len(), 2);
+        assert_eq!(r.pattern.neg_edges.len(), 1);
+        assert!(matches!(r.actions[0], Action::InsertEdge { .. }));
+    }
+
+    #[test]
+    fn parses_redundancy_rule() {
+        let src = r#"
+            rule dedup_person [redundancy]
+            match (x:Person), (y:Person)
+            where x.ssn == y.ssn
+            repair merge y into x
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.category, Category::Redundancy);
+        assert!(matches!(
+            r.actions[0],
+            Action::MergeNodes {
+                keep: Var(0),
+                merged: Var(1)
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_conflict_rule_with_delete_edge() {
+        let src = r#"
+            rule no_self_loop [conflict]
+            match (x:Person)-[marriedTo]->(y:Person)-[marriedTo]->(x)
+            where x.gender == y.gender, x.age >= 0
+            repair delete edge (x)-[marriedTo]->(y)
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.pattern.edges.len(), 2);
+        assert_eq!(r.actions, vec![Action::DeleteEdge(PatternEdgeRef(0))]);
+        assert_eq!(r.pattern.constraints.len(), 2);
+    }
+
+    #[test]
+    fn parses_insert_node_with_attrs_and_multiple_actions() {
+        let src = r#"
+            rule create_country [incompleteness]
+            match (c:City)
+            where has(c.countryName), not (c)-[inCountry]->(*)
+            repair
+                insert node (k2:Country {name: c.countryName, verified: false});
+                insert edge (c)-[inCountry]->(k2)
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.actions.len(), 2);
+        assert!(matches!(
+            r.pattern.constraints[1],
+            Constraint::NoOutEdge(Var(0), Some(ref l)) if l == "inCountry"
+        ));
+        match &r.actions[0] {
+            Action::InsertNode { binder, label, attrs } => {
+                assert_eq!(binder, "k2");
+                assert_eq!(label, "Country");
+                assert_eq!(attrs.len(), 2);
+                assert!(matches!(attrs[0].1, ValueSource::CopyAttr(Var(0), _)));
+                assert!(matches!(
+                    attrs[1].1,
+                    ValueSource::Const(Value::Bool(false))
+                ));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match &r.actions[1] {
+            Action::InsertEdge { dst, .. } => {
+                assert_eq!(dst, &Target::Fresh("k2".into()));
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_set_unset_relabel() {
+        let src = r#"
+            rule fix_label [conflict]
+            match (x:Persn)-[r]->(y:City)
+            repair relabel node x to Person; set x.checked = true; unset x.legacy;
+                   relabel edge (x)-[r]->(y) to livesIn
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.actions.len(), 4);
+        assert!(matches!(
+            &r.actions[0],
+            Action::UpdateNode { set_label: Some(l), .. } if l == "Person"
+        ));
+        assert!(matches!(&r.actions[3], Action::UpdateEdgeLabel { .. }));
+    }
+
+    #[test]
+    fn parses_multiple_rules() {
+        let src = r#"
+            rule a [conflict]
+            match (x:P)-[r]->(y:P)
+            repair delete edge (x)-[r]->(y)
+
+            rule b [redundancy]
+            match (x:P), (y:P)
+            where x.id == y.id
+            repair merge y into x
+        "#;
+        let rules = parse_rules(src).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].name, "a");
+        assert_eq!(rules[1].name, "b");
+    }
+
+    #[test]
+    fn star_relation_and_any_label() {
+        let src = r#"
+            rule drop_any [conflict]
+            match (x:Ghost)-[*]->(y)
+            repair delete edge (x)-[*]->(y)
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.pattern.edges[0].label, None);
+        assert_eq!(r.pattern.nodes[1].label, None);
+    }
+
+    #[test]
+    fn error_unknown_variable_in_where() {
+        let src = r#"
+            rule bad [conflict]
+            match (x:P)
+            where z.a == 1
+            repair delete node x
+        "#;
+        let err = parse_rule(src).unwrap_err();
+        assert!(err.message.contains("unknown variable"), "{err}");
+        assert!(err.line >= 3, "line was {}", err.line);
+    }
+
+    #[test]
+    fn error_edge_ref_not_in_match() {
+        let src = r#"
+            rule bad [conflict]
+            match (x:P)-[r]->(y:P)
+            repair delete edge (y)-[r]->(x)
+        "#;
+        let err = parse_rule(src).unwrap_err();
+        assert!(err.message.contains("does not match any edge"), "{err}");
+    }
+
+    #[test]
+    fn error_label_mismatch_on_redeclare() {
+        let src = r#"
+            rule bad [conflict]
+            match (x:P)-[r]->(x:Q)
+            repair delete node x
+        "#;
+        let err = parse_rule(src).unwrap_err();
+        assert!(err.message.contains("redeclared"), "{err}");
+    }
+
+    #[test]
+    fn error_unterminated_string() {
+        let err = parse_rules("rule a match (x:P) where x.n == \"oops\n").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_and_strings_in_values() {
+        let src = r#"
+            rule vals [conflict]
+            match (x:P)
+            where x.a == -5, x.b == 2.5, x.c == "hi there"
+            repair set x.a = -1
+        "#;
+        let r = parse_rule(src).unwrap();
+        assert_eq!(r.pattern.constraints.len(), 3);
+        match &r.actions[0] {
+            Action::UpdateNode { set_attrs, .. } => {
+                assert_eq!(set_attrs[0].1, ValueSource::Const(Value::Int(-1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_round_trip_category_names() {
+        for (cat, txt) in [
+            (Category::Incompleteness, "incompleteness"),
+            (Category::Conflict, "conflict"),
+            (Category::Redundancy, "redundancy"),
+        ] {
+            let src = format!(
+                "rule r [{txt}] match (x:P) repair delete node x"
+            );
+            assert_eq!(parse_rule(&src).unwrap().category, cat);
+        }
+    }
+}

@@ -1,0 +1,793 @@
+//! The repair engines.
+//!
+//! Two engines share the same repair *semantics* and differ only in how
+//! violations are discovered — the paper's efficiency contribution is
+//! precisely this difference:
+//!
+//! - [`EngineMode::Naive`] re-enumerates **all** matches of **all** rules
+//!   every round until a fixpoint. Cost per round is a full multi-pattern
+//!   subgraph-matching pass; rounds repeat as long as repairs cascade.
+//! - [`EngineMode::Incremental`] performs one full scan to seed a
+//!   violation queue, then after each applied repair re-matches **only**
+//!   patterns anchored in the repair's touched-node delta
+//!   ([`grepair_match::Matcher::find_touching`]). Work is proportional to
+//!   the affected neighborhood, not the graph.
+//!
+//! Shared semantics:
+//!
+//! - **Revalidation** — a queued violation is re-checked against the
+//!   current graph before its repair is applied (earlier repairs may have
+//!   fixed or invalidated it).
+//! - **Cost arbitration** — pending violations are applied cheapest-first
+//!   (graph-edit-distance estimate, then rule priority, then deterministic
+//!   tie-breaks), which implements the paper's best-repair selection: when
+//!   several rules can fix overlapping violations, the cheapest repair
+//!   lands first and the costlier alternatives revalidate away.
+//! - **Churn guard** — the same (rule, matched nodes) repair may be
+//!   applied at most [`EngineConfig::max_churn`] times, which bounds
+//!   runtime even for rule sets whose trigger graph is cyclic.
+
+use crate::analysis::{l_overlap, preconditions_of, Preconditions};
+use crate::apply::{apply_rule, revalidate, Applied, AppliedOp};
+use crate::cost::estimate_cost;
+use crate::rule::Grr;
+use grepair_graph::{EditCosts, Graph, NodeId};
+use grepair_match::{Match, MatchConfig, Matcher, TouchSet};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Violation-discovery strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Full re-scan every round (the efficiency baseline).
+    Naive,
+    /// Delta-driven incremental maintenance (the paper's efficient method).
+    Incremental,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Discovery strategy.
+    pub mode: EngineMode,
+    /// Matcher optimization toggles (F5 ablation).
+    pub match_config: MatchConfig,
+    /// Maximum full rounds (naive mode) before giving up.
+    pub max_rounds: usize,
+    /// Hard cap on applied repairs (0 = derive `10·(|V|+|E|+1)` at run
+    /// time) — a backstop for cyclic rule sets.
+    pub max_repairs: usize,
+    /// How many times the identical (rule, nodes) repair may be applied.
+    /// Values > 1 allow legitimate re-application (e.g. deleting several
+    /// parallel duplicate edges) while still bounding oscillation.
+    pub max_churn: u32,
+    /// Edit-cost table for arbitration and accounting.
+    pub costs: EditCosts,
+    /// Enumerate rule matches in parallel during full scans (F8).
+    pub parallel: bool,
+    /// Run a final full scan to count residual violations.
+    pub verify_fixpoint: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: EngineMode::Incremental,
+            match_config: MatchConfig::default(),
+            max_rounds: 64,
+            max_repairs: 0,
+            max_churn: 16,
+            costs: EditCosts::default(),
+            parallel: false,
+            verify_fixpoint: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The naive baseline: full re-scan rounds, unoptimized matcher.
+    pub fn naive() -> Self {
+        Self {
+            mode: EngineMode::Naive,
+            match_config: MatchConfig::naive(),
+            ..Self::default()
+        }
+    }
+
+    /// Naive rounds but with the optimized matcher (isolates the
+    /// incremental-maintenance contribution, F6).
+    pub fn naive_with_indexes() -> Self {
+        Self {
+            mode: EngineMode::Naive,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-rule outcome counters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RuleStats {
+    /// Rule name.
+    pub name: String,
+    /// Violations found (pre-revalidation).
+    pub matches_found: usize,
+    /// Repairs actually applied (non-noop).
+    pub repairs_applied: usize,
+    /// Total edit cost of this rule's repairs.
+    pub cost: f64,
+}
+
+/// Result of a repair run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Full-scan rounds performed (naive) / 1 + re-scans (incremental).
+    pub rounds: usize,
+    /// Repairs applied (non-noop).
+    pub repairs_applied: usize,
+    /// Concrete operation log, in application order.
+    #[serde(skip)]
+    pub ops: Vec<AppliedOp>,
+    /// Per-rule statistics (indexed like the rule slice).
+    pub per_rule: Vec<RuleStats>,
+    /// Total edit cost.
+    pub total_cost: f64,
+    /// `true` if the run ended with no detectable violations.
+    pub converged: bool,
+    /// Residual violations (only counted when `verify_fixpoint`).
+    pub violations_remaining: usize,
+    /// Wall-clock duration.
+    #[serde(skip)]
+    pub wall: Duration,
+}
+
+/// One discovered violation, ordered for the arbitration queue.
+#[derive(Clone, Debug)]
+struct Violation {
+    rule: usize,
+    m: Match,
+    cost: f64,
+    priority: i32,
+}
+
+impl Violation {
+    fn key(&self) -> (usize, &[NodeId]) {
+        (self.rule, &self.m.nodes)
+    }
+}
+
+impl PartialEq for Violation {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key() == other.cmp_key()
+    }
+}
+impl Eq for Violation {}
+
+impl Violation {
+    /// Min-heap order: cheapest cost, then highest priority, then rule
+    /// index, then node ids — fully deterministic.
+    fn cmp_key(&self) -> (f64, i32, usize, &[NodeId]) {
+        (self.cost, -self.priority, self.rule, &self.m.nodes)
+    }
+}
+
+impl PartialOrd for Violation {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Violation {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
+        let a = self.cmp_key();
+        let b = other.cmp_key();
+        b.0.total_cmp(&a.0)
+            .then(b.1.cmp(&a.1))
+            .then(b.2.cmp(&a.2))
+            .then(b.3.cmp(a.3))
+    }
+}
+
+/// The repair engine. Stateless across runs; all state lives in the
+/// [`RepairReport`].
+pub struct RepairEngine {
+    config: EngineConfig,
+}
+
+impl Default for RepairEngine {
+    fn default() -> Self {
+        Self::new(EngineConfig::default())
+    }
+}
+
+impl RepairEngine {
+    /// Engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Repair `g` with `rules` until fixpoint (or a guard trips).
+    pub fn repair(&self, g: &mut Graph, rules: &[Grr]) -> RepairReport {
+        let start = Instant::now();
+        let mut report = RepairReport {
+            per_rule: rules
+                .iter()
+                .map(|r| RuleStats {
+                    name: r.name.clone(),
+                    ..RuleStats::default()
+                })
+                .collect(),
+            ..RepairReport::default()
+        };
+        let max_repairs = if self.config.max_repairs == 0 {
+            10 * (g.num_nodes() + g.num_edges() + 1)
+        } else {
+            self.config.max_repairs
+        };
+
+        match self.config.mode {
+            EngineMode::Naive => self.run_naive(g, rules, &mut report, max_repairs),
+            EngineMode::Incremental => self.run_incremental(g, rules, &mut report, max_repairs),
+        }
+
+        if self.config.verify_fixpoint {
+            report.violations_remaining = self.count_violations(g, rules);
+            report.converged = report.violations_remaining == 0;
+        }
+        report.wall = start.elapsed();
+        report
+    }
+
+    /// Count current violations without repairing.
+    pub fn count_violations(&self, g: &Graph, rules: &[Grr]) -> usize {
+        let matcher = Matcher::with_config(g, self.config.match_config);
+        if self.config.parallel {
+            rules.par_iter().map(|r| matcher.count(&r.pattern)).sum()
+        } else {
+            rules.iter().map(|r| matcher.count(&r.pattern)).sum()
+        }
+    }
+
+    /// Full scan: all violations of all rules, with cost estimates.
+    fn full_scan(&self, g: &Graph, rules: &[Grr]) -> Vec<Violation> {
+        let matcher = Matcher::with_config(g, self.config.match_config);
+        let per_rule: Vec<Vec<Match>> = if self.config.parallel {
+            rules
+                .par_iter()
+                .map(|r| matcher.find_all(&r.pattern))
+                .collect()
+        } else {
+            rules.iter().map(|r| matcher.find_all(&r.pattern)).collect()
+        };
+        let mut out = Vec::new();
+        for (ri, ms) in per_rule.into_iter().enumerate() {
+            for m in ms {
+                let cost = estimate_cost(g, &rules[ri], &m, &self.config.costs);
+                out.push(Violation {
+                    rule: ri,
+                    m,
+                    cost,
+                    priority: rules[ri].priority,
+                });
+            }
+        }
+        out
+    }
+
+    fn run_naive(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        report: &mut RepairReport,
+        max_repairs: usize,
+    ) {
+        let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
+        for _round in 0..self.config.max_rounds {
+            report.rounds += 1;
+            let mut violations = self.full_scan(g, rules);
+            if violations.is_empty() {
+                return;
+            }
+            for v in &violations {
+                report.per_rule[v.rule].matches_found += 1;
+            }
+            // Cheapest-first within the round (best-repair arbitration).
+            violations.sort_by(|a, b| a.cmp_key().0.total_cmp(&b.cmp_key().0)
+                .then_with(|| a.cmp_key().1.cmp(&b.cmp_key().1))
+                .then_with(|| a.cmp_key().2.cmp(&b.cmp_key().2))
+                .then_with(|| a.cmp_key().3.cmp(b.cmp_key().3)));
+            let mut applied_any = false;
+            for mut v in violations {
+                if report.repairs_applied >= max_repairs {
+                    return;
+                }
+                if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
+                    continue;
+                }
+                if !self.admit(&mut churn, &v) {
+                    continue;
+                }
+                if self.apply_one(g, rules, &v, report) {
+                    applied_any = true;
+                }
+            }
+            if !applied_any {
+                return;
+            }
+        }
+    }
+
+    fn run_incremental(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        report: &mut RepairReport,
+        max_repairs: usize,
+    ) {
+        let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
+        report.rounds = 1;
+        // Trigger filter: label-level preconditions per rule. After a
+        // repair, only rules whose preconditions the applied operations
+        // could have *enabled* are re-matched — the rule-dependency
+        // pruning that keeps per-repair work independent of |Σ|.
+        let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
+        let mut queue: BinaryHeap<Violation> = self.full_scan(g, rules).into();
+        for v in queue.iter() {
+            report.per_rule[v.rule].matches_found += 1;
+        }
+        let mut last_ops_start: usize;
+        while let Some(mut v) = queue.pop() {
+            if report.repairs_applied >= max_repairs {
+                return;
+            }
+            if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
+                continue;
+            }
+            if !self.admit(&mut churn, &v) {
+                continue;
+            }
+            last_ops_start = report.ops.len();
+            let Some(touched) = self.apply_one_touched(g, rules, &v, report) else {
+                continue;
+            };
+            let new_ops = &report.ops[last_ops_start..];
+            // A repair may not fully eliminate its own violation (e.g. it
+            // deleted one of several parallel witness edges): revalidate
+            // the very match just repaired and requeue it if it persists —
+            // the trigger filter below only covers *newly created* matches.
+            let mut again = v.m.clone();
+            if revalidate(g, &rules[v.rule].pattern, &mut again) {
+                let cost = estimate_cost(g, &rules[v.rule], &again, &self.config.costs);
+                queue.push(Violation {
+                    rule: v.rule,
+                    m: again,
+                    cost,
+                    priority: rules[v.rule].priority,
+                });
+            }
+            // Delta-driven discovery: only trigger-affected rules, only
+            // matches anchored in the delta.
+            let matcher = Matcher::with_config(g, self.config.match_config);
+            for (ri, rule) in rules.iter().enumerate() {
+                if !ops_can_enable(new_ops, &preconditions[ri]) {
+                    continue;
+                }
+                for m in matcher.find_touching(&rule.pattern, &touched) {
+                    let cost = estimate_cost(g, rule, &m, &self.config.costs);
+                    report.per_rule[ri].matches_found += 1;
+                    queue.push(Violation {
+                        rule: ri,
+                        m,
+                        cost,
+                        priority: rule.priority,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Churn admission: identical (rule, nodes) repairs are capped.
+    fn admit(&self, churn: &mut FxHashMap<u64, u32>, v: &Violation) -> bool {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        v.key().hash(&mut h);
+        let counter = churn.entry(h.finish()).or_insert(0);
+        if *counter >= self.config.max_churn {
+            return false;
+        }
+        *counter += 1;
+        true
+    }
+
+    fn apply_one(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        v: &Violation,
+        report: &mut RepairReport,
+    ) -> bool {
+        self.apply_one_touched(g, rules, v, report).is_some()
+    }
+
+    /// Apply; returns the touched set if the repair changed anything.
+    fn apply_one_touched(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        v: &Violation,
+        report: &mut RepairReport,
+    ) -> Option<TouchSet> {
+        let applied: Applied = apply_rule(g, &rules[v.rule], &v.m, &self.config.costs)
+            .expect("validated rule on revalidated match cannot fail");
+        if applied.is_noop() {
+            return None;
+        }
+        report.repairs_applied += 1;
+        report.total_cost += applied.cost;
+        report.per_rule[v.rule].repairs_applied += 1;
+        report.per_rule[v.rule].cost += applied.cost;
+        report.ops.extend(applied.ops);
+        Some(applied.touched)
+    }
+}
+
+/// Can any of `ops` enable a new match of a rule with preconditions
+/// `pre`? Sound over-approximation at the label level: every real
+/// enablement is caught; spurious re-matches only cost time.
+fn ops_can_enable(ops: &[AppliedOp], pre: &Preconditions) -> bool {
+    let some = |l: &str| Some(l.to_owned());
+    for op in ops {
+        let hit = match op {
+            AppliedOp::InsertNode { label, .. } => pre
+                .node_label
+                .iter()
+                .any(|p| l_overlap(&some(label), p)),
+            AppliedOp::InsertEdge { label, .. } => {
+                pre.pos_edge.iter().any(|p| l_overlap(&some(label), p))
+            }
+            // Deleting a node removes incident edges of unknown labels:
+            // any negative / no-edge condition could be enabled.
+            AppliedOp::DeleteNode { .. } => !pre.neg_edge.is_empty(),
+            AppliedOp::DeleteEdge { label, .. } => {
+                pre.neg_edge.iter().any(|p| l_overlap(&some(label), p))
+            }
+            AppliedOp::RelabelNode { to, .. } => {
+                pre.node_label.iter().any(|p| l_overlap(&some(to), p))
+            }
+            AppliedOp::SetAttr { key, .. } => {
+                pre.needs_attr.iter().any(|p| l_overlap(&some(key), p))
+            }
+            AppliedOp::RemoveAttr { key, .. } => {
+                pre.missing_attr.iter().any(|p| l_overlap(&some(key), p))
+            }
+            AppliedOp::RelabelEdge { from, to, .. } => {
+                pre.pos_edge.iter().any(|p| l_overlap(&some(to), p))
+                    || pre.neg_edge.iter().any(|p| l_overlap(&some(from), p))
+            }
+            // Merges rewire edges of arbitrary labels and union
+            // attributes: conservatively affects everything.
+            AppliedOp::Merge { .. } => true,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_rules;
+    use grepair_graph::Value;
+
+    /// A small KG with one violation of each class.
+    fn dirty_graph() -> Graph {
+        let mut g = Graph::new();
+        let ssn = g.attr_key("ssn");
+        // Incompleteness: person in a city of a country, no citizenship.
+        let p1 = g.add_node_named("Person");
+        let c1 = g.add_node_named("City");
+        let k1 = g.add_node_named("Country");
+        g.add_edge_named(p1, c1, "livesIn").unwrap();
+        g.add_edge_named(c1, k1, "inCountry").unwrap();
+        // Conflict: self-marriage loop.
+        let p2 = g.add_node_named("Person");
+        g.add_edge_named(p2, p2, "marriedTo").unwrap();
+        // Redundancy: two persons with the same ssn.
+        let d1 = g.add_node_named("Person");
+        let d2 = g.add_node_named("Person");
+        g.set_attr(d1, ssn, Value::Int(42)).unwrap();
+        g.set_attr(d2, ssn, Value::Int(42)).unwrap();
+        g.add_edge_named(d1, c1, "livesIn").unwrap();
+        g.add_edge_named(d2, c1, "livesIn").unwrap();
+        g
+    }
+
+    fn rules() -> Vec<Grr> {
+        parse_rules(
+            "rule add_citizenship [incompleteness]
+             match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+             where not (x)-[citizenOf]->(k)
+             repair insert edge (x)-[citizenOf]->(k)
+
+             rule no_self_marriage [conflict]
+             match (x:Person)-[marriedTo]->(x)
+             repair delete edge (x)-[marriedTo]->(x)
+
+             rule dedup_person [redundancy]
+             match (x:Person), (y:Person)
+             where x.ssn == y.ssn
+             repair merge y into x",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_engine_repairs_all_classes() {
+        let mut g = dirty_graph();
+        let rules = rules();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged, "residual: {}", report.violations_remaining);
+        assert!(report.repairs_applied >= 3);
+        g.check_invariants().unwrap();
+        // Citizenship edges exist for all remaining persons in c1/k1.
+        let citizen = g.try_label("citizenOf").unwrap();
+        assert!(g.count_edges_with_label(citizen) >= 1);
+        // Duplicates merged: 42-ssn person unique.
+        let ssn = g.try_attr_key("ssn").unwrap();
+        let dupes = g
+            .nodes()
+            .filter(|&n| g.attr(n, ssn) == Some(&Value::Int(42)))
+            .count();
+        assert_eq!(dupes, 1);
+    }
+
+    #[test]
+    fn naive_engine_reaches_same_fixpoint() {
+        let rules = rules();
+        let mut g1 = dirty_graph();
+        let mut g2 = dirty_graph();
+        let r1 = RepairEngine::new(EngineConfig::naive()).repair(&mut g1, &rules);
+        let r2 = RepairEngine::default().repair(&mut g2, &rules);
+        assert!(r1.converged && r2.converged);
+        // Same final shape (not necessarily identical ids).
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn repair_is_idempotent() {
+        let mut g = dirty_graph();
+        let rules = rules();
+        let engine = RepairEngine::default();
+        engine.repair(&mut g, &rules);
+        let before = (g.num_nodes(), g.num_edges());
+        let second = engine.repair(&mut g, &rules);
+        assert!(second.converged);
+        assert_eq!(second.repairs_applied, 0, "fixpoint must be stable");
+        assert_eq!((g.num_nodes(), g.num_edges()), before);
+    }
+
+    #[test]
+    fn cascading_repairs_propagate() {
+        // Fixing citizenship enables a second rule keyed on citizenOf.
+        let mut g = Graph::new();
+        let p = g.add_node_named("Person");
+        let c = g.add_node_named("City");
+        let k = g.add_node_named("Country");
+        g.add_edge_named(p, c, "livesIn").unwrap();
+        g.add_edge_named(c, k, "inCountry").unwrap();
+        let rules = parse_rules(
+            "rule add_citizenship [incompleteness]
+             match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+             where not (x)-[citizenOf]->(k)
+             repair insert edge (x)-[citizenOf]->(k)
+
+             rule mark_citizen [incompleteness]
+             match (x:Person)-[citizenOf]->(k:Country)
+             where missing(x.hasCitizenship)
+             repair set x.hasCitizenship = true",
+        )
+        .unwrap();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 2);
+        let key = g.try_attr_key("hasCitizenship").unwrap();
+        assert_eq!(g.attr(p, key), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn churn_guard_stops_oscillation() {
+        // Two rules that flip an attribute forever.
+        let mut g = Graph::new();
+        let n = g.add_node_named("P");
+        let k = g.attr_key("v");
+        g.set_attr(n, k, Value::Int(0)).unwrap();
+        let rules = parse_rules(
+            "rule up [conflict] match (x:P) where x.v == 0 repair set x.v = 1
+             rule down [conflict] match (x:P) where x.v == 1 repair set x.v = 0",
+        )
+        .unwrap();
+        let config = EngineConfig {
+            max_churn: 4,
+            verify_fixpoint: true,
+            ..EngineConfig::default()
+        };
+        let report = RepairEngine::new(config).repair(&mut g, &rules);
+        assert!(!report.converged, "oscillation cannot converge");
+        assert!(report.repairs_applied <= 8, "churn guard must bound work");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn max_rounds_bounds_naive_engine() {
+        let mut g = Graph::new();
+        let n = g.add_node_named("P");
+        let k = g.attr_key("v");
+        g.set_attr(n, k, Value::Int(0)).unwrap();
+        let rules = parse_rules(
+            "rule up [conflict] match (x:P) where x.v == 0 repair set x.v = 1
+             rule down [conflict] match (x:P) where x.v == 1 repair set x.v = 0",
+        )
+        .unwrap();
+        let config = EngineConfig {
+            mode: EngineMode::Naive,
+            max_rounds: 3,
+            max_churn: u32::MAX,
+            ..EngineConfig::default()
+        };
+        let report = RepairEngine::new(config).repair(&mut g, &rules);
+        assert_eq!(report.rounds, 3);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn cost_arbitration_prefers_cheap_repair() {
+        // Two rules can fix the same violation: one deletes a hub node
+        // (expensive), one deletes the offending edge (cheap). The cheap
+        // one must win and the expensive one revalidate away.
+        let mut g = Graph::new();
+        let hub = g.add_node_named("Person");
+        let spouse = g.add_node_named("Person");
+        g.add_edge_named(hub, spouse, "marriedTo").unwrap();
+        g.add_edge_named(hub, hub, "marriedTo").unwrap(); // violation
+        for _ in 0..5 {
+            let f = g.add_node_named("Person");
+            g.add_edge_named(hub, f, "knows").unwrap();
+        }
+        let rules = parse_rules(
+            "rule drop_self_marriage [conflict]
+             match (x:Person)-[marriedTo]->(x)
+             repair delete edge (x)-[marriedTo]->(x)
+
+             rule nuke_self_marrier [conflict]
+             match (x:Person)-[marriedTo]->(x)
+             repair delete node x",
+        )
+        .unwrap();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged);
+        assert!(g.contains_node(hub), "hub must survive (cheap repair wins)");
+        assert_eq!(report.per_rule[0].repairs_applied, 1);
+        assert_eq!(report.per_rule[1].repairs_applied, 0);
+    }
+
+    #[test]
+    fn priority_breaks_cost_ties() {
+        let mk = |g: &mut Graph| {
+            let a = g.add_node_named("P");
+            let b = g.add_node_named("P");
+            g.add_edge_named(a, b, "bad").unwrap();
+            (a, b)
+        };
+        let rules = parse_rules(
+            "rule low [conflict] priority 1
+             match (x:P)-[bad]->(y:P)
+             repair relabel edge (x)-[bad]->(y) to fineLow
+
+             rule high [conflict] priority 9
+             match (x:P)-[bad]->(y:P)
+             repair relabel edge (x)-[bad]->(y) to fineHigh",
+        )
+        .unwrap();
+        let mut g = Graph::new();
+        mk(&mut g);
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.per_rule[1].repairs_applied, 1, "high priority wins");
+        assert_eq!(report.per_rule[0].repairs_applied, 0);
+        assert!(g.try_label("fineHigh").is_some());
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        let rules = rules();
+        let mut g1 = dirty_graph();
+        let mut g2 = dirty_graph();
+        let seq = RepairEngine::default().repair(&mut g1, &rules);
+        let par = RepairEngine::new(EngineConfig {
+            parallel: true,
+            ..EngineConfig::default()
+        })
+        .repair(&mut g2, &rules);
+        assert_eq!(seq.repairs_applied, par.repairs_applied);
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn report_accounting_consistent() {
+        let mut g = dirty_graph();
+        let rules = rules();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        let per_rule_sum: usize = report.per_rule.iter().map(|s| s.repairs_applied).sum();
+        assert_eq!(per_rule_sum, report.repairs_applied);
+        let per_rule_cost: f64 = report.per_rule.iter().map(|s| s.cost).sum();
+        assert!((per_rule_cost - report.total_cost).abs() < 1e-9);
+        assert!(!report.ops.is_empty());
+    }
+
+    #[test]
+    fn trigger_filter_skips_unrelated_rules() {
+        // A cascade over attribute a0→a1→…, plus rules keyed on labels and
+        // attributes the repairs never touch. The unrelated rules must not
+        // be re-matched after any repair: their matches_found stays at the
+        // initial-scan count (zero).
+        let mut src = String::new();
+        for i in 0..4 {
+            src.push_str(&format!(
+                "rule stage{i} [incompleteness]
+                 match (x:T) where has(x.a{i}), missing(x.a{next})
+                 repair set x.a{next} = true\n",
+                next = i + 1
+            ));
+        }
+        for i in 0..20 {
+            src.push_str(&format!(
+                "rule unrelated{i} [conflict]
+                 match (x:Q)-[rel{i}]->(y:Q)
+                 where x.other{i} == 1
+                 repair delete edge (x)-[rel{i}]->(y)\n"
+            ));
+        }
+        let rules = parse_rules(&src).unwrap();
+        let mut g = Graph::new();
+        let a0 = g.attr_key("a0");
+        for _ in 0..20 {
+            let n = g.add_node_named("T");
+            g.set_attr(n, a0, Value::Bool(true)).unwrap();
+        }
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 4 * 20);
+        for s in report.per_rule.iter().filter(|s| s.name.starts_with("unrelated")) {
+            assert_eq!(
+                s.matches_found, 0,
+                "{} must never be re-matched",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rules_or_graph() {
+        let mut g = dirty_graph();
+        let report = RepairEngine::default().repair(&mut g, &[]);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 0);
+
+        let mut empty = Graph::new();
+        let report = RepairEngine::default().repair(&mut empty, &rules());
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 0);
+    }
+}

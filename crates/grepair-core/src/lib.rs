@@ -1,0 +1,71 @@
+//! # grepair-core
+//!
+//! Graph Repairing Rules (GRRs) — the primary contribution of
+//! *"Rule-Based Graph Repairing: Semantic and Efficient Repairing
+//! Methods"* (ICDE 2018), reconstructed in Rust.
+//!
+//! A [`Grr`] pairs a pattern (what an inconsistency looks like) with
+//! repair actions (how to fix it) drawn from the paper's seven operations.
+//! This crate provides:
+//!
+//! - the rule model ([`rule`]) and a text DSL ([`dsl`]);
+//! - rule application with idempotent semantics and revalidation
+//!   ([`apply`]);
+//! - the edit-distance repair cost model ([`cost`]);
+//! - static rule-set analyses: effectiveness, termination, consistency,
+//!   implication ([`analysis`]);
+//! - the naive and incremental repair engines with cost-based best-repair
+//!   arbitration ([`engine`]);
+//! - rule-set containers and serialization ([`ruleset`]).
+//!
+//! ```
+//! use grepair_core::{RepairEngine, RuleSet};
+//! use grepair_graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! let p = g.add_node_named("Person");
+//! let c = g.add_node_named("City");
+//! let k = g.add_node_named("Country");
+//! g.add_edge_named(p, c, "livesIn").unwrap();
+//! g.add_edge_named(c, k, "inCountry").unwrap();
+//!
+//! let rules = RuleSet::from_dsl(
+//!     "demo",
+//!     "rule add_citizenship [incompleteness]
+//!      match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+//!      where not (x)-[citizenOf]->(k)
+//!      repair insert edge (x)-[citizenOf]->(k)",
+//! )
+//! .unwrap();
+//!
+//! let report = RepairEngine::default().repair(&mut g, &rules.rules);
+//! assert!(report.converged);
+//! assert_eq!(report.repairs_applied, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod apply;
+pub mod cost;
+pub mod dsl;
+pub mod engine;
+pub mod watch;
+pub mod printer;
+pub mod rule;
+pub mod ruleset;
+
+pub use analysis::{
+    analyze, canonical_instance, check_effectiveness, find_conflicts, find_implications,
+    is_terminating, trigger_graph, AnalysisReport, ConflictKind, Effectiveness, Implication,
+    RuleConflict, TriggerGraph, TriggerReason,
+};
+pub use apply::{apply_rule, revalidate, Applied, AppliedOp};
+pub use cost::{estimate_cost, op_cost};
+pub use dsl::{parse_rule, parse_rules, ParseError};
+pub use engine::{EngineConfig, EngineMode, RepairEngine, RepairReport, RuleStats};
+pub use printer::{rule_to_dsl, ruleset_to_dsl};
+pub use watch::{LiveViolation, Watcher};
+pub use rule::{Action, Category, Grr, PatternEdgeRef, RuleError, Target, ValueSource};
+pub use ruleset::{RuleSet, RuleSetError};

@@ -1,0 +1,180 @@
+//! Rule-set container: a named, validated collection of GRRs.
+
+use crate::dsl::{parse_rules, ParseError};
+use crate::rule::{Category, Grr, RuleError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named collection of Graph Repairing Rules.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct RuleSet {
+    /// Set name (dataset/domain it was curated for).
+    pub name: String,
+    /// The rules, in priority-irrelevant declaration order.
+    pub rules: Vec<Grr>,
+}
+
+/// Rule-set level validation error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleSetError {
+    /// Two rules share a name.
+    DuplicateName(String),
+    /// A rule failed its own validation.
+    Rule {
+        /// Offending rule name.
+        name: String,
+        /// Underlying error.
+        error: RuleError,
+    },
+}
+
+impl fmt::Display for RuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleSetError::DuplicateName(n) => write!(f, "duplicate rule name {n:?}"),
+            RuleSetError::Rule { name, error } => write!(f, "rule {name:?}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for RuleSetError {}
+
+impl RuleSet {
+    /// Build and validate a rule set.
+    pub fn new(name: impl Into<String>, rules: Vec<Grr>) -> Result<Self, RuleSetError> {
+        let set = RuleSet {
+            name: name.into(),
+            rules,
+        };
+        set.validate()?;
+        Ok(set)
+    }
+
+    /// Parse a rule set from DSL source.
+    pub fn from_dsl(name: impl Into<String>, src: &str) -> Result<Self, ParseError> {
+        let rules = parse_rules(src)?;
+        RuleSet::new(name, rules).map_err(|e| ParseError {
+            line: 1,
+            message: e.to_string(),
+        })
+    }
+
+    /// Validate: rule names unique, each rule internally valid.
+    pub fn validate(&self) -> Result<(), RuleSetError> {
+        let mut names = std::collections::HashSet::new();
+        for r in &self.rules {
+            if !names.insert(&r.name) {
+                return Err(RuleSetError::DuplicateName(r.name.clone()));
+            }
+            r.validate().map_err(|error| RuleSetError::Rule {
+                name: r.name.clone(),
+                error,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Look up a rule by name.
+    pub fn get(&self, name: &str) -> Option<&Grr> {
+        self.rules.iter().find(|r| r.name == name)
+    }
+
+    /// Rules of one inconsistency class.
+    pub fn by_category(&self, cat: Category) -> impl Iterator<Item = &Grr> {
+        self.rules.iter().filter(move |r| r.category == cat)
+    }
+
+    /// Counts per category: (incompleteness, conflict, redundancy).
+    pub fn category_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for r in &self.rules {
+            match r.category {
+                Category::Incompleteness => c.0 += 1,
+                Category::Conflict => c.1 += 1,
+                Category::Redundancy => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("RuleSet is always serializable")
+    }
+
+    /// Parse from JSON, re-validating.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let set: RuleSet = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        set.validate().map_err(|e| e.to_string())?;
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+        rule a [incompleteness]
+        match (x:Person)-[livesIn]->(c:City)
+        where not (x)-[registeredIn]->(c)
+        repair insert edge (x)-[registeredIn]->(c)
+
+        rule b [conflict]
+        match (x:Person)-[marriedTo]->(x)
+        repair delete edge (x)-[marriedTo]->(x)
+
+        rule c [redundancy]
+        match (x:Person), (y:Person)
+        where x.ssn == y.ssn
+        repair merge y into x
+    ";
+
+    #[test]
+    fn from_dsl_and_queries() {
+        let set = RuleSet::from_dsl("kg", SRC).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        assert!(set.get("b").is_some());
+        assert!(set.get("zzz").is_none());
+        assert_eq!(set.category_counts(), (1, 1, 1));
+        assert_eq!(set.by_category(Category::Redundancy).count(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let src = "
+            rule a [conflict] match (x:P)-[r]->(y:P) repair delete edge (x)-[r]->(y)
+            rule a [conflict] match (x:Q)-[r]->(y:Q) repair delete edge (x)-[r]->(y)
+        ";
+        let err = RuleSet::from_dsl("dup", src).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let set = RuleSet::from_dsl("kg", SRC).unwrap();
+        let json = set.to_json();
+        let back = RuleSet::from_json(&json).unwrap();
+        assert_eq!(back, set);
+    }
+
+    #[test]
+    fn invalid_json_rule_rejected() {
+        // A structurally valid JSON rule set whose rule has no actions.
+        let mut set = RuleSet::from_dsl("kg", SRC).unwrap();
+        set.rules[0].actions.clear();
+        let json = set.to_json();
+        assert!(RuleSet::from_json(&json).is_err());
+    }
+}

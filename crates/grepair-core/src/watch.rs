@@ -1,0 +1,243 @@
+//! Incremental violation watching across external edits.
+//!
+//! The repair engine fixes everything at once; real deployments instead
+//! interleave *user edits* with *validation*. A [`Watcher`] owns a rule
+//! set and maintains the live violation list incrementally: after each
+//! batch of external edits, pass the touched nodes to
+//! [`Watcher::update`] and only the affected neighborhood is re-matched
+//! (the same delta discipline as the incremental engine). Optionally,
+//! [`Watcher::repair_touched`] repairs just the newly introduced
+//! violations.
+
+use crate::apply::{apply_rule, revalidate};
+use crate::cost::estimate_cost;
+use crate::rule::Grr;
+use grepair_graph::{EditCosts, Graph, NodeId};
+use grepair_match::{Match, Matcher, TouchSet};
+use rustc_hash::FxHashMap;
+
+/// A currently outstanding violation.
+#[derive(Clone, Debug)]
+pub struct LiveViolation {
+    /// Index of the violated rule.
+    pub rule: usize,
+    /// The violating match.
+    pub m: Match,
+}
+
+/// Incrementally maintained violation view over a graph.
+///
+/// The watcher does not hold the graph; callers pass it to each call and
+/// are responsible for reporting every touched node. Stale entries are
+/// pruned lazily via revalidation.
+pub struct Watcher {
+    rules: Vec<Grr>,
+    /// Key: (rule, nodes) → violation. Deduplicates across updates.
+    live: FxHashMap<(usize, Vec<NodeId>), LiveViolation>,
+    costs: EditCosts,
+}
+
+impl Watcher {
+    /// Create a watcher and run the initial full scan.
+    pub fn new(g: &Graph, rules: Vec<Grr>) -> Self {
+        let mut w = Watcher {
+            rules,
+            live: FxHashMap::default(),
+            costs: EditCosts::default(),
+        };
+        let matcher = Matcher::new(g);
+        for (ri, rule) in w.rules.iter().enumerate() {
+            for m in matcher.find_all(&rule.pattern) {
+                w.live.insert((ri, m.nodes.clone()), LiveViolation { rule: ri, m });
+            }
+        }
+        w
+    }
+
+    /// The rules being watched.
+    pub fn rules(&self) -> &[Grr] {
+        &self.rules
+    }
+
+    /// Current number of outstanding violations (after pruning stale
+    /// entries against `g`).
+    pub fn violation_count(&mut self, g: &Graph) -> usize {
+        self.prune(g);
+        self.live.len()
+    }
+
+    /// Current violations, revalidated against `g`, in deterministic
+    /// order.
+    pub fn violations(&mut self, g: &Graph) -> Vec<LiveViolation> {
+        self.prune(g);
+        let mut out: Vec<LiveViolation> = self.live.values().cloned().collect();
+        out.sort_by(|a, b| (a.rule, &a.m.nodes).cmp(&(b.rule, &b.m.nodes)));
+        out
+    }
+
+    fn prune(&mut self, g: &Graph) {
+        let rules = &self.rules;
+        self.live
+            .retain(|_, v| revalidate(g, &rules[v.rule].pattern, &mut v.m.clone()));
+    }
+
+    /// Report externally touched nodes; discovers new violations in their
+    /// neighborhood. Returns how many new violations appeared.
+    pub fn update(&mut self, g: &Graph, touched: &TouchSet) -> usize {
+        let matcher = Matcher::new(g);
+        let mut added = 0usize;
+        for (ri, rule) in self.rules.iter().enumerate() {
+            for m in matcher.find_touching(&rule.pattern, touched) {
+                let key = (ri, m.nodes.clone());
+                if let std::collections::hash_map::Entry::Vacant(e) = self.live.entry(key) {
+                    e.insert(LiveViolation { rule: ri, m });
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Repair all currently outstanding violations (cheapest first),
+    /// updating the live set with any cascade. Returns the number of
+    /// repairs applied.
+    pub fn repair_all(&mut self, g: &mut Graph) -> usize {
+        let mut applied_total = 0usize;
+        // Bounded loop mirroring the engine's churn discipline.
+        for _ in 0..64 {
+            self.prune(g);
+            if self.live.is_empty() {
+                break;
+            }
+            let mut pending: Vec<LiveViolation> = self.live.values().cloned().collect();
+            pending.sort_by(|a, b| {
+                let ca = estimate_cost(g, &self.rules[a.rule], &a.m, &self.costs);
+                let cb = estimate_cost(g, &self.rules[b.rule], &b.m, &self.costs);
+                ca.total_cmp(&cb)
+                    .then_with(|| (a.rule, &a.m.nodes).cmp(&(b.rule, &b.m.nodes)))
+            });
+            let mut applied_round = 0usize;
+            for mut v in pending {
+                if !revalidate(g, &self.rules[v.rule].pattern, &mut v.m) {
+                    self.live.remove(&(v.rule, v.m.nodes.clone()));
+                    continue;
+                }
+                let applied = apply_rule(g, &self.rules[v.rule], &v.m, &self.costs)
+                    .expect("validated rules cannot fail");
+                self.live.remove(&(v.rule, v.m.nodes.clone()));
+                if applied.is_noop() {
+                    continue;
+                }
+                applied_round += 1;
+                self.update(g, &applied.touched);
+            }
+            applied_total += applied_round;
+            if applied_round == 0 {
+                break;
+            }
+        }
+        applied_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_rules;
+    use grepair_graph::Graph;
+
+    fn setup() -> (Graph, Watcher) {
+        let mut g = Graph::new();
+        let p = g.add_node_named("Person");
+        let c = g.add_node_named("City");
+        let k = g.add_node_named("Country");
+        g.add_edge_named(p, c, "livesIn").unwrap();
+        g.add_edge_named(c, k, "inCountry").unwrap();
+        g.add_edge_named(p, k, "citizenOf").unwrap();
+        let rules = parse_rules(
+            "rule add_citizenship [incompleteness]
+             match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+             where not (x)-[citizenOf]->(k)
+             repair insert edge (x)-[citizenOf]->(k)
+
+             rule no_self_knows [conflict]
+             match (x:Person)-[knows]->(x)
+             repair delete edge (x)-[knows]->(x)",
+        )
+        .unwrap();
+        let w = Watcher::new(&g, rules);
+        (g, w)
+    }
+
+    #[test]
+    fn clean_graph_watches_zero() {
+        let (g, mut w) = setup();
+        assert_eq!(w.violation_count(&g), 0);
+    }
+
+    #[test]
+    fn external_edit_surfaces_violation_incrementally() {
+        let (mut g, mut w) = setup();
+        // External edit: a new person moves into the city (no
+        // citizenship yet).
+        let p2 = g.add_node_named("Person");
+        let city = g.nodes().find(|&n| g.label_name(g.node_label(n).unwrap()) == "City").unwrap();
+        g.add_edge_named(p2, city, "livesIn").unwrap();
+
+        let touched: TouchSet = [p2, city].into_iter().collect();
+        let added = w.update(&g, &touched);
+        assert_eq!(added, 1);
+        let v = w.violations(&g);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, 0);
+        assert!(v[0].m.nodes.contains(&p2));
+    }
+
+    #[test]
+    fn stale_violations_prune_after_manual_fix() {
+        let (mut g, mut w) = setup();
+        let p2 = g.add_node_named("Person");
+        let city = g.nodes().find(|&n| g.label_name(g.node_label(n).unwrap()) == "City").unwrap();
+        g.add_edge_named(p2, city, "livesIn").unwrap();
+        w.update(&g, &[p2, city].into_iter().collect());
+        assert_eq!(w.violation_count(&g), 1);
+
+        // The user fixes it by hand.
+        let country = g.nodes().find(|&n| g.label_name(g.node_label(n).unwrap()) == "Country").unwrap();
+        g.add_edge_named(p2, country, "citizenOf").unwrap();
+        assert_eq!(w.violation_count(&g), 0);
+    }
+
+    #[test]
+    fn repair_all_fixes_and_cascades() {
+        let (mut g, mut w) = setup();
+        let p2 = g.add_node_named("Person");
+        let city = g
+            .nodes()
+            .find(|&n| g.label_name(g.node_label(n).unwrap()) == "City")
+            .unwrap();
+        g.add_edge_named(p2, city, "livesIn").unwrap();
+        g.add_edge_named(p2, p2, "knows").unwrap();
+        w.update(&g, &[p2, city].into_iter().collect());
+
+        let applied = w.repair_all(&mut g);
+        assert_eq!(applied, 2, "citizenship insert + self-knows delete");
+        assert_eq!(w.violation_count(&g), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_updates_do_not_double_count() {
+        let (mut g, mut w) = setup();
+        let p2 = g.add_node_named("Person");
+        let city = g
+            .nodes()
+            .find(|&n| g.label_name(g.node_label(n).unwrap()) == "City")
+            .unwrap();
+        g.add_edge_named(p2, city, "livesIn").unwrap();
+        let touched: TouchSet = [p2, city].into_iter().collect();
+        assert_eq!(w.update(&g, &touched), 1);
+        assert_eq!(w.update(&g, &touched), 0, "idempotent update");
+        assert_eq!(w.violation_count(&g), 1);
+    }
+}

@@ -1,0 +1,312 @@
+//! Synthetic knowledge-graph generator.
+//!
+//! Substitutes for the real-world KG dumps (YAGO/DBpedia-class) the paper
+//! evaluates on: a typed schema (Person/City/Country/Company), power-law
+//! social degree via preferential attachment, and denormalised semantic
+//! redundancy (`Person.country` mirrors the country of the person's city)
+//! — exactly the structures the gold rule catalog
+//! ([`crate::catalog::gold_kg_rules`]) constrains, so a freshly generated
+//! graph is violation-free and every violation after noise injection is
+//! attributable to the injected error.
+
+use grepair_graph::{Graph, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KgConfig {
+    /// Number of Person nodes (drives all other counts by default).
+    pub persons: usize,
+    /// Number of City nodes (0 = `max(5, persons/50)`).
+    pub cities: usize,
+    /// Number of Country nodes (0 = `max(3, cities/10)`).
+    pub countries: usize,
+    /// Number of Company nodes (0 = `max(2, persons/20)`).
+    pub companies: usize,
+    /// Mean out-degree of the `knows` preferential-attachment layer.
+    pub knows_per_person: f64,
+    /// Fraction of persons in a (symmetric) marriage.
+    pub married_fraction: f64,
+    /// RNG seed; equal configs generate identical graphs.
+    pub seed: u64,
+}
+
+impl Default for KgConfig {
+    fn default() -> Self {
+        Self {
+            persons: 1000,
+            cities: 0,
+            countries: 0,
+            companies: 0,
+            knows_per_person: 4.0,
+            married_fraction: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+impl KgConfig {
+    /// Config scaled to roughly `n` persons with defaults elsewhere.
+    pub fn with_persons(n: usize) -> Self {
+        Self {
+            persons: n,
+            ..Self::default()
+        }
+    }
+
+    fn resolved(&self) -> (usize, usize, usize) {
+        let cities = if self.cities == 0 {
+            (self.persons / 50).max(5)
+        } else {
+            self.cities
+        };
+        let countries = if self.countries == 0 {
+            (cities / 10).max(3)
+        } else {
+            self.countries
+        };
+        let companies = if self.companies == 0 {
+            (self.persons / 20).max(2)
+        } else {
+            self.companies
+        };
+        (cities, countries, companies)
+    }
+}
+
+/// Handles into a generated KG, for noise injection and tests.
+#[derive(Clone, Debug, Default)]
+pub struct KgRefs {
+    /// All Person nodes.
+    pub persons: Vec<NodeId>,
+    /// All City nodes.
+    pub cities: Vec<NodeId>,
+    /// All Country nodes.
+    pub countries: Vec<NodeId>,
+    /// All Company nodes.
+    pub companies: Vec<NodeId>,
+}
+
+/// Generate a clean knowledge graph.
+pub fn generate_kg(cfg: &KgConfig) -> (Graph, KgRefs) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = Graph::new();
+    let (n_cities, n_countries, n_companies) = cfg.resolved();
+
+    let person = g.label("Person");
+    let city = g.label("City");
+    let country = g.label("Country");
+    let company = g.label("Company");
+    let lives_in = g.label("livesIn");
+    let in_country = g.label("inCountry");
+    let citizen_of = g.label("citizenOf");
+    let works_for = g.label("worksFor");
+    let based_in = g.label("basedIn");
+    let knows = g.label("knows");
+    let married_to = g.label("marriedTo");
+    let born_in = g.label("bornIn");
+
+    let name_k = g.attr_key("name");
+    let ssn_k = g.attr_key("ssn");
+    let country_k = g.attr_key("country");
+    let population_k = g.attr_key("population");
+
+    let mut refs = KgRefs::default();
+
+    for i in 0..n_countries {
+        let n = g.add_node_with_attrs(
+            country,
+            vec![(name_k, Value::Str(format!("country{i}")))],
+        );
+        refs.countries.push(n);
+    }
+    // city_country[i] = country index of city i, for denormalised attrs.
+    let mut city_country = Vec::with_capacity(n_cities);
+    for i in 0..n_cities {
+        let n = g.add_node_with_attrs(
+            city,
+            vec![
+                (name_k, Value::Str(format!("city{i}"))),
+                (population_k, Value::Int(rng.gen_range(10_000..5_000_000))),
+            ],
+        );
+        let ci = rng.gen_range(0..n_countries);
+        g.add_edge(n, refs.countries[ci], in_country).unwrap();
+        city_country.push(ci);
+        refs.cities.push(n);
+    }
+    for i in 0..n_companies {
+        let n = g.add_node_with_attrs(
+            company,
+            vec![(name_k, Value::Str(format!("company{i}")))],
+        );
+        let ci = rng.gen_range(0..n_cities);
+        g.add_edge(n, refs.cities[ci], based_in).unwrap();
+        refs.companies.push(n);
+    }
+
+    for i in 0..cfg.persons {
+        let ci = rng.gen_range(0..n_cities);
+        let ki = city_country[ci];
+        let country_name = format!("country{ki}");
+        let n = g.add_node_with_attrs(
+            person,
+            vec![
+                (name_k, Value::Str(format!("person{i}"))),
+                (ssn_k, Value::Int(i as i64)),
+                (country_k, Value::Str(country_name)),
+            ],
+        );
+        g.add_edge(n, refs.cities[ci], lives_in).unwrap();
+        g.add_edge(n, refs.countries[ki], citizen_of).unwrap();
+        if rng.gen_bool(0.7) && !refs.companies.is_empty() {
+            let co = rng.gen_range(0..refs.companies.len());
+            g.add_edge(n, refs.companies[co], works_for).unwrap();
+        }
+        if rng.gen_bool(0.8) {
+            let bi = rng.gen_range(0..n_cities);
+            g.add_edge(n, refs.cities[bi], born_in).unwrap();
+        }
+        refs.persons.push(n);
+    }
+
+    // Symmetric marriages over disjoint person pairs.
+    let married_pairs = ((cfg.persons / 2) as f64 * cfg.married_fraction) as usize;
+    for p in 0..married_pairs {
+        let a = refs.persons[2 * p];
+        let b = refs.persons[2 * p + 1];
+        g.add_edge(a, b, married_to).unwrap();
+        g.add_edge(b, a, married_to).unwrap();
+    }
+
+    // Preferential-attachment `knows` layer: endpoints of prior edges form
+    // the sampling pool, giving a power-law in-degree.
+    let mut pool: Vec<NodeId> = refs.persons.iter().copied().take(2).collect();
+    if pool.is_empty() {
+        return (g, refs);
+    }
+    for &p in &refs.persons {
+        let k = sample_degree(&mut rng, cfg.knows_per_person);
+        for _ in 0..k {
+            let target = if rng.gen_bool(0.8) {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                refs.persons[rng.gen_range(0..refs.persons.len())]
+            };
+            if target == p || g.has_edge_labeled(p, target, knows) {
+                continue;
+            }
+            g.add_edge(p, target, knows).unwrap();
+            pool.push(target);
+            pool.push(p);
+        }
+    }
+    (g, refs)
+}
+
+/// Degree sample with mean `mean` (geometric-ish, min 0).
+fn sample_degree(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut k = 0usize;
+    while !rng.gen_bool(p) && k < 64 {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::gold_kg_rules;
+    use grepair_core::RepairEngine;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = KgConfig::with_persons(200);
+        let (g1, _) = generate_kg(&cfg);
+        let (g2, _) = generate_kg(&cfg);
+        assert_eq!(g1.to_doc(), g2.to_doc());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (g1, _) = generate_kg(&KgConfig {
+            seed: 1,
+            ..KgConfig::with_persons(200)
+        });
+        let (g2, _) = generate_kg(&KgConfig {
+            seed: 2,
+            ..KgConfig::with_persons(200)
+        });
+        assert_ne!(g1.to_doc(), g2.to_doc());
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let cfg = KgConfig {
+            persons: 300,
+            cities: 10,
+            countries: 4,
+            companies: 6,
+            ..KgConfig::default()
+        };
+        let (g, refs) = generate_kg(&cfg);
+        assert_eq!(refs.persons.len(), 300);
+        assert_eq!(refs.cities.len(), 10);
+        assert_eq!(refs.countries.len(), 4);
+        assert_eq!(refs.companies.len(), 6);
+        let person = g.try_label("Person").unwrap();
+        assert_eq!(g.count_nodes_with_label(person), 300);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn clean_graph_has_no_violations() {
+        let (g, _) = generate_kg(&KgConfig::with_persons(300));
+        let rules = gold_kg_rules();
+        let engine = RepairEngine::default();
+        assert_eq!(
+            engine.count_violations(&g, &rules.rules),
+            0,
+            "generator must satisfy the gold rules"
+        );
+    }
+
+    #[test]
+    fn marriages_are_symmetric() {
+        let (g, refs) = generate_kg(&KgConfig::with_persons(100));
+        let married = g.try_label("marriedTo").unwrap();
+        for e in g.edges() {
+            let er = g.edge(e).unwrap();
+            if er.label == married {
+                assert!(g.has_edge_labeled(er.dst, er.src, married));
+            }
+        }
+        assert!(!refs.persons.is_empty());
+    }
+
+    #[test]
+    fn knows_layer_has_hubs() {
+        let (g, refs) = generate_kg(&KgConfig::with_persons(2000));
+        let knows = g.try_label("knows").unwrap();
+        let max_in = refs
+            .persons
+            .iter()
+            .map(|&p| {
+                g.in_edges(p)
+                    .filter(|&e| g.edge(e).unwrap().label == knows)
+                    .count()
+            })
+            .max()
+            .unwrap();
+        assert!(
+            max_in >= 20,
+            "preferential attachment should produce hubs, max in-degree {max_in}"
+        );
+    }
+}

@@ -1,0 +1,540 @@
+//! Seeded noise injection with an exact ground-truth ledger.
+//!
+//! Substitutes for the manually annotated error sets of the paper's
+//! evaluation: each injected error is one of the paper's three
+//! inconsistency classes, is guaranteed to be *repairable* by the gold
+//! catalog ([`crate::catalog::gold_kg_rules`]), and is recorded in a
+//! [`GroundTruth`] ledger precise enough for exact precision/recall
+//! computation (including the clone → original identity map that lets the
+//! evaluation canonicalise merged duplicates).
+
+use crate::kg::KgRefs;
+use grepair_graph::{Graph, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three inconsistency classes, as noise categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorClass {
+    /// Deleted edges / attributes.
+    Incompleteness,
+    /// Contradictory edges, labels, and attribute values.
+    Conflict,
+    /// Duplicated entities.
+    Redundancy,
+}
+
+/// One injected error, with everything needed to audit the repair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum InjectedError {
+    /// Removed an edge (incompleteness).
+    RemovedEdge {
+        /// Former source.
+        src: NodeId,
+        /// Former target.
+        dst: NodeId,
+        /// Relation label.
+        label: String,
+    },
+    /// Removed an attribute (incompleteness).
+    RemovedAttr {
+        /// The node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+        /// The clean value.
+        value: Value,
+    },
+    /// Added a self-loop (conflict).
+    AddedSelfLoop {
+        /// The node.
+        node: NodeId,
+        /// Relation label.
+        label: String,
+    },
+    /// Added a spurious edge (conflict — e.g. bigamy).
+    AddedSpuriousEdge {
+        /// Source.
+        src: NodeId,
+        /// Target.
+        dst: NodeId,
+        /// Relation label.
+        label: String,
+    },
+    /// Corrupted an attribute value (conflict).
+    CorruptedAttr {
+        /// The node.
+        node: NodeId,
+        /// Attribute key.
+        key: String,
+        /// Clean value.
+        clean: Value,
+        /// Injected dirty value.
+        dirty: Value,
+    },
+    /// Relabelled an edge (conflict — mistyped relation).
+    RelabeledEdge {
+        /// Source.
+        src: NodeId,
+        /// Target.
+        dst: NodeId,
+        /// Clean label.
+        from: String,
+        /// Dirty label.
+        to: String,
+    },
+    /// Cloned a node (redundancy).
+    ClonedNode {
+        /// The original.
+        original: NodeId,
+        /// The duplicate.
+        clone: NodeId,
+    },
+}
+
+impl InjectedError {
+    /// The class this error belongs to.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            InjectedError::RemovedEdge { .. } | InjectedError::RemovedAttr { .. } => {
+                ErrorClass::Incompleteness
+            }
+            InjectedError::AddedSelfLoop { .. }
+            | InjectedError::AddedSpuriousEdge { .. }
+            | InjectedError::CorruptedAttr { .. }
+            | InjectedError::RelabeledEdge { .. } => ErrorClass::Conflict,
+            InjectedError::ClonedNode { .. } => ErrorClass::Redundancy,
+        }
+    }
+}
+
+/// Noise parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Errors to inject, as a fraction of the person count.
+    pub rate: f64,
+    /// Enabled classes (errors are distributed round-robin).
+    pub classes: Vec<ErrorClass>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            rate: 0.1,
+            classes: vec![
+                ErrorClass::Incompleteness,
+                ErrorClass::Conflict,
+                ErrorClass::Redundancy,
+            ],
+            seed: 7,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Noise restricted to one class (the F2 per-class experiment).
+    pub fn single_class(class: ErrorClass, rate: f64, seed: u64) -> Self {
+        Self {
+            rate,
+            classes: vec![class],
+            seed,
+        }
+    }
+}
+
+/// Ledger of everything the injector did.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// All injected errors, in injection order.
+    pub errors: Vec<InjectedError>,
+    /// Clone → original map for identity canonicalisation.
+    pub clone_of: FxHashMap<NodeId, NodeId>,
+}
+
+impl GroundTruth {
+    /// Number of injected errors.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Count per class: (incompleteness, conflict, redundancy).
+    pub fn class_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for e in &self.errors {
+            match e.class() {
+                ErrorClass::Incompleteness => c.0 += 1,
+                ErrorClass::Conflict => c.1 += 1,
+                ErrorClass::Redundancy => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Inject noise into a clean KG generated by [`crate::kg::generate_kg`].
+///
+/// Each error gets a distinct "center" person so errors never mask each
+/// other — recall losses are then attributable to the repair system, not
+/// to error interactions.
+pub fn inject_kg_noise(g: &mut Graph, refs: &KgRefs, cfg: &NoiseConfig) -> GroundTruth {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut truth = GroundTruth::default();
+    if cfg.classes.is_empty() || refs.persons.is_empty() {
+        return truth;
+    }
+    let target = ((refs.persons.len() as f64 * cfg.rate).round() as usize).max(1);
+    let mut used: FxHashSet<NodeId> = FxHashSet::default();
+    let mut injected = 0usize;
+    let mut class_idx = 0usize;
+    // Bound the search for eligible sites.
+    let mut attempts = 0usize;
+    let max_attempts = target * 50 + 100;
+
+    while injected < target && attempts < max_attempts {
+        attempts += 1;
+        let class = cfg.classes[class_idx % cfg.classes.len()];
+        let injected_one = match class {
+            ErrorClass::Incompleteness => {
+                inject_incompleteness(g, refs, &mut rng, &mut used, &mut truth)
+            }
+            ErrorClass::Conflict => inject_conflict(g, refs, &mut rng, &mut used, &mut truth),
+            ErrorClass::Redundancy => inject_redundancy(g, refs, &mut rng, &mut used, &mut truth),
+        };
+        if injected_one {
+            injected += 1;
+            class_idx += 1;
+        }
+    }
+    truth
+}
+
+fn pick_unused(
+    rng: &mut StdRng,
+    persons: &[NodeId],
+    used: &FxHashSet<NodeId>,
+    g: &Graph,
+) -> Option<NodeId> {
+    for _ in 0..32 {
+        let p = persons[rng.gen_range(0..persons.len())];
+        if !used.contains(&p) && g.contains_node(p) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+fn inject_incompleteness(
+    g: &mut Graph,
+    refs: &KgRefs,
+    rng: &mut StdRng,
+    used: &mut FxHashSet<NodeId>,
+    truth: &mut GroundTruth,
+) -> bool {
+    let Some(p) = pick_unused(rng, &refs.persons, used, g) else {
+        return false;
+    };
+    let citizen_of = g.try_label("citizenOf").expect("KG labels");
+    let married_to = g.try_label("marriedTo").expect("KG labels");
+    let country_k = g.try_attr_key("country").expect("KG attrs");
+    match rng.gen_range(0..3) {
+        0 => {
+            // Remove a citizenship edge.
+            let Some(e) = g.out_edges(p).find(|&e| g.edge(e).unwrap().label == citizen_of)
+            else {
+                return false;
+            };
+            let er = g.edge(e).unwrap();
+            g.remove_edge(e).unwrap();
+            used.insert(p);
+            truth.errors.push(InjectedError::RemovedEdge {
+                src: er.src,
+                dst: er.dst,
+                label: "citizenOf".into(),
+            });
+            true
+        }
+        1 => {
+            // Remove a marriage back-edge (keep the forward direction).
+            let Some(e) = g.out_edges(p).find(|&e| g.edge(e).unwrap().label == married_to)
+            else {
+                return false;
+            };
+            let er = g.edge(e).unwrap();
+            if used.contains(&er.dst) || !g.has_edge_labeled(er.dst, er.src, married_to) {
+                return false;
+            }
+            g.remove_edge(e).unwrap();
+            used.insert(er.src);
+            used.insert(er.dst);
+            truth.errors.push(InjectedError::RemovedEdge {
+                src: er.src,
+                dst: er.dst,
+                label: "marriedTo".into(),
+            });
+            true
+        }
+        _ => {
+            // Remove the denormalised country attribute.
+            let Some(v) = g.remove_attr(p, country_k).unwrap() else {
+                return false;
+            };
+            used.insert(p);
+            truth.errors.push(InjectedError::RemovedAttr {
+                node: p,
+                key: "country".into(),
+                value: v,
+            });
+            true
+        }
+    }
+}
+
+fn inject_conflict(
+    g: &mut Graph,
+    refs: &KgRefs,
+    rng: &mut StdRng,
+    used: &mut FxHashSet<NodeId>,
+    truth: &mut GroundTruth,
+) -> bool {
+    let Some(p) = pick_unused(rng, &refs.persons, used, g) else {
+        return false;
+    };
+    let citizen_of = g.try_label("citizenOf").expect("KG labels");
+    let married_to = g.try_label("marriedTo").expect("KG labels");
+    let lives_in = g.try_label("livesIn").expect("KG labels");
+    let country_k = g.try_attr_key("country").expect("KG attrs");
+    match rng.gen_range(0..4) {
+        0 => {
+            // Self marriage.
+            if g.has_edge_labeled(p, p, married_to) {
+                return false;
+            }
+            g.add_edge(p, p, married_to).unwrap();
+            used.insert(p);
+            truth.errors.push(InjectedError::AddedSelfLoop {
+                node: p,
+                label: "marriedTo".into(),
+            });
+            true
+        }
+        1 => {
+            // Bigamy: p is symmetrically married to someone; add an
+            // unreciprocated marriage edge to a third person.
+            let Some(spouse_e) = g.out_edges(p).find(|&e| g.edge(e).unwrap().label == married_to)
+            else {
+                return false;
+            };
+            let spouse = g.edge(spouse_e).unwrap().dst;
+            if !g.has_edge_labeled(spouse, p, married_to) {
+                return false;
+            }
+            let Some(z) = pick_unused(rng, &refs.persons, used, g) else {
+                return false;
+            };
+            if z == p
+                || z == spouse
+                || g.has_edge_labeled(p, z, married_to)
+                || g.has_edge_labeled(z, p, married_to)
+            {
+                return false;
+            }
+            g.add_edge(p, z, married_to).unwrap();
+            used.insert(p);
+            used.insert(z);
+            truth.errors.push(InjectedError::AddedSpuriousEdge {
+                src: p,
+                dst: z,
+                label: "marriedTo".into(),
+            });
+            true
+        }
+        2 => {
+            // Corrupt the denormalised country attribute.
+            let Some(clean) = g.attr(p, country_k).cloned() else {
+                return false;
+            };
+            let dirty = Value::Str(format!("atlantis{}", rng.gen_range(0..1000)));
+            g.set_attr(p, country_k, dirty.clone()).unwrap();
+            used.insert(p);
+            truth.errors.push(InjectedError::CorruptedAttr {
+                node: p,
+                key: "country".into(),
+                clean,
+                dirty,
+            });
+            true
+        }
+        _ => {
+            // Mistype citizenship as livesIn (a Person-livesIn->Country
+            // type violation).
+            let Some(e) = g.out_edges(p).find(|&e| g.edge(e).unwrap().label == citizen_of)
+            else {
+                return false;
+            };
+            let er = g.edge(e).unwrap();
+            g.set_edge_label(e, lives_in).unwrap();
+            used.insert(p);
+            truth.errors.push(InjectedError::RelabeledEdge {
+                src: er.src,
+                dst: er.dst,
+                from: "citizenOf".into(),
+                to: "livesIn".into(),
+            });
+            true
+        }
+    }
+}
+
+fn inject_redundancy(
+    g: &mut Graph,
+    refs: &KgRefs,
+    rng: &mut StdRng,
+    used: &mut FxHashSet<NodeId>,
+    truth: &mut GroundTruth,
+) -> bool {
+    let Some(p) = pick_unused(rng, &refs.persons, used, g) else {
+        return false;
+    };
+    let person = g.try_label("Person").expect("KG labels");
+    let knows = g.try_label("knows").expect("KG labels");
+    // Clone with identical identity attributes.
+    let attrs: Vec<_> = g.attrs(p).to_vec();
+    let clone = g.add_node_with_attrs(person, attrs);
+    // Copy structural context: livesIn/citizenOf exactly, knows sampled.
+    let out: Vec<_> = g.out_edges(p).collect();
+    for e in out {
+        let er = g.edge(e).unwrap();
+        let name = g.label_name(er.label).to_owned();
+        let copy = match name.as_str() {
+            "livesIn" | "citizenOf" => true,
+            "knows" => rng.gen_bool(0.5),
+            _ => false,
+        };
+        if copy {
+            let l = g.try_label(&name).unwrap();
+            let _ = g.add_edge(clone, er.dst, l);
+        }
+    }
+    let _ = knows;
+    used.insert(p);
+    used.insert(clone);
+    truth.clone_of.insert(clone, p);
+    truth.errors.push(InjectedError::ClonedNode {
+        original: p,
+        clone,
+    });
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::gold_kg_rules;
+    use crate::kg::{generate_kg, KgConfig};
+    use grepair_core::RepairEngine;
+
+    fn setup(rate: f64, seed: u64) -> (Graph, KgRefs, GroundTruth) {
+        let (mut g, refs) = generate_kg(&KgConfig::with_persons(400));
+        let truth = inject_kg_noise(
+            &mut g,
+            &refs,
+            &NoiseConfig {
+                rate,
+                seed,
+                ..NoiseConfig::default()
+            },
+        );
+        (g, refs, truth)
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let (g1, _, t1) = setup(0.1, 3);
+        let (g2, _, t2) = setup(0.1, 3);
+        assert_eq!(g1.to_doc(), g2.to_doc());
+        assert_eq!(t1.len(), t2.len());
+    }
+
+    #[test]
+    fn injection_hits_target_rate() {
+        let (_, refs, truth) = setup(0.1, 3);
+        let want = (refs.persons.len() as f64 * 0.1).round() as usize;
+        assert!(
+            truth.len() >= want * 9 / 10,
+            "injected {} of {want}",
+            truth.len()
+        );
+        let (i, c, r) = truth.class_counts();
+        assert!(i > 0 && c > 0 && r > 0, "{i}/{c}/{r}");
+    }
+
+    #[test]
+    fn every_error_creates_a_violation() {
+        let (clean, refs) = generate_kg(&KgConfig::with_persons(400));
+        let rules = gold_kg_rules();
+        let engine = RepairEngine::default();
+        assert_eq!(engine.count_violations(&clean, &rules.rules), 0);
+
+        let (dirty, _, truth) = setup(0.1, 11);
+        assert!(!truth.is_empty());
+        let violations = engine.count_violations(&dirty, &rules.rules);
+        assert!(
+            violations >= truth.len() / 2,
+            "{} errors produced only {violations} violations",
+            truth.len()
+        );
+        let _ = refs;
+    }
+
+    #[test]
+    fn gold_rules_repair_injected_noise_to_convergence() {
+        let (mut dirty, _, truth) = setup(0.08, 5);
+        let rules = gold_kg_rules();
+        let report = RepairEngine::default().repair(&mut dirty, &rules.rules);
+        assert!(
+            report.converged,
+            "residual violations: {}",
+            report.violations_remaining
+        );
+        assert!(report.repairs_applied >= truth.len() / 2);
+        dirty.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_class_noise() {
+        let (mut g, refs) = generate_kg(&KgConfig::with_persons(300));
+        let truth = inject_kg_noise(
+            &mut g,
+            &refs,
+            &NoiseConfig::single_class(ErrorClass::Redundancy, 0.05, 9),
+        );
+        let (i, c, r) = truth.class_counts();
+        assert_eq!((i, c), (0, 0));
+        assert!(r > 0);
+        assert_eq!(truth.clone_of.len(), r);
+    }
+
+    #[test]
+    fn zero_rate_still_injects_at_least_one() {
+        let (mut g, refs) = generate_kg(&KgConfig::with_persons(100));
+        let truth = inject_kg_noise(
+            &mut g,
+            &refs,
+            &NoiseConfig {
+                rate: 0.0,
+                seed: 1,
+                ..NoiseConfig::default()
+            },
+        );
+        assert_eq!(truth.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic social-network generator with built-in dirt.
+//!
+//! Unlike the KG pipeline (clean generation + separate noise pass), the
+//! social generator produces an *already dirty* follower graph — duplicate
+//! accounts, flagged bots, self-follows, missing display names — matching
+//! how entity-resolution datasets arrive in practice. Used by the
+//! `social_dedup` example and the T1 dataset table.
+
+use grepair_graph::{Graph, NodeId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SocialConfig {
+    /// Number of genuine accounts.
+    pub accounts: usize,
+    /// Mean follows per account (preferential attachment).
+    pub follows_per_account: f64,
+    /// Fraction of accounts duplicated (same handle, fresh node).
+    pub duplicate_fraction: f64,
+    /// Fraction of accounts flagged as bots.
+    pub bot_fraction: f64,
+    /// Fraction of accounts with a self-follow glitch.
+    pub self_follow_fraction: f64,
+    /// Fraction of accounts missing their display name.
+    pub missing_name_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        Self {
+            accounts: 1000,
+            follows_per_account: 8.0,
+            duplicate_fraction: 0.05,
+            bot_fraction: 0.02,
+            self_follow_fraction: 0.01,
+            missing_name_fraction: 0.1,
+            seed: 99,
+        }
+    }
+}
+
+/// Generate the (dirty) social graph; returns the graph and the genuine
+/// account nodes.
+pub fn generate_social(cfg: &SocialConfig) -> (Graph, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut g = Graph::new();
+    let account = g.label("Account");
+    let follows = g.label("follows");
+    let handle_k = g.attr_key("handle");
+    let display_k = g.attr_key("displayName");
+    let flagged_k = g.attr_key("flagged");
+
+    let mut accounts = Vec::with_capacity(cfg.accounts);
+    for i in 0..cfg.accounts {
+        let mut attrs = vec![(handle_k, Value::Str(format!("@user{i}")))];
+        if !rng.gen_bool(cfg.missing_name_fraction) {
+            attrs.push((display_k, Value::Str(format!("User {i}"))));
+        }
+        if rng.gen_bool(cfg.bot_fraction) {
+            attrs.push((flagged_k, Value::Bool(true)));
+        }
+        accounts.push(g.add_node_with_attrs(account, attrs));
+    }
+
+    // Preferential-attachment follow graph.
+    let mut pool: Vec<NodeId> = accounts.iter().copied().take(2).collect();
+    for &a in &accounts {
+        let k = (cfg.follows_per_account * rng.gen_range(0.25..1.75)) as usize;
+        for _ in 0..k {
+            let t = if rng.gen_bool(0.75) && !pool.is_empty() {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                accounts[rng.gen_range(0..accounts.len())]
+            };
+            if t == a || g.has_edge_labeled(a, t, follows) {
+                continue;
+            }
+            g.add_edge(a, t, follows).unwrap();
+            pool.push(t);
+        }
+        if rng.gen_bool(cfg.self_follow_fraction) {
+            let _ = g.add_edge(a, a, follows);
+        }
+    }
+
+    // Duplicates: same handle, partial follow overlap.
+    let dup_count = (cfg.accounts as f64 * cfg.duplicate_fraction) as usize;
+    for d in 0..dup_count {
+        let orig = accounts[rng.gen_range(0..accounts.len())];
+        let Some(handle) = g.attr(orig, handle_k).cloned() else {
+            continue;
+        };
+        let clone = g.add_node_with_attrs(account, vec![(handle_k, handle)]);
+        let out: Vec<NodeId> = g
+            .out_edges(orig)
+            .filter_map(|e| g.edge(e).ok())
+            .map(|er| er.dst)
+            .collect();
+        for t in out {
+            if rng.gen_bool(0.5) && t != clone {
+                let _ = g.add_edge(clone, t, follows);
+            }
+        }
+        let _ = d;
+    }
+    (g, accounts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::social_rules;
+    use grepair_core::RepairEngine;
+
+    #[test]
+    fn generation_deterministic_and_dirty() {
+        let cfg = SocialConfig {
+            accounts: 300,
+            ..SocialConfig::default()
+        };
+        let (g1, _) = generate_social(&cfg);
+        let (g2, _) = generate_social(&cfg);
+        assert_eq!(g1.to_doc(), g2.to_doc());
+
+        let rules = social_rules();
+        let engine = RepairEngine::default();
+        assert!(
+            engine.count_violations(&g1, &rules.rules) > 0,
+            "social graph must be born dirty"
+        );
+    }
+
+    #[test]
+    fn social_rules_clean_it_up() {
+        let (mut g, _) = generate_social(&SocialConfig {
+            accounts: 300,
+            ..SocialConfig::default()
+        });
+        let rules = social_rules();
+        let report = RepairEngine::default().repair(&mut g, &rules.rules);
+        assert!(
+            report.converged,
+            "residual violations: {}",
+            report.violations_remaining
+        );
+        g.check_invariants().unwrap();
+        // No duplicate handles remain.
+        let handle_k = g.try_attr_key("handle").unwrap();
+        for n in g.nodes() {
+            if let Some(h) = g.attr(n, handle_k) {
+                assert_eq!(g.count_nodes_with_attr(handle_k, h), 1, "handle {h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Property tests for the data substrate: generation and injection are
+//! deterministic, ledgers are consistent, and the gold rules repair any
+//! injected configuration to convergence.
+
+use grepair_core::RepairEngine;
+use grepair_gen::{
+    generate_kg, gold_kg_rules, inject_kg_noise, ErrorClass, KgConfig, NoiseConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same config ⇒ byte-identical graph and ledger.
+    #[test]
+    fn generation_and_injection_deterministic(
+        persons in 50usize..200,
+        rate in 0.01f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let (mut g, refs) = generate_kg(&KgConfig { seed, ..KgConfig::with_persons(persons) });
+            let truth = inject_kg_noise(&mut g, &refs, &NoiseConfig { rate, seed, ..NoiseConfig::default() });
+            (g.to_doc().to_json(), truth.len(), truth.class_counts())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Ledger consistency: class counts sum to the total; clones recorded
+    /// exactly once each; the dirty graph differs from the clean one.
+    #[test]
+    fn ledger_is_consistent(
+        persons in 50usize..200,
+        rate in 0.02f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let (clean, refs) = generate_kg(&KgConfig { seed, ..KgConfig::with_persons(persons) });
+        let mut dirty = clean.clone();
+        let truth = inject_kg_noise(&mut dirty, &refs, &NoiseConfig { rate, seed, ..NoiseConfig::default() });
+        let (i, c, r) = truth.class_counts();
+        prop_assert_eq!(i + c + r, truth.len());
+        prop_assert_eq!(truth.clone_of.len(), r);
+        prop_assert!(!truth.is_empty());
+        prop_assert_ne!(clean.to_doc(), dirty.to_doc());
+        prop_assert!(dirty.check_invariants().is_ok());
+    }
+
+    /// The gold rules repair any injected configuration to convergence.
+    #[test]
+    fn gold_rules_always_converge(
+        persons in 50usize..150,
+        rate in 0.02f64..0.2,
+        seed in 0u64..500,
+        class_sel in 0u8..4,
+    ) {
+        let (mut g, refs) = generate_kg(&KgConfig { seed, ..KgConfig::with_persons(persons) });
+        let cfg = match class_sel {
+            0 => NoiseConfig::single_class(ErrorClass::Incompleteness, rate, seed),
+            1 => NoiseConfig::single_class(ErrorClass::Conflict, rate, seed),
+            2 => NoiseConfig::single_class(ErrorClass::Redundancy, rate, seed),
+            _ => NoiseConfig { rate, seed, ..NoiseConfig::default() },
+        };
+        inject_kg_noise(&mut g, &refs, &cfg);
+        let rules = gold_kg_rules();
+        let report = RepairEngine::default().repair(&mut g, &rules.rules);
+        prop_assert!(report.converged, "residual {}", report.violations_remaining);
+        prop_assert!(g.check_invariants().is_ok());
+    }
+}

@@ -1,0 +1,384 @@
+//! Graph edit distance (GED).
+//!
+//! The paper selects "best" repairs by graph-edit-distance cost. Two pieces
+//! live here:
+//!
+//! - [`EditCosts`] — the operation cost table shared with the repair cost
+//!   model in `grepair-core`.
+//! - [`graph_edit_distance`] — exact GED between *small* graphs via
+//!   branch-and-bound over injective node mappings. Exact GED is NP-hard;
+//!   the exact solver is bounded (`node_limit`) and used for (a) validating
+//!   the repair cost model in tests and (b) the F7 cost-quality experiment
+//!   which compares small repaired neighbourhoods. [`ged_lower_bound`] is a
+//!   cheap label-multiset bound usable at any scale.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// Cost table for edit operations.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EditCosts {
+    /// Inserting a node.
+    pub node_insert: f64,
+    /// Deleting a node (incident-edge deletions are charged separately).
+    pub node_delete: f64,
+    /// Relabelling a node.
+    pub node_relabel: f64,
+    /// Inserting an edge.
+    pub edge_insert: f64,
+    /// Deleting an edge.
+    pub edge_delete: f64,
+    /// Relabelling an edge.
+    pub edge_relabel: f64,
+    /// Setting/removing/changing one attribute value.
+    pub attr_change: f64,
+}
+
+impl Default for EditCosts {
+    fn default() -> Self {
+        Self {
+            node_insert: 1.0,
+            node_delete: 1.0,
+            node_relabel: 1.0,
+            edge_insert: 1.0,
+            edge_delete: 1.0,
+            edge_relabel: 1.0,
+            attr_change: 0.5,
+        }
+    }
+}
+
+impl EditCosts {
+    /// Uniform unit costs (attrs too); handy for tests.
+    pub fn unit() -> Self {
+        Self {
+            attr_change: 1.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Lower bound on GED from label multiset differences.
+///
+/// Counts, per label, the surplus of nodes/edges on either side; each
+/// surplus element needs at least one insert or delete (or a relabel,
+/// counted at the cheaper rate). Sound for any mapping, O(|V|+|E|).
+pub fn ged_lower_bound(a: &Graph, b: &Graph, costs: &EditCosts) -> f64 {
+    fn label_counts(g: &Graph, nodes: bool) -> FxHashMap<String, i64> {
+        let mut m: FxHashMap<String, i64> = FxHashMap::default();
+        if nodes {
+            for n in g.nodes() {
+                let l = g.label_name(g.node_label(n).unwrap()).to_owned();
+                *m.entry(l).or_default() += 1;
+            }
+        } else {
+            for e in g.edges() {
+                let er = g.edge(e).unwrap();
+                let l = g.label_name(er.label).to_owned();
+                *m.entry(l).or_default() += 1;
+            }
+        }
+        m
+    }
+    fn multiset_gap(a: &FxHashMap<String, i64>, b: &FxHashMap<String, i64>) -> (i64, i64) {
+        // (surplus in a, surplus in b) per-label, summed.
+        let mut sa = 0;
+        let mut sb = 0;
+        for (k, &ca) in a {
+            let cb = b.get(k).copied().unwrap_or(0);
+            if ca > cb {
+                sa += ca - cb;
+            }
+        }
+        for (k, &cb) in b {
+            let ca = a.get(k).copied().unwrap_or(0);
+            if cb > ca {
+                sb += cb - ca;
+            }
+        }
+        (sa, sb)
+    }
+
+    let (na, nb) = multiset_gap(&label_counts(a, true), &label_counts(b, true));
+    let (ea, eb) = multiset_gap(&label_counts(a, false), &label_counts(b, false));
+    // Matched-up surplus pairs could be relabels (cheaper of the options);
+    // the remainder must be inserts/deletes.
+    let node_pairs = na.min(nb);
+    let node_rest_a = na - node_pairs;
+    let node_rest_b = nb - node_pairs;
+    let edge_pairs = ea.min(eb);
+    let edge_rest_a = ea - edge_pairs;
+    let edge_rest_b = eb - edge_pairs;
+    node_pairs as f64 * costs.node_relabel.min(costs.node_insert + costs.node_delete)
+        + node_rest_a as f64 * costs.node_delete
+        + node_rest_b as f64 * costs.node_insert
+        + edge_pairs as f64 * costs.edge_relabel.min(costs.edge_insert + costs.edge_delete)
+        + edge_rest_a as f64 * costs.edge_delete
+        + edge_rest_b as f64 * costs.edge_insert
+}
+
+/// Exact graph edit distance via branch-and-bound.
+///
+/// Returns `None` if either graph exceeds `node_limit` live nodes
+/// (exact GED is exponential; callers should fall back to
+/// [`ged_lower_bound`] or the repair-op cost model).
+pub fn graph_edit_distance(
+    a: &Graph,
+    b: &Graph,
+    costs: &EditCosts,
+    node_limit: usize,
+) -> Option<f64> {
+    if a.num_nodes() > node_limit || b.num_nodes() > node_limit {
+        return None;
+    }
+    let a_nodes: Vec<NodeId> = a.nodes().collect();
+    let b_nodes: Vec<NodeId> = b.nodes().collect();
+    let mut solver = Solver {
+        a,
+        b,
+        costs,
+        a_nodes: &a_nodes,
+        b_nodes: &b_nodes,
+        best: f64::INFINITY,
+        mapping: vec![None; a_nodes.len()],
+        b_used: vec![false; b_nodes.len()],
+    };
+    solver.search(0, 0.0);
+    Some(solver.best)
+}
+
+struct Solver<'g> {
+    a: &'g Graph,
+    b: &'g Graph,
+    costs: &'g EditCosts,
+    a_nodes: &'g [NodeId],
+    b_nodes: &'g [NodeId],
+    best: f64,
+    /// mapping[i] = Some(j): a_nodes[i] ↦ b_nodes[j]; None: deleted.
+    mapping: Vec<Option<usize>>,
+    b_used: Vec<bool>,
+}
+
+impl Solver<'_> {
+    fn node_sub_cost(&self, ai: usize, bj: usize) -> f64 {
+        let an = self.a_nodes[ai];
+        let bn = self.b_nodes[bj];
+        let mut c = 0.0;
+        let al = self.a.label_name(self.a.node_label(an).unwrap());
+        let bl = self.b.label_name(self.b.node_label(bn).unwrap());
+        if al != bl {
+            c += self.costs.node_relabel;
+        }
+        // Attribute symmetric difference by (key-name, value).
+        let a_attrs: FxHashMap<&str, &crate::value::Value> = self
+            .a
+            .attrs(an)
+            .iter()
+            .map(|(k, v)| (self.a.attr_key_name(*k), v))
+            .collect();
+        let b_attrs: FxHashMap<&str, &crate::value::Value> = self
+            .b
+            .attrs(bn)
+            .iter()
+            .map(|(k, v)| (self.b.attr_key_name(*k), v))
+            .collect();
+        for (k, v) in &a_attrs {
+            if b_attrs.get(k) != Some(v) {
+                c += self.costs.attr_change;
+            }
+        }
+        for k in b_attrs.keys() {
+            if !a_attrs.contains_key(k) {
+                c += self.costs.attr_change;
+            }
+        }
+        c
+    }
+
+    /// Edge cost of the *complete* mapping.
+    fn edge_cost(&self) -> f64 {
+        let mut c = 0.0;
+        // Consume b edges greedily per (mapped src, mapped dst, label name).
+        let mut b_remaining: FxHashMap<(usize, usize, String), i64> = FxHashMap::default();
+        let b_pos: FxHashMap<NodeId, usize> = self
+            .b_nodes
+            .iter()
+            .enumerate()
+            .map(|(j, &n)| (n, j))
+            .collect();
+        let mut b_total = 0i64;
+        for e in self.b.edges() {
+            let er = self.b.edge(e).unwrap();
+            let key = (
+                b_pos[&er.src],
+                b_pos[&er.dst],
+                self.b.label_name(er.label).to_owned(),
+            );
+            *b_remaining.entry(key).or_default() += 1;
+            b_total += 1;
+        }
+        // Pending relabel candidates: a-edges whose endpoints map but whose
+        // label has no exact b counterpart get a second chance as relabels.
+        let mut relabel_pending: Vec<(usize, usize)> = Vec::new();
+        let a_pos: FxHashMap<NodeId, usize> = self
+            .a_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i))
+            .collect();
+        for e in self.a.edges() {
+            let er = self.a.edge(e).unwrap();
+            let (si, di) = (a_pos[&er.src], a_pos[&er.dst]);
+            match (self.mapping[si], self.mapping[di]) {
+                (Some(sj), Some(dj)) => {
+                    let key = (sj, dj, self.a.label_name(er.label).to_owned());
+                    match b_remaining.get_mut(&key) {
+                        Some(n) if *n > 0 => {
+                            *n -= 1;
+                            b_total -= 1;
+                        }
+                        _ => relabel_pending.push((sj, dj)),
+                    }
+                }
+                _ => c += self.costs.edge_delete,
+            }
+        }
+        for (sj, dj) in relabel_pending {
+            // Any leftover b edge between the same endpoints = relabel.
+            let found = b_remaining
+                .iter_mut()
+                .find(|((s, d, _), n)| *s == sj && *d == dj && **n > 0);
+            match found {
+                Some((_, n)) => {
+                    *n -= 1;
+                    b_total -= 1;
+                    c += self.costs.edge_relabel;
+                }
+                None => c += self.costs.edge_delete,
+            }
+        }
+        c + b_total as f64 * self.costs.edge_insert
+    }
+
+    fn search(&mut self, i: usize, acc: f64) {
+        if acc >= self.best {
+            return;
+        }
+        if i == self.a_nodes.len() {
+            let unmapped_b = self.b_used.iter().filter(|u| !**u).count();
+            let total = acc + unmapped_b as f64 * self.costs.node_insert + self.edge_cost();
+            if total < self.best {
+                self.best = total;
+            }
+            return;
+        }
+        for j in 0..self.b_nodes.len() {
+            if self.b_used[j] {
+                continue;
+            }
+            let c = self.node_sub_cost(i, j);
+            self.b_used[j] = true;
+            self.mapping[i] = Some(j);
+            self.search(i + 1, acc + c);
+            self.mapping[i] = None;
+            self.b_used[j] = false;
+        }
+        // Delete a_nodes[i].
+        self.search(i + 1, acc + self.costs.node_delete);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g_with(nodes: &[&str], edges: &[(usize, usize, &str)]) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = nodes.iter().map(|l| g.add_node_named(l)).collect();
+        for &(s, d, l) in edges {
+            g.add_edge_named(ids[s], ids[d], l).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn identical_graphs_have_zero_distance() {
+        let a = g_with(&["P", "P", "C"], &[(0, 1, "knows"), (0, 2, "lives")]);
+        let b = g_with(&["P", "P", "C"], &[(0, 1, "knows"), (0, 2, "lives")]);
+        let d = graph_edit_distance(&a, &b, &EditCosts::unit(), 8).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_with_unit_costs() {
+        let a = g_with(&["P", "C"], &[(0, 1, "lives")]);
+        let b = g_with(&["P", "P", "C"], &[(0, 2, "lives"), (1, 2, "lives")]);
+        let costs = EditCosts::unit();
+        let d1 = graph_edit_distance(&a, &b, &costs, 8).unwrap();
+        let d2 = graph_edit_distance(&b, &a, &costs, 8).unwrap();
+        assert_eq!(d1, d2);
+        // One node + one edge differ.
+        assert_eq!(d1, 2.0);
+    }
+
+    #[test]
+    fn relabel_cheaper_than_delete_insert() {
+        let a = g_with(&["P"], &[]);
+        let b = g_with(&["Q"], &[]);
+        let d = graph_edit_distance(&a, &b, &EditCosts::unit(), 8).unwrap();
+        assert_eq!(d, 1.0, "single relabel beats delete+insert");
+    }
+
+    #[test]
+    fn edge_relabel_detected() {
+        let a = g_with(&["P", "P"], &[(0, 1, "knows")]);
+        let b = g_with(&["P", "P"], &[(0, 1, "hates")]);
+        let d = graph_edit_distance(&a, &b, &EditCosts::unit(), 8).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn attribute_differences_counted() {
+        let mut a = g_with(&["P"], &[]);
+        let mut b = g_with(&["P"], &[]);
+        let n_a = a.nodes().next().unwrap();
+        let n_b = b.nodes().next().unwrap();
+        let k = a.attr_key("age");
+        a.set_attr(n_a, k, crate::value::Value::Int(30)).unwrap();
+        let k2 = b.attr_key("age");
+        b.set_attr(n_b, k2, crate::value::Value::Int(31)).unwrap();
+        let d = graph_edit_distance(&a, &b, &EditCosts::unit(), 8).unwrap();
+        assert_eq!(d, 1.0, "one attr value change");
+    }
+
+    #[test]
+    fn lower_bound_is_sound() {
+        let a = g_with(&["P", "P", "C"], &[(0, 1, "knows")]);
+        let b = g_with(&["P", "C"], &[(0, 1, "lives")]);
+        let costs = EditCosts::unit();
+        let lb = ged_lower_bound(&a, &b, &costs);
+        let exact = graph_edit_distance(&a, &b, &costs, 8).unwrap();
+        assert!(lb <= exact + 1e-9, "lb {lb} must not exceed exact {exact}");
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let mut a = Graph::new();
+        for _ in 0..12 {
+            a.add_node_named("P");
+        }
+        let b = Graph::new();
+        assert!(graph_edit_distance(&a, &b, &EditCosts::unit(), 8).is_none());
+    }
+
+    #[test]
+    fn empty_vs_graph_counts_inserts() {
+        let a = Graph::new();
+        let b = g_with(&["P", "C"], &[(0, 1, "lives")]);
+        let d = graph_edit_distance(&a, &b, &EditCosts::unit(), 8).unwrap();
+        assert_eq!(d, 3.0);
+    }
+}

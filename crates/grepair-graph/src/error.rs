@@ -1,0 +1,53 @@
+//! Error type for graph operations.
+
+use crate::ids::{EdgeId, NodeId};
+use std::fmt;
+
+/// Errors produced by mutating or querying a [`crate::Graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The node id does not refer to a live node.
+    NodeNotFound(NodeId),
+    /// The edge id does not refer to a live edge.
+    EdgeNotFound(EdgeId),
+    /// Attempted to merge a node with itself.
+    SelfMerge(NodeId),
+    /// Malformed input during parsing/loading.
+    Parse(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(n) => write!(f, "node {n} not found or deleted"),
+            GraphError::EdgeNotFound(e) => write!(f, "edge {e} not found or deleted"),
+            GraphError::SelfMerge(n) => write!(f, "cannot merge node {n} with itself"),
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience result alias for graph operations.
+pub type Result<T, E = GraphError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::NodeNotFound(NodeId(3)).to_string(),
+            "node n3 not found or deleted"
+        );
+        assert_eq!(
+            GraphError::EdgeNotFound(EdgeId(1)).to_string(),
+            "edge e1 not found or deleted"
+        );
+        assert!(GraphError::Parse("bad line".into())
+            .to_string()
+            .contains("bad line"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Compact, type-safe identifiers for graph elements.
+//!
+//! All identifiers are `u32` newtypes: graphs in the target workloads are
+//! laptop-scale (≤ tens of millions of elements), and halving the id width
+//! relative to `usize` keeps adjacency lists and match frames cache-friendly
+//! (see the type-size guidance in the workspace performance guide).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(idx: usize) -> Self {
+                debug_assert!(idx <= u32::MAX as usize, "id overflow");
+                Self(idx as u32)
+            }
+
+            /// The raw index, for direct slot addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node slot within a [`crate::Graph`].
+    ///
+    /// Stable for the lifetime of the node; slots of deleted nodes may be
+    /// reused by later insertions.
+    NodeId,
+    "n"
+);
+
+id_type!(
+    /// Identifier of an edge slot within a [`crate::Graph`].
+    EdgeId,
+    "e"
+);
+
+id_type!(
+    /// Interned label (node type or edge relation name).
+    LabelId,
+    "l"
+);
+
+id_type!(
+    /// Interned attribute key.
+    AttrKeyId,
+    "k"
+);
+
+/// Direction of an edge relative to an anchor node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The anchor node is the source of the edge.
+    Out,
+    /// The anchor node is the target of the edge.
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(format!("{n}"), "n42");
+        assert_eq!(format!("{n:?}"), "n42");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Out.reverse(), Direction::In);
+        assert_eq!(Direction::In.reverse(), Direction::Out);
+        assert_eq!(Direction::Out.reverse().reverse(), Direction::Out);
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let n = NodeId(7);
+        let s = serde_json::to_string(&n).unwrap();
+        assert_eq!(s, "7");
+        let back: NodeId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, n);
+    }
+}

@@ -1,0 +1,398 @@
+//! Portable serialization of graphs.
+//!
+//! [`GraphDoc`] is a self-contained, string-labelled document model: node
+//! ids in a doc are arbitrary `u32` handles local to the doc, so docs
+//! survive round trips through graphs whose internal slot allocation
+//! differs (e.g. after deletions). JSON is the interchange format; a
+//! line-oriented plain-text format is provided for quick fixtures.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node in document form.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct NodeDoc {
+    /// Doc-local handle referenced by [`EdgeDoc`].
+    pub id: u32,
+    /// Node label (type).
+    pub label: String,
+    /// Attributes; `BTreeMap` for stable output ordering.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub attrs: BTreeMap<String, Value>,
+}
+
+/// An edge in document form.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EdgeDoc {
+    /// Doc-local source handle.
+    pub src: u32,
+    /// Doc-local target handle.
+    pub dst: u32,
+    /// Relation label.
+    pub label: String,
+}
+
+/// Self-contained portable graph document.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct GraphDoc {
+    /// Nodes, in stable id order.
+    pub nodes: Vec<NodeDoc>,
+    /// Edges.
+    pub edges: Vec<EdgeDoc>,
+}
+
+impl GraphDoc {
+    /// Export a graph. Doc handles are assigned densely in node-id order.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut handle: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut nodes = Vec::with_capacity(g.num_nodes());
+        for (i, n) in g.nodes().enumerate() {
+            handle.insert(n, i as u32);
+            let attrs = g
+                .attrs(n)
+                .iter()
+                .map(|(k, v)| (g.attr_key_name(*k).to_owned(), v.clone()))
+                .collect();
+            nodes.push(NodeDoc {
+                id: i as u32,
+                label: g.label_name(g.node_label(n).unwrap()).to_owned(),
+                attrs,
+            });
+        }
+        let mut edges: Vec<EdgeDoc> = g
+            .edges()
+            .map(|e| {
+                let er = g.edge(e).unwrap();
+                EdgeDoc {
+                    src: handle[&er.src],
+                    dst: handle[&er.dst],
+                    label: g.label_name(er.label).to_owned(),
+                }
+            })
+            .collect();
+        edges.sort_by(|a, b| (a.src, a.dst, &a.label).cmp(&(b.src, b.dst, &b.label)));
+        GraphDoc { nodes, edges }
+    }
+
+    /// Materialise the document as a fresh graph.
+    ///
+    /// Returns the graph and the doc-handle → [`NodeId`] mapping.
+    pub fn into_graph(&self) -> Result<(Graph, FxHashMap<u32, NodeId>)> {
+        let mut g = Graph::new();
+        let mut map: FxHashMap<u32, NodeId> = FxHashMap::default();
+        for nd in &self.nodes {
+            if map.contains_key(&nd.id) {
+                return Err(GraphError::Parse(format!("duplicate node id {}", nd.id)));
+            }
+            let label = g.label(&nd.label);
+            let attrs = nd
+                .attrs
+                .iter()
+                .map(|(k, v)| (g.attr_key(k), v.clone()))
+                .collect();
+            let id = g.add_node_with_attrs(label, attrs);
+            map.insert(nd.id, id);
+        }
+        for ed in &self.edges {
+            let src = *map
+                .get(&ed.src)
+                .ok_or_else(|| GraphError::Parse(format!("unknown edge src {}", ed.src)))?;
+            let dst = *map
+                .get(&ed.dst)
+                .ok_or_else(|| GraphError::Parse(format!("unknown edge dst {}", ed.dst)))?;
+            let label = g.label(&ed.label);
+            g.add_edge(src, dst, label)?;
+        }
+        Ok((g, map))
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("GraphDoc is always serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s).map_err(|e| GraphError::Parse(e.to_string()))
+    }
+
+    /// Serialize to the plain-text fixture format:
+    ///
+    /// ```text
+    /// node 0 Person name="Ann" age=30
+    /// node 1 City
+    /// edge 0 livesIn 1
+    /// ```
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.nodes {
+            out.push_str(&format!("node {} {}", n.id, n.label));
+            for (k, v) in &n.attrs {
+                out.push_str(&format!(" {k}={}", text_value(v)));
+            }
+            out.push('\n');
+        }
+        for e in &self.edges {
+            out.push_str(&format!("edge {} {} {}\n", e.src, e.label, e.dst));
+        }
+        out
+    }
+
+    /// Parse the plain-text fixture format (see [`GraphDoc::to_text`]).
+    pub fn from_text(s: &str) -> Result<Self> {
+        let mut doc = GraphDoc::default();
+        for (lineno, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| GraphError::Parse(format!("line {}: {msg}", lineno + 1));
+            let tokens = tokenize_line(line)
+                .map_err(|msg| GraphError::Parse(format!("line {}: {msg}", lineno + 1)))?;
+            let mut parts = tokens.into_iter();
+            match parts.next().as_deref() {
+                Some("node") => {
+                    let id: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("expected node id"))?;
+                    let label = parts.next().ok_or_else(|| err("expected node label"))?;
+                    let mut attrs = BTreeMap::new();
+                    for tok in parts {
+                        let (k, v) = tok
+                            .split_once('=')
+                            .ok_or_else(|| err("expected key=value"))?;
+                        attrs.insert(k.to_owned(), parse_text_value(v));
+                    }
+                    doc.nodes.push(NodeDoc {
+                        id,
+                        label: label.to_owned(),
+                        attrs,
+                    });
+                }
+                Some("edge") => {
+                    let src: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("expected edge src"))?;
+                    let label = parts.next().ok_or_else(|| err("expected edge label"))?;
+                    let dst: u32 = parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("expected edge dst"))?;
+                    doc.edges.push(EdgeDoc {
+                        src,
+                        dst,
+                        label: label.to_owned(),
+                    });
+                }
+                Some(other) => return Err(err(&format!("unknown directive {other:?}"))),
+                None => {}
+            }
+        }
+        Ok(doc)
+    }
+}
+
+/// Split a fixture line into tokens, treating double-quoted segments
+/// (with `\"` and `\\` escapes) as part of the containing token — so
+/// `name="Ann Lee"` is one token.
+fn tokenize_line(line: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_token = false;
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' => {
+                if in_token {
+                    tokens.push(std::mem::take(&mut cur));
+                    in_token = false;
+                }
+            }
+            '"' => {
+                in_token = true;
+                cur.push('"');
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            cur.push('"');
+                            break;
+                        }
+                        Some('\\') => match chars.next() {
+                            Some('"') => cur.push('"'),
+                            Some('\\') => cur.push('\\'),
+                            Some('n') => cur.push('\n'),
+                            Some('t') => cur.push('\t'),
+                            other => return Err(format!("bad escape {other:?}")),
+                        },
+                        Some(ch) => cur.push(ch),
+                        None => return Err("unterminated string".into()),
+                    }
+                }
+            }
+            other => {
+                in_token = true;
+                cur.push(other);
+            }
+        }
+    }
+    if in_token {
+        tokens.push(cur);
+    }
+    Ok(tokens)
+}
+
+fn text_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Bool(b) => b.to_string(),
+    }
+}
+
+fn parse_text_value(tok: &str) -> Value {
+    if let Some(stripped) = tok.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Value::Str(stripped.to_owned());
+    }
+    if tok == "true" {
+        return Value::Bool(true);
+    }
+    if tok == "false" {
+        return Value::Bool(false);
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::Str(tok.to_owned())
+}
+
+impl Graph {
+    /// Export to a portable document.
+    pub fn to_doc(&self) -> GraphDoc {
+        GraphDoc::from_graph(self)
+    }
+
+    /// Build from a portable document, dropping the handle map.
+    pub fn from_doc(doc: &GraphDoc) -> Result<Self> {
+        doc.into_graph().map(|(g, _)| g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let p = g.label("Person");
+        let c = g.label("City");
+        let lives = g.label("livesIn");
+        let name = g.attr_key("name");
+        let a = g.add_node_with_attrs(p, vec![(name, Value::from("Ann"))]);
+        let b = g.add_node(c);
+        g.add_edge(a, b, lives).unwrap();
+        g
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = sample();
+        let doc = g.to_doc();
+        let json = doc.to_json();
+        let doc2 = GraphDoc::from_json(&json).unwrap();
+        assert_eq!(doc, doc2);
+        let g2 = Graph::from_doc(&doc2).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.to_doc(), doc);
+    }
+
+    #[test]
+    fn round_trip_after_deletions_renumbers() {
+        let mut g = sample();
+        let extra = g.add_node_named("Org");
+        g.remove_node(extra).unwrap();
+        let doc = g.to_doc();
+        assert_eq!(doc.nodes.len(), 2);
+        let g2 = Graph::from_doc(&doc).unwrap();
+        assert_eq!(g2.num_nodes(), 2);
+        assert_eq!(g2.to_doc(), doc);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let doc = g.to_doc();
+        let text = doc.to_text();
+        let doc2 = GraphDoc::from_text(&text).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn text_parses_comments_and_types() {
+        let text = "# fixture\nnode 0 P x=1 y=2.5 z=true w=\"hi\"\nnode 1 Q\nedge 0 r 1\n";
+        let doc = GraphDoc::from_text(text).unwrap();
+        assert_eq!(doc.nodes.len(), 2);
+        assert_eq!(doc.edges.len(), 1);
+        let attrs = &doc.nodes[0].attrs;
+        assert_eq!(attrs["x"], Value::Int(1));
+        assert_eq!(attrs["y"], Value::Float(2.5));
+        assert_eq!(attrs["z"], Value::Bool(true));
+        assert_eq!(attrs["w"], Value::from("hi"));
+    }
+
+    #[test]
+    fn text_round_trip_with_spaces_and_escapes() {
+        let mut g = Graph::new();
+        let n = g.add_node_named("Person");
+        let k = g.attr_key("name");
+        g.set_attr(n, k, Value::from("Ann \"The Graph\" Lee")).unwrap();
+        let k2 = g.attr_key("bio");
+        g.set_attr(n, k2, Value::from("line1\nline2")).unwrap();
+        let doc = g.to_doc();
+        let text = doc.to_text();
+        let doc2 = GraphDoc::from_text(&text).unwrap();
+        assert_eq!(doc2, doc, "{text}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_lines() {
+        let bad = "node 0 P\nedge 0 r 9\n";
+        let doc = GraphDoc::from_text(bad).unwrap();
+        let err = doc.into_graph().unwrap_err();
+        assert!(err.to_string().contains("unknown edge dst"));
+
+        let bad2 = "frob 1 2\n";
+        assert!(GraphDoc::from_text(bad2).is_err());
+    }
+
+    #[test]
+    fn duplicate_node_ids_rejected() {
+        let doc = GraphDoc {
+            nodes: vec![
+                NodeDoc {
+                    id: 0,
+                    label: "P".into(),
+                    attrs: BTreeMap::new(),
+                },
+                NodeDoc {
+                    id: 0,
+                    label: "Q".into(),
+                    attrs: BTreeMap::new(),
+                },
+            ],
+            edges: vec![],
+        };
+        assert!(doc.into_graph().is_err());
+    }
+}

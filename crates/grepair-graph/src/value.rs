@@ -1,0 +1,248 @@
+//! Attribute values attached to nodes.
+//!
+//! Values are a small dynamic type covering the needs of knowledge-graph
+//! style property data. Floats are compared and hashed by bit pattern so
+//! `Value` can serve as a key in violation dedup tables; `NaN == NaN` under
+//! this scheme, which is the desired behaviour for data cleaning (two NaN
+//! readings are "the same unknown").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed attribute value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(untagged)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float; equality/hash by bit pattern.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Short type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "str",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A numeric view: `Int` and `Float` both coerce to `f64`.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Total order over values: by type tag first, then payload.
+    ///
+    /// Used for deterministic tie-breaking in repair selection; it is *not*
+    /// a semantic order (an `Int(1)` is not ordered relative to `Float(1.0)`
+    /// by value but by tag).
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Str(_) => 0,
+                Int(_) => 1,
+                Float(_) => 2,
+                Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => tag(a).cmp(&tag(b)).then(Ordering::Equal),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Str(a), Str(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a.to_bits() == b.to_bits(),
+            (Bool(a), Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Str(s) => {
+                0u8.hash(state);
+                s.hash(state);
+            }
+            Value::Int(i) => {
+                1u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Bool(b) => {
+                3u8.hash(state);
+                b.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_by_type_and_payload() {
+        assert_eq!(Value::from("a"), Value::from("a"));
+        assert_ne!(Value::from("a"), Value::from("b"));
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(f64::NAN))
+        );
+        assert_eq!(hash_of(&Value::from("x")), hash_of(&Value::from("x")));
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Value::Int(3).as_number(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_number(), Some(2.5));
+        assert_eq!(Value::from("x").as_number(), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total_on_mixed_types() {
+        use std::cmp::Ordering;
+        let vals = [
+            Value::from("a"),
+            Value::Int(0),
+            Value::Float(0.0),
+            Value::Bool(false),
+        ];
+        for a in &vals {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_untagged_round_trip() {
+        for v in [
+            Value::from("s"),
+            Value::Int(-4),
+            Value::Float(1.5),
+            Value::Bool(true),
+        ] {
+            let s = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::from("a").to_string(), "\"a\"");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the storage substrate: arbitrary mutation sequences
+//! must preserve every structural invariant, documents must round-trip,
+//! and the edit-distance bounds must hold.
+
+use grepair_graph::{
+    ged_lower_bound, graph_edit_distance, EdgeId, EditCosts, Graph, GraphDoc, NodeId, Value,
+};
+use proptest::prelude::*;
+
+/// A mutation in a random op sequence.
+#[derive(Clone, Debug)]
+enum Op {
+    AddNode(u8),
+    AddEdge(u8, u8, u8),
+    RemoveNode(u8),
+    RemoveEdge(u8),
+    RelabelNode(u8, u8),
+    RelabelEdge(u8, u8),
+    SetAttr(u8, u8, i64),
+    RemoveAttr(u8, u8),
+    Merge(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddNode),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, l)| Op::AddEdge(a, b, l)),
+        any::<u8>().prop_map(Op::RemoveNode),
+        any::<u8>().prop_map(Op::RemoveEdge),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, l)| Op::RelabelNode(n, l)),
+        (any::<u8>(), any::<u8>()).prop_map(|(e, l)| Op::RelabelEdge(e, l)),
+        (any::<u8>(), any::<u8>(), any::<i64>()).prop_map(|(n, k, v)| Op::SetAttr(n, k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, k)| Op::RemoveAttr(n, k)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Merge(a, b)),
+    ]
+}
+
+/// Apply ops best-effort: ids are taken modulo the live population, so
+/// every op targets a plausible element when one exists.
+fn apply_ops(ops: &[Op]) -> Graph {
+    let mut g = Graph::new();
+    let labels: Vec<_> = (0..4).map(|i| g.label(&format!("L{i}"))).collect();
+    let keys: Vec<_> = (0..3).map(|i| g.attr_key(&format!("k{i}"))).collect();
+    let pick_node = |g: &Graph, sel: u8| -> Option<NodeId> {
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        if nodes.is_empty() {
+            None
+        } else {
+            Some(nodes[sel as usize % nodes.len()])
+        }
+    };
+    let pick_edge = |g: &Graph, sel: u8| -> Option<EdgeId> {
+        let edges: Vec<EdgeId> = g.edges().collect();
+        if edges.is_empty() {
+            None
+        } else {
+            Some(edges[sel as usize % edges.len()])
+        }
+    };
+    for op in ops {
+        match op {
+            Op::AddNode(l) => {
+                g.add_node(labels[*l as usize % labels.len()]);
+            }
+            Op::AddEdge(a, b, l) => {
+                if let (Some(s), Some(d)) = (pick_node(&g, *a), pick_node(&g, *b)) {
+                    g.add_edge(s, d, labels[*l as usize % labels.len()]).unwrap();
+                }
+            }
+            Op::RemoveNode(n) => {
+                if let Some(n) = pick_node(&g, *n) {
+                    g.remove_node(n).unwrap();
+                }
+            }
+            Op::RemoveEdge(e) => {
+                if let Some(e) = pick_edge(&g, *e) {
+                    g.remove_edge(e).unwrap();
+                }
+            }
+            Op::RelabelNode(n, l) => {
+                if let Some(n) = pick_node(&g, *n) {
+                    g.set_node_label(n, labels[*l as usize % labels.len()]).unwrap();
+                }
+            }
+            Op::RelabelEdge(e, l) => {
+                if let Some(e) = pick_edge(&g, *e) {
+                    g.set_edge_label(e, labels[*l as usize % labels.len()]).unwrap();
+                }
+            }
+            Op::SetAttr(n, k, v) => {
+                if let Some(n) = pick_node(&g, *n) {
+                    g.set_attr(n, keys[*k as usize % keys.len()], Value::Int(*v % 8))
+                        .unwrap();
+                }
+            }
+            Op::RemoveAttr(n, k) => {
+                if let Some(n) = pick_node(&g, *n) {
+                    g.remove_attr(n, keys[*k as usize % keys.len()]).unwrap();
+                }
+            }
+            Op::Merge(a, b) => {
+                if let (Some(keep), Some(merged)) = (pick_node(&g, *a), pick_node(&g, *b)) {
+                    if keep != merged {
+                        g.merge_nodes(keep, merged, true).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline invariant: any op sequence leaves the graph
+    /// structurally sound (adjacency symmetry, index freshness,
+    /// signatures, counts — see `Graph::check_invariants`).
+    #[test]
+    fn mutation_sequences_preserve_invariants(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let g = apply_ops(&ops);
+        prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+    }
+
+    /// Documents round-trip: graph → doc → graph → doc is a fixpoint.
+    #[test]
+    fn doc_round_trip(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let g = apply_ops(&ops);
+        let doc = g.to_doc();
+        let g2 = Graph::from_doc(&doc).unwrap();
+        prop_assert_eq!(g2.to_doc(), doc.clone());
+        // And through JSON.
+        let doc3 = GraphDoc::from_json(&doc.to_json()).unwrap();
+        prop_assert_eq!(doc3, doc);
+    }
+
+    /// Node/edge counts agree with iterator lengths after any history.
+    #[test]
+    fn counts_agree_with_iterators(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let g = apply_ops(&ops);
+        prop_assert_eq!(g.nodes().count(), g.num_nodes());
+        prop_assert_eq!(g.edges().count(), g.num_edges());
+        let degree_sum: usize = g.nodes().map(|n| g.degree(n)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// GED properties on small graphs: identity is 0, symmetry under unit
+    /// costs, and the label lower bound is sound.
+    #[test]
+    fn ged_properties(
+        ops_a in prop::collection::vec(op_strategy(), 0..14),
+        ops_b in prop::collection::vec(op_strategy(), 0..14),
+    ) {
+        let a = apply_ops(&ops_a);
+        let b = apply_ops(&ops_b);
+        prop_assume!(a.num_nodes() <= 5 && b.num_nodes() <= 5);
+        let costs = EditCosts::unit();
+        let d_aa = graph_edit_distance(&a, &a, &costs, 6).unwrap();
+        prop_assert_eq!(d_aa, 0.0);
+        let d_ab = graph_edit_distance(&a, &b, &costs, 6).unwrap();
+        let d_ba = graph_edit_distance(&b, &a, &costs, 6).unwrap();
+        prop_assert!((d_ab - d_ba).abs() < 1e-9, "asymmetric: {d_ab} vs {d_ba}");
+        let lb = ged_lower_bound(&a, &b, &costs);
+        prop_assert!(lb <= d_ab + 1e-9, "lb {lb} > exact {d_ab}");
+    }
+
+    /// The attribute value index agrees with a full scan.
+    #[test]
+    fn attr_index_agrees_with_scan(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let g = apply_ops(&ops);
+        let Some(key) = g.try_attr_key("k0") else { return Ok(()); };
+        for v in 0..8i64 {
+            for sign in [1i64, -1] {
+                let val = Value::Int(v * sign);
+                let mut indexed = g.nodes_with_attr(key, &val);
+                indexed.sort_unstable();
+                let mut scanned: Vec<_> = g
+                    .nodes()
+                    .filter(|&n| g.attr(n, key) == Some(&val))
+                    .collect();
+                scanned.sort_unstable();
+                prop_assert_eq!(indexed, scanned);
+            }
+        }
+    }
+}

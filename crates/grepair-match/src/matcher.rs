@@ -1,0 +1,1067 @@
+//! Subgraph-isomorphism matching of [`Pattern`]s over a [`Graph`].
+//!
+//! The matcher is a VF2-style backtracking search with the optimizations
+//! that carry the paper's "efficient" claim, each independently switchable
+//! via [`MatchConfig`] for the F5 ablation:
+//!
+//! - **label-index candidates** — initial candidates come from the graph's
+//!   per-label node index instead of a full node scan;
+//! - **connected join order** — pattern variables are ordered by estimated
+//!   candidate count, preferring variables adjacent to the matched prefix,
+//!   so extension candidates come from adjacency lists;
+//! - **degree filter** — a candidate needs at least the pattern node's
+//!   positive in/out degree;
+//! - **signature filter** — the 64-bit neighbor-label signature
+//!   ([`grepair_graph::sig_bit`]) must cover the pattern node's required
+//!   bits (a Bloom-style necessary condition).
+//!
+//! Negative edges and attribute constraints are verified as early as their
+//! variables are bound. Matches are injective. [`Matcher::find_touching`]
+//! is the delta-driven entry point used by the incremental repair engine:
+//! it enumerates exactly the matches whose image intersects a given node
+//! set, without duplicates.
+
+use crate::pattern::{CmpOp, Constraint, Pattern, Rhs};
+use grepair_graph::{sig_bit, AttrKeyId, Direction, EdgeId, Graph, LabelId, NodeId, Value};
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Matcher feature toggles (all on by default; `naive()` turns all off).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MatchConfig {
+    /// Use the per-label node index for initial candidates.
+    pub use_label_index: bool,
+    /// Use neighbor-label signatures for candidate pruning.
+    pub use_signature: bool,
+    /// Use in/out degree lower bounds for candidate pruning.
+    pub use_degree_filter: bool,
+    /// Order the join by selectivity and connectivity (off = declaration
+    /// order, candidates by scan).
+    pub connected_order: bool,
+    /// Use the graph's (key, value) index to anchor equality joins
+    /// (`x.k == y.k2` with one side bound) — turns pairwise dedup patterns
+    /// from O(|V|²) into O(|V|·bucket).
+    pub use_attr_index: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            use_label_index: true,
+            use_signature: true,
+            use_degree_filter: true,
+            connected_order: true,
+            use_attr_index: true,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// All optimizations disabled — the naive baseline engine.
+    pub fn naive() -> Self {
+        Self {
+            use_label_index: false,
+            use_signature: false,
+            use_degree_filter: false,
+            connected_order: false,
+            use_attr_index: false,
+        }
+    }
+}
+
+/// One match: an injective assignment of pattern variables to nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Matched node per pattern variable (indexed by `Var::index()`).
+    pub nodes: Vec<NodeId>,
+    /// Witness edge per positive pattern edge (first found).
+    pub edges: Vec<EdgeId>,
+}
+
+/// Node-set of elements touched by recent mutations; anchors incremental
+/// re-matching.
+pub type TouchSet = FxHashSet<NodeId>;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LabelReq {
+    Any,
+    /// Required label is not interned in this graph: unmatchable.
+    Unsatisfiable,
+    Is(LabelId),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum KeyReq {
+    /// Key not interned in this graph: attribute is absent everywhere.
+    Unknown,
+    Is(AttrKeyId),
+}
+
+#[derive(Clone, Debug)]
+enum CRhs {
+    Const(Value),
+    Attr(usize, KeyReq),
+}
+
+#[derive(Clone, Debug)]
+enum CC {
+    HasAttr(usize, KeyReq),
+    MissingAttr(usize, KeyReq),
+    Cmp {
+        var: usize,
+        key: KeyReq,
+        op: CmpOp,
+        rhs: CRhs,
+    },
+    /// `Some(None)` would be meaningless; label resolved or constraint is
+    /// trivially true (dropped at compile).
+    NoOutEdge(usize, Option<LabelId>),
+    NoInEdge(usize, Option<LabelId>),
+}
+
+impl CC {
+    fn vars(&self) -> Vec<usize> {
+        match self {
+            CC::HasAttr(v, _)
+            | CC::MissingAttr(v, _)
+            | CC::NoOutEdge(v, _)
+            | CC::NoInEdge(v, _) => vec![*v],
+            CC::Cmp { var, rhs, .. } => match rhs {
+                CRhs::Const(_) => vec![*var],
+                CRhs::Attr(o, _) => vec![*var, *o],
+            },
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CEdge {
+    src: usize,
+    dst: usize,
+    label: LabelReq,
+}
+
+/// A pattern compiled against a specific graph's interners + an execution
+/// plan. Rebuilt whenever the graph's label vocabulary could have changed
+/// (cheap: proportional to pattern size).
+struct Compiled {
+    labels: Vec<LabelReq>,
+    edges: Vec<CEdge>,
+    neg_edges: Vec<CEdge>,
+    constraints: Vec<CC>,
+    /// Variable order of the search.
+    plan: Vec<usize>,
+    /// plan position of each var.
+    pos: Vec<usize>,
+    /// Required signature bits per var (from positive incident edges with
+    /// fully known labels).
+    req_sig: Vec<u64>,
+    min_out: Vec<usize>,
+    min_in: Vec<usize>,
+    /// For each plan step: positive pattern-edge indices whose second
+    /// endpoint is bound at this step.
+    edge_checks: Vec<Vec<usize>>,
+    /// For each plan step: negative pattern-edge indices ready at this step.
+    neg_checks: Vec<Vec<usize>>,
+    /// For each plan step: constraint indices ready at this step.
+    con_checks: Vec<Vec<usize>>,
+    /// Vars that must bind inside the touch set (incremental mode).
+    anchor_var: Option<usize>,
+    /// Vars that must bind OUTSIDE the touch set (dedup in incremental
+    /// mode): all vars with index < anchor var.
+    forbid_touched: Vec<bool>,
+}
+
+/// Pattern matcher over a single graph.
+pub struct Matcher<'g> {
+    g: &'g Graph,
+    cfg: MatchConfig,
+}
+
+impl<'g> Matcher<'g> {
+    /// Matcher with default (fully optimized) configuration.
+    pub fn new(g: &'g Graph) -> Self {
+        Self {
+            g,
+            cfg: MatchConfig::default(),
+        }
+    }
+
+    /// Matcher with explicit configuration.
+    pub fn with_config(g: &'g Graph, cfg: MatchConfig) -> Self {
+        Self { g, cfg }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// All matches of `pattern`.
+    pub fn find_all(&self, pattern: &Pattern) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.for_each(pattern, |m| {
+            out.push(m);
+            true
+        });
+        out
+    }
+
+    /// Up to `limit` matches.
+    pub fn find_limited(&self, pattern: &Pattern, limit: usize) -> Vec<Match> {
+        let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
+        self.for_each(pattern, |m| {
+            out.push(m);
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Whether at least one match exists.
+    pub fn exists(&self, pattern: &Pattern) -> bool {
+        !self.find_limited(pattern, 1).is_empty()
+    }
+
+    /// Number of matches.
+    pub fn count(&self, pattern: &Pattern) -> usize {
+        let mut n = 0usize;
+        self.for_each(pattern, |_| {
+            n += 1;
+            true
+        });
+        n
+    }
+
+    /// Enumerate matches, stopping when `f` returns `false`.
+    pub fn for_each(&self, pattern: &Pattern, mut f: impl FnMut(Match) -> bool) {
+        debug_assert!(pattern.validate().is_ok());
+        let Some(comp) = self.compile(pattern, None, &FxHashSet::default()) else {
+            return;
+        };
+        self.run(&comp, &mut f, &FxHashSet::default());
+    }
+
+    /// Enumerate matches whose image intersects `touched`, without
+    /// duplicates across anchor choices. Sound for mutation deltas where
+    /// every affected node (endpoints of added/removed/relabelled edges,
+    /// relabelled nodes, attr-changed nodes, merge survivors) is in
+    /// `touched`.
+    pub fn find_touching(&self, pattern: &Pattern, touched: &TouchSet) -> Vec<Match> {
+        debug_assert!(pattern.validate().is_ok());
+        let mut out = Vec::new();
+        if touched.is_empty() {
+            return out;
+        }
+        for anchor in 0..pattern.num_vars() {
+            let Some(comp) = self.compile(pattern, Some(anchor), touched) else {
+                continue;
+            };
+            self.run(
+                &comp,
+                &mut |m| {
+                    out.push(m);
+                    true
+                },
+                touched,
+            );
+        }
+        out
+    }
+
+    // ---- compilation -----------------------------------------------------
+
+    fn compile(
+        &self,
+        pattern: &Pattern,
+        anchor_var: Option<usize>,
+        touched: &TouchSet,
+    ) -> Option<Compiled> {
+        let g = self.g;
+        let n = pattern.num_vars();
+        let labels: Vec<LabelReq> = pattern
+            .nodes
+            .iter()
+            .map(|pn| match &pn.label {
+                None => LabelReq::Any,
+                Some(name) => match g.try_label(name) {
+                    Some(id) => LabelReq::Is(id),
+                    None => LabelReq::Unsatisfiable,
+                },
+            })
+            .collect();
+        if labels.contains(&LabelReq::Unsatisfiable) {
+            return None;
+        }
+        let resolve_edge = |e: &crate::pattern::PatternEdge| CEdge {
+            src: e.src.index(),
+            dst: e.dst.index(),
+            label: match &e.label {
+                None => LabelReq::Any,
+                Some(name) => match g.try_label(name) {
+                    Some(id) => LabelReq::Is(id),
+                    None => LabelReq::Unsatisfiable,
+                },
+            },
+        };
+        let edges: Vec<CEdge> = pattern.edges.iter().map(resolve_edge).collect();
+        // A positive edge with an unknown label can never match.
+        if edges.iter().any(|e| e.label == LabelReq::Unsatisfiable) {
+            return None;
+        }
+        // A negative edge with an unknown label is trivially satisfied.
+        let neg_edges: Vec<CEdge> = pattern
+            .neg_edges
+            .iter()
+            .map(resolve_edge)
+            .filter(|e| e.label != LabelReq::Unsatisfiable)
+            .collect();
+        let resolve_key = |k: &str| match g.try_attr_key(k) {
+            Some(id) => KeyReq::Is(id),
+            None => KeyReq::Unknown,
+        };
+        let constraints: Vec<CC> = pattern
+            .constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::HasAttr(v, k) => Some(CC::HasAttr(v.index(), resolve_key(k))),
+                Constraint::MissingAttr(v, k) => {
+                    Some(CC::MissingAttr(v.index(), resolve_key(k)))
+                }
+                Constraint::Cmp { var, key, op, rhs } => Some(CC::Cmp {
+                    var: var.index(),
+                    key: resolve_key(key),
+                    op: *op,
+                    rhs: match rhs {
+                        Rhs::Const(v) => CRhs::Const(v.clone()),
+                        Rhs::Attr(o, k2) => CRhs::Attr(o.index(), resolve_key(k2)),
+                    },
+                }),
+                // An unknown edge label cannot occur on any edge: the
+                // no-edge condition is trivially true — drop it.
+                Constraint::NoOutEdge(v, l) => match l {
+                    None => Some(CC::NoOutEdge(v.index(), None)),
+                    Some(name) => g.try_label(name).map(|id| CC::NoOutEdge(v.index(), Some(id))),
+                },
+                Constraint::NoInEdge(v, l) => match l {
+                    None => Some(CC::NoInEdge(v.index(), None)),
+                    Some(name) => g.try_label(name).map(|id| CC::NoInEdge(v.index(), Some(id))),
+                },
+            })
+            .collect();
+
+        // Degree lower bounds and required signature bits. Pattern edges
+        // have "exists" semantics, so duplicates (and any-label edges
+        // beside labelled ones on the same variable pair) can share one
+        // witness edge — only distinct obligations count toward degree.
+        let mut min_out = vec![0usize; n];
+        let mut min_in = vec![0usize; n];
+        {
+            let mut labeled: FxHashSet<(usize, usize, u32)> = FxHashSet::default();
+            let mut pair_has_labeled: FxHashSet<(usize, usize)> = FxHashSet::default();
+            let mut any_pairs: FxHashSet<(usize, usize)> = FxHashSet::default();
+            for e in &edges {
+                match e.label {
+                    LabelReq::Is(l) => {
+                        if labeled.insert((e.src, e.dst, l.0)) {
+                            min_out[e.src] += 1;
+                            min_in[e.dst] += 1;
+                        }
+                        pair_has_labeled.insert((e.src, e.dst));
+                    }
+                    _ => {
+                        any_pairs.insert((e.src, e.dst));
+                    }
+                }
+            }
+            for (s, d) in any_pairs {
+                if !pair_has_labeled.contains(&(s, d)) {
+                    min_out[s] += 1;
+                    min_in[d] += 1;
+                }
+            }
+        }
+        let mut req_sig = vec![0u64; n];
+        for e in &edges {
+            if let LabelReq::Is(el) = e.label {
+                if let LabelReq::Is(nl) = labels[e.dst] {
+                    req_sig[e.src] |= sig_bit(Direction::Out, el, nl);
+                }
+                if let LabelReq::Is(nl) = labels[e.src] {
+                    req_sig[e.dst] |= sig_bit(Direction::In, el, nl);
+                }
+            }
+        }
+
+        // Plan: candidate-count estimates.
+        let estimate = |v: usize| -> usize {
+            let base = match labels[v] {
+                LabelReq::Any => g.num_nodes(),
+                LabelReq::Is(l) => g.count_nodes_with_label(l),
+                LabelReq::Unsatisfiable => 0,
+            };
+            if anchor_var == Some(v) {
+                base.min(touched.len())
+            } else {
+                base
+            }
+        };
+        let mut plan: Vec<usize> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        if let Some(a) = anchor_var {
+            plan.push(a);
+            placed[a] = true;
+        }
+        let mut adj = vec![Vec::new(); n];
+        for e in &edges {
+            adj[e.src].push(e.dst);
+            adj[e.dst].push(e.src);
+        }
+        while plan.len() < n {
+            let connected = |v: usize| adj[v].iter().any(|&u| placed[u]);
+            let mut best: Option<usize> = None;
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                if placed[v] {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) if !self.cfg.connected_order => {
+                        // Declaration order in naive mode.
+                        let _ = b;
+                        false
+                    }
+                    Some(b) if plan.is_empty() => estimate(v) < estimate(b),
+                    Some(b) => {
+                        let (cv, cb) = (connected(v), connected(b));
+                        cv & !cb || (cv == cb && estimate(v) < estimate(b))
+                    }
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            let v = best.expect("some unplaced var remains");
+            plan.push(v);
+            placed[v] = true;
+        }
+        let mut pos = vec![0usize; n];
+        for (i, &v) in plan.iter().enumerate() {
+            pos[v] = i;
+        }
+
+        // Readiness schedules.
+        let mut edge_checks = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            let step = pos[e.src].max(pos[e.dst]);
+            edge_checks[step].push(i);
+        }
+        let mut neg_checks = vec![Vec::new(); n];
+        for (i, e) in neg_edges.iter().enumerate() {
+            let step = pos[e.src].max(pos[e.dst]);
+            neg_checks[step].push(i);
+        }
+        let mut con_checks = vec![Vec::new(); n];
+        for (i, c) in constraints.iter().enumerate() {
+            let step = c.vars().into_iter().map(|v| pos[v]).max().unwrap_or(0);
+            con_checks[step].push(i);
+        }
+
+        let mut forbid_touched = vec![false; n];
+        if let Some(a) = anchor_var {
+            for (v, f) in forbid_touched.iter_mut().enumerate() {
+                *f = v < a;
+            }
+        }
+
+        Some(Compiled {
+            labels,
+            edges,
+            neg_edges,
+            constraints,
+            plan,
+            pos,
+            req_sig,
+            min_out,
+            min_in,
+            edge_checks,
+            neg_checks,
+            con_checks,
+            anchor_var,
+            forbid_touched,
+        })
+    }
+
+    // ---- search ------------------------------------------------------------
+
+    fn run(&self, comp: &Compiled, emit: &mut dyn FnMut(Match) -> bool, touched: &TouchSet) {
+        let n = comp.plan.len();
+        let mut st = SearchState {
+            assignment: vec![NodeId(u32::MAX); n],
+            used: FxHashSet::default(),
+            witness: vec![EdgeId(u32::MAX); comp.edges.len()],
+            stopped: false,
+        };
+        self.step(comp, &mut st, 0, emit, touched);
+    }
+
+    fn step(
+        &self,
+        comp: &Compiled,
+        st: &mut SearchState,
+        depth: usize,
+        emit: &mut dyn FnMut(Match) -> bool,
+        touched: &TouchSet,
+    ) {
+        if st.stopped {
+            return;
+        }
+        if depth == comp.plan.len() {
+            let m = Match {
+                nodes: st.assignment.clone(),
+                edges: st.witness.clone(),
+            };
+            if !emit(m) {
+                st.stopped = true;
+            }
+            return;
+        }
+        let v = comp.plan[depth];
+        let candidates = self.candidates(comp, st, depth, touched);
+        for cand in candidates {
+            if st.stopped {
+                return;
+            }
+            if !self.accept(comp, st, depth, v, cand, touched) {
+                continue;
+            }
+            st.assignment[v] = cand;
+            st.used.insert(cand);
+            self.step(comp, st, depth + 1, emit, touched);
+            st.used.remove(&cand);
+            st.assignment[v] = NodeId(u32::MAX);
+        }
+    }
+
+    /// Candidate nodes for the variable at plan position `depth`.
+    fn candidates(
+        &self,
+        comp: &Compiled,
+        st: &SearchState,
+        depth: usize,
+        touched: &TouchSet,
+    ) -> Vec<NodeId> {
+        let g = self.g;
+        let v = comp.plan[depth];
+
+        // Incremental anchor: candidates restricted to the touch set.
+        if comp.anchor_var == Some(v) {
+            let mut c: Vec<NodeId> = touched
+                .iter()
+                .copied()
+                .filter(|&n| g.contains_node(n))
+                .collect();
+            c.sort_unstable();
+            return c;
+        }
+
+        // Prefer extending along a positive edge from a bound neighbor:
+        // candidates come from an adjacency list instead of an index scan.
+        if self.cfg.connected_order {
+            let mut best: Option<Vec<NodeId>> = None;
+            for e in &comp.edges {
+                let (anchor, dir) = if e.src == v && comp.pos[e.dst] < depth {
+                    (e.dst, Direction::In) // v --e--> bound: walk bound's in-edges
+                } else if e.dst == v && comp.pos[e.src] < depth {
+                    (e.src, Direction::Out)
+                } else {
+                    continue;
+                };
+                let anchor_node = st.assignment[anchor];
+                let edges: Vec<EdgeId> = match dir {
+                    Direction::Out => g.out_edges(anchor_node).collect(),
+                    Direction::In => g.in_edges(anchor_node).collect(),
+                };
+                let mut cands: Vec<NodeId> = edges
+                    .into_iter()
+                    .filter_map(|eid| {
+                        let er = g.edge(eid).ok()?;
+                        if let LabelReq::Is(l) = e.label {
+                            if er.label != l {
+                                return None;
+                            }
+                        }
+                        Some(match dir {
+                            Direction::Out => er.dst,
+                            Direction::In => er.src,
+                        })
+                    })
+                    .collect();
+                cands.sort_unstable();
+                cands.dedup();
+                if best.as_ref().map(|b| cands.len() < b.len()).unwrap_or(true) {
+                    best = Some(cands);
+                }
+            }
+            if let Some(c) = best {
+                return c;
+            }
+        }
+
+        // Equality-join anchor: `v.key == bound.key2` (either orientation)
+        // retrieves candidates from the value index.
+        if self.cfg.use_attr_index {
+            for c in &comp.constraints {
+                let CC::Cmp {
+                    var,
+                    key,
+                    op: CmpOp::Eq,
+                    rhs: CRhs::Attr(other, other_key),
+                } = c
+                else {
+                    continue;
+                };
+                let (anchor_var, anchor_key, cand_key) = if *var == v && comp.pos[*other] < depth
+                {
+                    (*other, *other_key, *key)
+                } else if *other == v && comp.pos[*var] < depth {
+                    (*var, *key, *other_key)
+                } else {
+                    continue;
+                };
+                let KeyReq::Is(ck) = cand_key else {
+                    return Vec::new(); // key unknown: constraint unsatisfiable
+                };
+                let value = match anchor_key {
+                    KeyReq::Is(ak) => g.attr(st.assignment[anchor_var], ak),
+                    KeyReq::Unknown => None,
+                };
+                let Some(value) = value else {
+                    return Vec::new(); // absent lhs/rhs: constraint false
+                };
+                let mut cands = g.nodes_with_attr(ck, value);
+                cands.sort_unstable();
+                return cands;
+            }
+        }
+
+        // Fall back to label index or full scan.
+        match (self.cfg.use_label_index, comp.labels[v]) {
+            (true, LabelReq::Is(l)) => {
+                let mut c = g.nodes_with_label(l).to_vec();
+                c.sort_unstable();
+                c
+            }
+            _ => g.nodes().collect(),
+        }
+    }
+
+    /// Full acceptance check for binding `v → cand` at plan position `depth`.
+    fn accept(
+        &self,
+        comp: &Compiled,
+        st: &mut SearchState,
+        depth: usize,
+        v: usize,
+        cand: NodeId,
+        touched: &TouchSet,
+    ) -> bool {
+        let g = self.g;
+        if st.used.contains(&cand) {
+            return false;
+        }
+        if comp.anchor_var.is_some() && comp.forbid_touched[v] && touched.contains(&cand) {
+            return false;
+        }
+        if let LabelReq::Is(l) = comp.labels[v] {
+            if g.node_label(cand) != Ok(l) {
+                return false;
+            }
+        } else if !g.contains_node(cand) {
+            return false;
+        }
+        if self.cfg.use_degree_filter
+            && (g.out_degree(cand) < comp.min_out[v] || g.in_degree(cand) < comp.min_in[v])
+        {
+            return false;
+        }
+        if self.cfg.use_signature {
+            let req = comp.req_sig[v];
+            if g.signature(cand) & req != req {
+                return false;
+            }
+        }
+        // Positive edges whose both endpoints are now bound.
+        for &ei in &comp.edge_checks[depth] {
+            let e = &comp.edges[ei];
+            let s = if e.src == v { cand } else { st.assignment[e.src] };
+            let d = if e.dst == v { cand } else { st.assignment[e.dst] };
+            let found = match e.label {
+                LabelReq::Is(l) => g.find_edge(s, d, l),
+                LabelReq::Any => g.edges_between(s, d).next(),
+                LabelReq::Unsatisfiable => None,
+            };
+            match found {
+                Some(eid) => st.witness[ei] = eid,
+                None => return false,
+            }
+        }
+        // Negative edges ready at this step.
+        for &ni in &comp.neg_checks[depth] {
+            let e = &comp.neg_edges[ni];
+            let s = if e.src == v { cand } else { st.assignment[e.src] };
+            let d = if e.dst == v { cand } else { st.assignment[e.dst] };
+            let exists = match e.label {
+                LabelReq::Is(l) => g.has_edge_labeled(s, d, l),
+                LabelReq::Any => g.edges_between(s, d).next().is_some(),
+                LabelReq::Unsatisfiable => false,
+            };
+            if exists {
+                return false;
+            }
+        }
+        // Constraints ready at this step.
+        for &ci in &comp.con_checks[depth] {
+            if !self.eval_constraint(&comp.constraints[ci], st, v, cand) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn eval_constraint(&self, c: &CC, st: &SearchState, v: usize, cand: NodeId) -> bool {
+        let g = self.g;
+        let node_of = |var: usize| if var == v { cand } else { st.assignment[var] };
+        let attr_of = |var: usize, key: KeyReq| -> Option<&Value> {
+            match key {
+                KeyReq::Unknown => None,
+                KeyReq::Is(k) => g.attr(node_of(var), k),
+            }
+        };
+        match c {
+            CC::HasAttr(var, key) => attr_of(*var, *key).is_some(),
+            CC::MissingAttr(var, key) => attr_of(*var, *key).is_none(),
+            CC::NoOutEdge(var, label) => !g
+                .out_edges(node_of(*var))
+                .any(|e| label.is_none() || g.edge(e).map(|er| Some(er.label) == *label).unwrap_or(false)),
+            CC::NoInEdge(var, label) => !g
+                .in_edges(node_of(*var))
+                .any(|e| label.is_none() || g.edge(e).map(|er| Some(er.label) == *label).unwrap_or(false)),
+            CC::Cmp { var, key, op, rhs } => {
+                let Some(lhs) = attr_of(*var, *key) else {
+                    return false;
+                };
+                match rhs {
+                    CRhs::Const(val) => op.eval(lhs, val),
+                    CRhs::Attr(o, k2) => match attr_of(*o, *k2) {
+                        Some(r) => op.eval(lhs, r),
+                        None => false,
+                    },
+                }
+            }
+        }
+    }
+}
+
+struct SearchState {
+    assignment: Vec<NodeId>,
+    used: FxHashSet<NodeId>,
+    witness: Vec<EdgeId>,
+    stopped: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+
+    fn kg() -> Graph {
+        // Two persons in one city, one person in another; one edge-less org.
+        let mut g = Graph::new();
+        let p = g.label("Person");
+        let c = g.label("City");
+        let o = g.label("Org");
+        let lives = g.label("livesIn");
+        let knows = g.label("knows");
+        let a = g.add_node(p);
+        let b = g.add_node(p);
+        let d = g.add_node(p);
+        let c1 = g.add_node(c);
+        let c2 = g.add_node(c);
+        g.add_node(o);
+        g.add_edge(a, c1, lives).unwrap();
+        g.add_edge(b, c1, lives).unwrap();
+        g.add_edge(d, c2, lives).unwrap();
+        g.add_edge(a, b, knows).unwrap();
+        g
+    }
+
+    fn lives_pattern() -> Pattern {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let c = b.node("c", Some("City"));
+        b.edge(x, c, "livesIn");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn finds_all_simple_matches() {
+        let g = kg();
+        let m = Matcher::new(&g);
+        let found = m.find_all(&lives_pattern());
+        assert_eq!(found.len(), 3);
+        // Witness edges recorded.
+        for mt in &found {
+            let er = g.edge(mt.edges[0]).unwrap();
+            assert_eq!(er.src, mt.nodes[0]);
+            assert_eq!(er.dst, mt.nodes[1]);
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_agree() {
+        let g = kg();
+        let opt = Matcher::new(&g).find_all(&lives_pattern());
+        let naive = Matcher::with_config(&g, MatchConfig::naive()).find_all(&lives_pattern());
+        let key = |ms: &[Match]| {
+            let mut v: Vec<Vec<NodeId>> = ms.iter().map(|m| m.nodes.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&opt), key(&naive));
+    }
+
+    #[test]
+    fn injectivity_enforced() {
+        let g = kg();
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", Some("Person"));
+        let c = b.node("c", Some("City"));
+        b.edge(x, c, "livesIn");
+        b.edge(y, c, "livesIn");
+        let p = b.build().unwrap();
+        let found = Matcher::new(&g).find_all(&p);
+        // Only city c1 hosts two persons: (a,b) and (b,a).
+        assert_eq!(found.len(), 2);
+        for m in &found {
+            assert_ne!(m.nodes[0], m.nodes[1]);
+        }
+    }
+
+    #[test]
+    fn negative_edge_filters() {
+        let g = kg();
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", Some("Person"));
+        let c = b.node("c", Some("City"));
+        b.edge(x, c, "livesIn");
+        b.edge(y, c, "livesIn");
+        b.neg_edge(x, y, "knows");
+        let p = b.build().unwrap();
+        let found = Matcher::new(&g).find_all(&p);
+        // (a,b) killed by knows; (b,a) survives (knows is directed).
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn unknown_labels_mean_no_or_trivial_matches() {
+        let g = kg();
+        // Unknown node label → no matches.
+        let mut b = Pattern::builder();
+        b.node("x", Some("Ghost"));
+        assert!(Matcher::new(&g).find_all(&b.build().unwrap()).is_empty());
+        // Unknown negative edge label → trivially satisfied.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", Some("Person"));
+        b.neg_edge(x, y, "ghostRel");
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 6); // 3P2 ordered pairs
+    }
+
+    #[test]
+    fn attribute_constraints() {
+        let mut g = kg();
+        let age = g.attr_key("age");
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        g.set_attr(nodes[0], age, Value::Int(30)).unwrap();
+        g.set_attr(nodes[1], age, Value::Int(30)).unwrap();
+        g.set_attr(nodes[2], age, Value::Int(40)).unwrap();
+
+        // Same-age distinct persons.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", Some("Person"));
+        b.attr_eq_var(x, "age", y, "age");
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 2); // (a,b),(b,a)
+
+        // Missing attribute.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        b.missing_attr(x, "age");
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 0);
+
+        // Constant comparison.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        b.attr_eq(x, "age", 40i64);
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 1);
+    }
+
+    #[test]
+    fn cmp_on_absent_attr_is_false() {
+        let g = kg();
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        b.attr_eq(x, "nonexistent", 1i64);
+        let p = b.build().unwrap();
+        assert!(Matcher::new(&g).find_all(&p).is_empty());
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let r = g.label("r");
+        let a = g.add_node(p);
+        let b_ = g.add_node(p);
+        g.add_edge(a, a, r).unwrap();
+        g.add_edge(a, b_, r).unwrap();
+        let mut pb = Pattern::builder();
+        let x = pb.node("x", Some("P"));
+        pb.edge(x, x, "r");
+        let pat = pb.build().unwrap();
+        let found = Matcher::new(&g).find_all(&pat);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].nodes[0], a);
+    }
+
+    #[test]
+    fn find_limited_and_exists() {
+        let g = kg();
+        let p = lives_pattern();
+        let m = Matcher::new(&g);
+        assert_eq!(m.find_limited(&p, 2).len(), 2);
+        assert_eq!(m.find_limited(&p, 0).len(), 0);
+        assert!(m.exists(&p));
+        assert_eq!(m.count(&p), 3);
+    }
+
+    #[test]
+    fn find_touching_restricts_and_dedups() {
+        let g = kg();
+        let p = lives_pattern();
+        let all = Matcher::new(&g).find_all(&p);
+        // Touch everything → same match set, each exactly once.
+        let touched: TouchSet = g.nodes().collect();
+        let mut touching = Matcher::new(&g).find_touching(&p, &touched);
+        let mut allv: Vec<_> = all.iter().map(|m| m.nodes.clone()).collect();
+        let mut tv: Vec<_> = touching.iter().map(|m| m.nodes.clone()).collect();
+        allv.sort();
+        tv.sort();
+        assert_eq!(allv, tv);
+
+        // Touch only one city → only matches through it.
+        let c1 = all[0].nodes[1];
+        let single: TouchSet = [c1].into_iter().collect();
+        touching = Matcher::new(&g).find_touching(&p, &single);
+        assert!(touching.iter().all(|m| m.nodes.contains(&c1)));
+        let expected = all.iter().filter(|m| m.nodes.contains(&c1)).count();
+        assert_eq!(touching.len(), expected);
+    }
+
+    #[test]
+    fn attr_index_join_agrees_with_scan() {
+        // Pairwise dedup pattern: the value-index join must return exactly
+        // the scan results.
+        let mut g = Graph::new();
+        let ssn = g.attr_key("ssn");
+        let mut nodes = Vec::new();
+        for i in 0..20 {
+            let n = g.add_node_named("Person");
+            g.set_attr(n, ssn, Value::Int((i % 7) as i64)).unwrap();
+            nodes.push(n);
+        }
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", Some("Person"));
+        b.attr_eq_var(x, "ssn", y, "ssn");
+        let p = b.build().unwrap();
+
+        let with_index = Matcher::new(&g).find_all(&p);
+        let without = Matcher::with_config(
+            &g,
+            MatchConfig {
+                use_attr_index: false,
+                ..MatchConfig::default()
+            },
+        )
+        .find_all(&p);
+        let key = |ms: &[Match]| {
+            let mut v: Vec<Vec<NodeId>> = ms.iter().map(|m| m.nodes.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&with_index), key(&without));
+        assert!(!with_index.is_empty());
+    }
+
+    #[test]
+    fn no_out_edge_constraint() {
+        let mut g = Graph::new();
+        let a = g.add_node_named("City");
+        let b_ = g.add_node_named("City");
+        let k = g.add_node_named("Country");
+        g.add_edge_named(a, k, "inCountry").unwrap();
+        let mut pb = Pattern::builder();
+        let c = pb.node("c", Some("City"));
+        pb.no_out_edge(c, Some("inCountry"));
+        let p = pb.build().unwrap();
+        let found = Matcher::new(&g).find_all(&p);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].nodes[0], b_);
+
+        // Unknown label in a no-edge condition is trivially satisfied.
+        let mut pb = Pattern::builder();
+        let c = pb.node("c", Some("City"));
+        pb.no_out_edge(c, Some("ghostRel"));
+        let p = pb.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 2);
+
+        // No incoming edge of any label.
+        let mut pb = Pattern::builder();
+        let kk = pb.node("k", Some("Country"));
+        pb.no_in_edge(kk, None);
+        let p = pb.build().unwrap();
+        assert!(Matcher::new(&g).find_all(&p).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pattern_is_product() {
+        let g = kg();
+        let mut b = Pattern::builder();
+        b.node("x", Some("City"));
+        b.node("y", Some("Org"));
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 2); // 2 cities × 1 org
+    }
+
+    #[test]
+    fn edge_any_label() {
+        let g = kg();
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let y = b.node("y", None);
+        b.edge_any(x, y);
+        let p = b.build().unwrap();
+        assert_eq!(Matcher::new(&g).find_all(&p).len(), 4); // 3 lives + 1 knows
+    }
+}

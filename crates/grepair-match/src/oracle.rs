@@ -1,0 +1,175 @@
+//! Brute-force matching oracle.
+//!
+//! Enumerates *every* injective assignment of pattern variables to live
+//! nodes and checks all pattern requirements on complete assignments, with
+//! no pruning, no indexes, and no clever ordering. Exponential and only
+//! suitable for tiny graphs — its sole purpose is to serve as the ground
+//! truth the optimized [`crate::Matcher`] is property-tested against.
+
+use crate::pattern::{Constraint, Pattern, Rhs};
+use grepair_graph::{EdgeId, Graph, NodeId, Value};
+
+/// All matches of `pattern` in `g`, by exhaustive enumeration.
+///
+/// Matches are returned with the same witness-edge convention as the real
+/// matcher (first edge found between the matched endpoints).
+pub fn brute_force_matches(g: &Graph, pattern: &Pattern) -> Vec<crate::Match> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let k = pattern.num_vars();
+    let mut out = Vec::new();
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(k);
+    enumerate(g, pattern, &nodes, &mut assignment, &mut out);
+    out
+}
+
+fn enumerate(
+    g: &Graph,
+    pattern: &Pattern,
+    nodes: &[NodeId],
+    assignment: &mut Vec<NodeId>,
+    out: &mut Vec<crate::Match>,
+) {
+    if assignment.len() == pattern.num_vars() {
+        if let Some(witness) = check(g, pattern, assignment) {
+            out.push(crate::Match {
+                nodes: assignment.clone(),
+                edges: witness,
+            });
+        }
+        return;
+    }
+    for &n in nodes {
+        if assignment.contains(&n) {
+            continue; // injectivity
+        }
+        assignment.push(n);
+        enumerate(g, pattern, nodes, assignment, out);
+        assignment.pop();
+    }
+}
+
+/// Check a complete assignment; returns witness edges if it is a match.
+fn check(g: &Graph, pattern: &Pattern, m: &[NodeId]) -> Option<Vec<EdgeId>> {
+    for (i, pn) in pattern.nodes.iter().enumerate() {
+        if let Some(want) = &pn.label {
+            let have = g.label_name(g.node_label(m[i]).ok()?);
+            if have != want {
+                return None;
+            }
+        }
+    }
+    let mut witness = Vec::with_capacity(pattern.edges.len());
+    for e in &pattern.edges {
+        let s = m[e.src.index()];
+        let d = m[e.dst.index()];
+        let found = match &e.label {
+            Some(name) => {
+                let l = g.try_label(name)?;
+                g.find_edge(s, d, l)
+            }
+            None => g.edges_between(s, d).next(),
+        };
+        witness.push(found?);
+    }
+    for e in &pattern.neg_edges {
+        let s = m[e.src.index()];
+        let d = m[e.dst.index()];
+        let exists = match &e.label {
+            Some(name) => match g.try_label(name) {
+                Some(l) => g.has_edge_labeled(s, d, l),
+                None => false,
+            },
+            None => g.edges_between(s, d).next().is_some(),
+        };
+        if exists {
+            return None;
+        }
+    }
+    for c in &pattern.constraints {
+        if !eval_constraint(g, c, m) {
+            return None;
+        }
+    }
+    Some(witness)
+}
+
+fn eval_constraint(g: &Graph, c: &Constraint, m: &[NodeId]) -> bool {
+    let attr_of = |var: crate::Var, key: &str| -> Option<Value> {
+        let k = g.try_attr_key(key)?;
+        g.attr(m[var.index()], k).cloned()
+    };
+    let has_dir_edge = |var: &crate::Var, label: &Option<String>, out: bool| -> bool {
+        let n = m[var.index()];
+        let lid = label.as_ref().and_then(|name| g.try_label(name));
+        if label.is_some() && lid.is_none() {
+            return false; // unknown label occurs on no edge
+        }
+        let edges: Vec<_> = if out {
+            g.out_edges(n).collect()
+        } else {
+            g.in_edges(n).collect()
+        };
+        edges.into_iter().any(|e| match lid {
+            None => true,
+            Some(l) => g.edge(e).map(|er| er.label == l).unwrap_or(false),
+        })
+    };
+    match c {
+        Constraint::HasAttr(v, k) => attr_of(*v, k).is_some(),
+        Constraint::MissingAttr(v, k) => attr_of(*v, k).is_none(),
+        Constraint::NoOutEdge(v, l) => !has_dir_edge(v, l, true),
+        Constraint::NoInEdge(v, l) => !has_dir_edge(v, l, false),
+        Constraint::Cmp { var, key, op, rhs } => {
+            let Some(lhs) = attr_of(*var, key) else {
+                return false;
+            };
+            match rhs {
+                Rhs::Const(v) => op.eval(&lhs, v),
+                Rhs::Attr(o, k2) => match attr_of(*o, k2) {
+                    Some(r) => op.eval(&lhs, &r),
+                    None => false,
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matcher, Pattern};
+
+    #[test]
+    fn oracle_agrees_with_matcher_on_fixture() {
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let q = g.label("Q");
+        let r = g.label("r");
+        let a = g.add_node(p);
+        let b = g.add_node(p);
+        let c = g.add_node(q);
+        g.add_edge(a, b, r).unwrap();
+        g.add_edge(b, c, r).unwrap();
+        g.add_edge(a, c, r).unwrap();
+
+        let mut pb = Pattern::builder();
+        let x = pb.node("x", Some("P"));
+        let y = pb.node("y", None);
+        pb.edge(x, y, "r");
+        let pat = pb.build().unwrap();
+
+        let mut oracle: Vec<_> = brute_force_matches(&g, &pat)
+            .into_iter()
+            .map(|m| m.nodes)
+            .collect();
+        let mut real: Vec<_> = Matcher::new(&g)
+            .find_all(&pat)
+            .into_iter()
+            .map(|m| m.nodes)
+            .collect();
+        oracle.sort();
+        real.sort();
+        assert_eq!(oracle, real);
+        assert_eq!(oracle.len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Key mining: label/attribute pairs whose values uniquely identify
+//! nodes become merge-based deduplication rules.
+//!
+//! An attribute `k` is a key for label `L` when (a) most `L`-nodes carry
+//! it (coverage) and (b) its values are (near-)unique among them
+//! (uniqueness). Both thresholds reuse `min_confidence`. The emitted GRR
+//! is the classic entity-resolution rule: equal key ⇒ same entity ⇒
+//! merge.
+
+use crate::{MinedKind, MinedRule, MinerConfig};
+use grepair_core::{Action, Category, Grr};
+use grepair_graph::{AttrKeyId, Graph, LabelId, Value};
+use grepair_match::Pattern;
+use rustc_hash::FxHashMap;
+
+#[derive(Default)]
+struct KeyStats {
+    carriers: usize,
+    values: FxHashMap<Value, usize>,
+}
+
+/// Mine key-based deduplication rules.
+pub fn mine_key_rules(g: &Graph, cfg: &MinerConfig) -> Vec<MinedRule> {
+    let mut label_counts: FxHashMap<LabelId, usize> = FxHashMap::default();
+    let mut stats: FxHashMap<(LabelId, AttrKeyId), KeyStats> = FxHashMap::default();
+    for n in g.nodes() {
+        let l = g.node_label(n).unwrap();
+        *label_counts.entry(l).or_default() += 1;
+        for (k, v) in g.attrs(n) {
+            let st = stats.entry((l, *k)).or_default();
+            st.carriers += 1;
+            *st.values.entry(v.clone()).or_default() += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&(l, k), st) in &stats {
+        let label_total = label_counts[&l];
+        if label_total < cfg.min_support || st.carriers < cfg.min_support {
+            continue;
+        }
+        let coverage = st.carriers as f64 / label_total as f64;
+        if coverage < cfg.min_confidence {
+            continue;
+        }
+        let uniqueness = st.values.len() as f64 / st.carriers as f64;
+        if uniqueness < cfg.min_confidence {
+            continue;
+        }
+        let label_name = g.label_name(l);
+        let key_name = g.attr_key_name(k);
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some(label_name));
+        let y = b.node("y", Some(label_name));
+        b.attr_eq_var(x, key_name, y, key_name);
+        let pattern = b.build().expect("key pattern valid");
+        let rule = Grr::new(
+            format!("mined_key_{label_name}_{key_name}"),
+            Category::Redundancy,
+            pattern,
+            vec![Action::MergeNodes { keep: x, merged: y }],
+        )
+        .expect("key rule validates");
+        out.push(MinedRule {
+            rule,
+            support: st.carriers,
+            confidence: uniqueness,
+            kind: MinedKind::Key,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_attr(label: &str, key: &str, values: impl Iterator<Item = i64>) -> Graph {
+        let mut g = Graph::new();
+        let k = g.attr_key(key);
+        for v in values {
+            let n = g.add_node_named(label);
+            g.set_attr(n, k, Value::Int(v)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn unique_attr_is_a_key() {
+        let g = graph_with_attr("Person", "ssn", 0..50);
+        let cfg = MinerConfig {
+            min_support: 10,
+            min_confidence: 0.95,
+            ..MinerConfig::default()
+        };
+        let mined = mine_key_rules(&g, &cfg);
+        assert_eq!(mined.len(), 1);
+        assert_eq!(mined[0].rule.name, "mined_key_Person_ssn");
+        assert_eq!(mined[0].kind, MinedKind::Key);
+    }
+
+    #[test]
+    fn repeated_values_are_not_a_key() {
+        let g = graph_with_attr("Person", "age", (0..50).map(|i| i % 7));
+        let cfg = MinerConfig {
+            min_support: 10,
+            min_confidence: 0.95,
+            ..MinerConfig::default()
+        };
+        assert!(mine_key_rules(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn low_coverage_rejected() {
+        // Only 10 of 100 nodes carry the attribute.
+        let mut g = graph_with_attr("Person", "rare", 0..10);
+        for _ in 0..90 {
+            g.add_node_named("Person");
+        }
+        let cfg = MinerConfig {
+            min_support: 5,
+            min_confidence: 0.9,
+            ..MinerConfig::default()
+        };
+        assert!(mine_key_rules(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn near_unique_key_tolerates_duplicates() {
+        // 48 unique + one duplicated value (the dirt we want to find!).
+        let g = graph_with_attr("Person", "ssn", (0..50).map(|i| i.min(48)));
+        let cfg = MinerConfig {
+            min_support: 10,
+            min_confidence: 0.95,
+            ..MinerConfig::default()
+        };
+        let mined = mine_key_rules(&g, &cfg);
+        assert_eq!(mined.len(), 1);
+        assert!(mined[0].confidence < 1.0);
+    }
+}

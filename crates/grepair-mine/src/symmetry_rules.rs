@@ -1,0 +1,144 @@
+//! Symmetric-relation mining.
+//!
+//! A relation `r` between nodes of labels `(L₁, L₂)` is *symmetric* when
+//! almost every `x -r→ y` edge is reciprocated by `y -r→ x`. Symmetric
+//! relations yield the symmetrization GRR: insert the missing back edge.
+
+use crate::{MinedKind, MinedRule, MinerConfig};
+use grepair_core::{Action, Category, Grr, Target};
+use grepair_graph::{Graph, LabelId};
+use grepair_match::Pattern;
+use rustc_hash::FxHashMap;
+
+#[derive(Default, Debug)]
+struct SymStats {
+    edges: usize,
+    reciprocated: usize,
+}
+
+/// Mine symmetrization rules.
+pub fn mine_symmetry_rules(g: &Graph, cfg: &MinerConfig) -> Vec<MinedRule> {
+    // Grouped by (relation, src label, dst label); only label-symmetric
+    // groups can host a symmetric relation, but we count per directed
+    // signature and join mirrored groups at emission.
+    let mut stats: FxHashMap<(LabelId, LabelId, LabelId), SymStats> = FxHashMap::default();
+    for e in g.edges() {
+        let er = g.edge(e).unwrap();
+        if er.src == er.dst {
+            continue; // self-loops say nothing about symmetry
+        }
+        let key = (
+            er.label,
+            g.node_label(er.src).unwrap(),
+            g.node_label(er.dst).unwrap(),
+        );
+        let st = stats.entry(key).or_default();
+        st.edges += 1;
+        if g.has_edge_labeled(er.dst, er.src, er.label) {
+            st.reciprocated += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (&(rel, l1, l2), st) in &stats {
+        if l1 != l2 {
+            continue; // symmetric relations live within one label here
+        }
+        if st.edges < cfg.min_support {
+            continue;
+        }
+        let conf = st.reciprocated as f64 / st.edges as f64;
+        if conf < cfg.min_confidence {
+            continue;
+        }
+        let rel_name = g.label_name(rel);
+        let label_name = g.label_name(l1);
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some(label_name));
+        let y = b.node("y", Some(label_name));
+        b.edge(x, y, rel_name);
+        b.neg_edge(y, x, rel_name);
+        let pattern = b.build().expect("symmetry pattern valid");
+        let rule = Grr::new(
+            format!("mined_sym_{rel_name}_{label_name}"),
+            Category::Incompleteness,
+            pattern,
+            vec![Action::InsertEdge {
+                src: Target::Var(y),
+                dst: Target::Var(x),
+                label: rel_name.to_owned(),
+            }],
+        )
+        .expect("symmetry rule validates");
+        out.push(MinedRule {
+            rule,
+            support: st.reciprocated,
+            confidence: conf,
+            kind: MinedKind::Symmetry,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(pairs: usize, broken: usize, extra_directed: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..pairs {
+            let a = g.add_node_named("P");
+            let b = g.add_node_named("P");
+            g.add_edge_named(a, b, "marriedTo").unwrap();
+            if i >= broken {
+                g.add_edge_named(b, a, "marriedTo").unwrap();
+            }
+        }
+        // A clearly directed relation: follows.
+        for _ in 0..extra_directed {
+            let a = g.add_node_named("P");
+            let b = g.add_node_named("P");
+            g.add_edge_named(a, b, "follows").unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn symmetric_relation_mined_directed_not() {
+        let g = fixture(40, 2, 40);
+        let cfg = MinerConfig {
+            min_support: 10,
+            min_confidence: 0.9,
+            ..MinerConfig::default()
+        };
+        let mined = mine_symmetry_rules(&g, &cfg);
+        assert_eq!(mined.len(), 1, "{mined:?}");
+        assert!(mined[0].rule.name.contains("marriedTo"));
+        assert!(mined[0].confidence > 0.9);
+    }
+
+    #[test]
+    fn broken_symmetry_below_threshold_not_mined() {
+        let g = fixture(40, 20, 0);
+        let cfg = MinerConfig {
+            min_support: 10,
+            min_confidence: 0.9,
+            ..MinerConfig::default()
+        };
+        assert!(mine_symmetry_rules(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::new();
+        for _ in 0..30 {
+            let a = g.add_node_named("P");
+            g.add_edge_named(a, a, "r").unwrap();
+        }
+        let cfg = MinerConfig {
+            min_support: 5,
+            ..MinerConfig::default()
+        };
+        assert!(mine_symmetry_rules(&g, &cfg).is_empty());
+    }
+}

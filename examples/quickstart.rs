@@ -1,0 +1,74 @@
+//! Quickstart: define a graph, write three repairing rules, repair.
+//!
+//! ```text
+//! cargo run -p grepair-eval --example quickstart
+//! ```
+
+use grepair_core::{RepairEngine, RuleSet};
+use grepair_graph::{Graph, Value};
+
+fn main() {
+    // A tiny knowledge graph with one error of each class.
+    let mut g = Graph::new();
+    let ssn = g.attr_key("ssn");
+
+    // Ann lives in Oslo, Oslo is in Norway — but Ann's citizenship is
+    // missing (incompleteness).
+    let ann = g.add_node_named("Person");
+    g.set_attr(ann, ssn, Value::Int(1)).unwrap();
+    let oslo = g.add_node_named("City");
+    let norway = g.add_node_named("Country");
+    g.add_edge_named(ann, oslo, "livesIn").unwrap();
+    g.add_edge_named(oslo, norway, "inCountry").unwrap();
+
+    // Bob is married to himself (conflict).
+    let bob = g.add_node_named("Person");
+    g.set_attr(bob, ssn, Value::Int(2)).unwrap();
+    g.add_edge_named(bob, bob, "marriedTo").unwrap();
+
+    // Ann appears twice (redundancy).
+    let ann2 = g.add_node_named("Person");
+    g.set_attr(ann2, ssn, Value::Int(1)).unwrap();
+    g.add_edge_named(ann2, oslo, "livesIn").unwrap();
+
+    println!("before: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // Three Graph Repairing Rules, one per inconsistency class.
+    let rules = RuleSet::from_dsl(
+        "quickstart",
+        r#"
+        rule add_citizenship [incompleteness]
+        match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+        where not (x)-[citizenOf]->(k)
+        repair insert edge (x)-[citizenOf]->(k)
+
+        rule no_self_marriage [conflict]
+        match (x:Person)-[marriedTo]->(x)
+        repair delete edge (x)-[marriedTo]->(x)
+
+        rule dedup_person [redundancy]
+        match (x:Person), (y:Person)
+        where x.ssn == y.ssn
+        repair merge y into x
+        "#,
+    )
+    .expect("rules parse");
+
+    let report = RepairEngine::default().repair(&mut g, &rules.rules);
+
+    println!("after:  {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "repairs applied: {} (converged: {}, total edit cost {:.1})",
+        report.repairs_applied, report.converged, report.total_cost
+    );
+    for s in &report.per_rule {
+        println!(
+            "  {:<20} matches {:>2}  repairs {:>2}  cost {:>4.1}",
+            s.name, s.matches_found, s.repairs_applied, s.cost
+        );
+    }
+    for op in &report.ops {
+        println!("  op: {op:?}");
+    }
+    assert!(report.converged);
+}

@@ -1,0 +1,53 @@
+//! Serialization integration: graphs and rule sets survive JSON/text
+//! round trips across crates, and loaded artifacts behave identically.
+
+use grepair_core::{RepairEngine, RuleSet};
+use grepair_gen::{generate_kg, gold_kg_rules, inject_kg_noise, KgConfig, NoiseConfig};
+use grepair_graph::{Graph, GraphDoc};
+
+#[test]
+fn graph_json_round_trip_preserves_repair_behaviour() {
+    let (mut g, refs) = generate_kg(&KgConfig::with_persons(200));
+    inject_kg_noise(&mut g, &refs, &NoiseConfig::default());
+
+    let json = g.to_doc().to_json();
+    let doc = GraphDoc::from_json(&json).expect("parse");
+    let mut g2 = Graph::from_doc(&doc).expect("materialize");
+    g2.check_invariants().unwrap();
+
+    let rules = gold_kg_rules();
+    let engine = RepairEngine::default();
+    let v1 = engine.count_violations(&g, &rules.rules);
+    let v2 = engine.count_violations(&g2, &rules.rules);
+    assert_eq!(v1, v2, "violations must survive the round trip");
+
+    let r1 = engine.repair(&mut g, &rules.rules);
+    let r2 = engine.repair(&mut g2, &rules.rules);
+    assert_eq!(r1.converged, r2.converged);
+    assert_eq!(r1.repairs_applied, r2.repairs_applied);
+}
+
+#[test]
+fn graph_text_round_trip() {
+    let (g, _) = generate_kg(&KgConfig::with_persons(50));
+    let text = g.to_doc().to_text();
+    let doc = GraphDoc::from_text(&text).expect("parse text format");
+    let g2 = Graph::from_doc(&doc).expect("materialize");
+    assert_eq!(g.to_doc(), g2.to_doc());
+}
+
+#[test]
+fn rule_set_dsl_json_dsl_stability() {
+    let rules = gold_kg_rules();
+    let json1 = rules.to_json();
+    let rules2 = RuleSet::from_json(&json1).unwrap();
+    let json2 = rules2.to_json();
+    assert_eq!(json1, json2, "JSON serialization must be stable");
+}
+
+#[test]
+fn doc_is_deterministic_across_identical_histories() {
+    let (g1, _) = generate_kg(&KgConfig::with_persons(120));
+    let (g2, _) = generate_kg(&KgConfig::with_persons(120));
+    assert_eq!(g1.to_doc().to_json(), g2.to_doc().to_json());
+}
