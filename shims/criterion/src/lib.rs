@@ -1,0 +1,285 @@
+//! In-tree shim of `criterion`: the macro + builder API surface the
+//! workspace's benches use, measuring wall-clock time with `Instant`
+//! instead of criterion's statistical machinery. Each benchmark runs a
+//! short warm-up, then `sample_size` timed samples, and prints the
+//! median per-iteration time. Intended for relative comparisons (the
+//! speedup ratios the benches exist to demonstrate), not rigorous
+//! statistics.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(id, self.default_sample_size, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Run a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier; plain strings or `BenchmarkId::new` pairs.
+pub trait IntoBenchmarkId {
+    /// Render the identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Batch-size hint for `iter_batched` (the shim treats all variants the
+/// same: one setup per measured invocation).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Accumulated measured time across samples.
+    samples: Vec<Duration>,
+    /// Iterations per sample (tuned during warm-up).
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let iters = self.iters;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.samples.push(total / iters as u32);
+    }
+
+    /// Measure `routine` on fresh state from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let iters = self.iters;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.samples.push(measured / iters as u32);
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the state.
+    pub fn iter_batched_ref<I, R, S: FnMut() -> I, F: FnMut(&mut I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let iters = self.iters;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            measured += start.elapsed();
+        }
+        self.samples.push(measured / iters as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    // Warm-up pass: one iteration, which also calibrates how many
+    // iterations fit in a reasonable sample without starving fast
+    // benchmarks of resolution.
+    let mut warmup = Bencher {
+        samples: Vec::new(),
+        iters: 1,
+    };
+    f(&mut warmup);
+    let per_iter = warmup
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_micros(1))
+        .max(Duration::from_nanos(1));
+    // Aim for ~20ms per sample, capped to keep total runtime bounded.
+    let iters = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher
+        .samples
+        .get(bencher.samples.len() / 2)
+        .copied()
+        .unwrap_or(Duration::ZERO);
+    println!("  {label:<50} {:>12} /iter ({iters} iters x {sample_size} samples)", fmt_duration(median));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim-self-test");
+        group.sample_size(2);
+        group.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with-input", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default();
+        quick_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| 2 + 2));
+    }
+}

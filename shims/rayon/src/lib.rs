@@ -1,0 +1,325 @@
+//! In-tree shim of the `rayon` crate.
+//!
+//! Unlike real rayon's lazy work-stealing pipelines, this shim evaluates
+//! each adapter **eagerly**: every `map`/`filter`/`flat_map` call is one
+//! parallel pass over the items using `std::thread::scope`, chunked
+//! across the configured number of threads, with input order preserved.
+//! Terminal operations (`collect`, `sum`, `for_each`, …) then fold the
+//! already-computed values sequentially. Semantics match rayon for the
+//! deterministic, order-preserving subset this workspace uses; only the
+//! scheduling strategy differs.
+
+use std::cell::Cell;
+use std::thread;
+
+pub mod prelude {
+    //! Glob-import surface matching `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`];
+    /// `0` means "use available parallelism".
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads the next parallel pass will use.
+pub fn current_num_threads() -> usize {
+    let installed = POOL_THREADS.with(|c| c.get());
+    if installed > 0 {
+        installed
+    } else {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// One order-preserving parallel map pass over `items`.
+fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eagerly-evaluated parallel iterator: adapters run one parallel
+/// pass each and store the results.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync + Send>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_pass(self.items, f),
+        }
+    }
+
+    /// Parallel filter.
+    pub fn filter<F: Fn(&T) -> bool + Sync + Send>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: par_pass(self.items, |t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Parallel flat-map (each produced iterator is drained on its worker).
+    pub fn flat_map<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        ParIter {
+            items: par_pass(self.items, |t| f(t).into_iter().collect::<Vec<_>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    /// Parallel flat-map over serial iterators (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        self.flat_map(f)
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        par_pass(self.items, f);
+    }
+
+    /// Collect into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the (already computed) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Maximum item.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    /// Fold-reduce with an identity (rayon-compatible shape).
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, T) -> T + Sync + Send,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Owned conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// By-reference conversion (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Convert.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Thread-pool build error (the shim never actually fails).
+#[derive(Clone, Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker thread count (`0` = auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; workers are spawned
+/// per parallel pass rather than kept hot.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count installed for all parallel
+    /// passes on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured thread count (0 = auto).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let v: Vec<usize> = (0..500).collect();
+        let s: usize = v.par_iter().map(|x| x + 1).sum();
+        assert_eq!(s, (0..500).map(|x| x + 1).sum());
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let v: Vec<i32> = (0..100).collect();
+        let evens: Vec<i32> = v.clone().into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+        let pairs: Vec<i32> = v.into_par_iter().flat_map(|x| vec![x, -x]).collect();
+        assert_eq!(pairs.len(), 200);
+        assert_eq!(pairs[0..2], [0, 0]);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 2);
+        });
+        let pool1 = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<u32> = pool1.install(|| vec![3u32, 1, 4].into_par_iter().map(|x| x).collect());
+        assert_eq!(out, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn parallelism_actually_uses_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        let _: Vec<u32> = v
+            .par_iter()
+            .map(|x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                *x
+            })
+            .collect();
+        if thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(ids.lock().unwrap().len() > 1, "expected multiple worker threads");
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! In-tree shim of `serde`.
+//!
+//! Instead of real serde's visitor-driven zero-copy architecture, this
+//! shim routes everything through an owned content tree ([`Content`], a
+//! superset of the JSON data model): `Serialize` renders a value *to* a
+//! tree, `Deserialize` reads a value *from* one. The companion
+//! `serde_derive` shim generates impls honoring the container/field
+//! attributes this workspace uses (`transparent`, `untagged`, `skip`,
+//! `default`, `skip_serializing_if`), and `serde_json` converts trees
+//! to/from JSON text. External enum tagging matches real serde, so the
+//! wire format is interchangeable for the types in this tree.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned serialization tree (the JSON data model, with integers kept
+/// exact).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object; insertion-ordered key/value pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The map pairs, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short name of the content kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Arbitrary-message constructor.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    /// "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Content) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Missing struct field.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render to a [`Content`] tree.
+pub trait Serialize {
+    /// Build the tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuild from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Read the tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range"))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if let Ok(i) = i64::try_from(v) {
+                    Content::I64(i)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range"))),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::custom(format!("integer {v} out of range"))),
+                    other => Err(DeError::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        // Values beyond u64 fall back to a decimal string: the shim's
+        // content tree keeps integers at 64 bits.
+        if let Ok(v) = u64::try_from(*self) {
+            v.to_content()
+        } else {
+            Content::Str(self.to_string())
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::I64(v) => u128::try_from(*v)
+                .map_err(|_| DeError::custom(format!("integer {v} out of range"))),
+            Content::U64(v) => Ok(*v as u128),
+            Content::Str(s) => s
+                .parse::<u128>()
+                .map_err(|e| DeError::custom(format!("invalid u128 `{s}`: {e}"))),
+            other => Err(DeError::expected("integer", other)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // JSON cannot represent non-finite floats; serde_json writes
+            // them as null, so accept null back as NaN.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(c)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+// ---- containers ---------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let items = c.as_seq().ok_or_else(|| DeError::expected("sequence", c))?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of length {want}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_content(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+/// JSON object keys are strings; mirror serde_json by stringifying
+/// string and integer keys (a newtype id over `u32` serializes as an
+/// integer and becomes `"42"`).
+fn key_to_string(key: &Content) -> String {
+    match key {
+        Content::Str(s) => s.clone(),
+        Content::I64(v) => v.to_string(),
+        Content::U64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => panic!("map key must be a string or integer, found {}", other.kind()),
+    }
+}
+
+/// Invert [`key_to_string`]: hand the raw string to `K` first, and only
+/// if `K` rejects strings retry as an integer (so `String` keys that
+/// *look* numeric stay strings).
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    match K::from_content(&Content::Str(key.to_owned())) {
+        Ok(k) => Ok(k),
+        Err(first) => {
+            if let Ok(i) = key.parse::<i64>() {
+                if let Ok(k) = K::from_content(&Content::I64(i)) {
+                    return Ok(k);
+                }
+            }
+            if let Ok(u) = key.parse::<u64>() {
+                if let Ok(k) = K::from_content(&Content::U64(u)) {
+                    return Ok(k);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_content()), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let pairs = c.as_map().ok_or_else(|| DeError::expected("map", c))?;
+        pairs
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        // Sort for deterministic output (hash maps iterate in seed order).
+        let mut pairs: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_content()), v.to_content()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(pairs)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let pairs = c.as_map().ok_or_else(|| DeError::expected("map", c))?;
+        pairs
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(u32::from_content(&7u32.to_content()).unwrap(), 7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1i64);
+        assert_eq!(BTreeMap::<String, i64>::from_content(&m.to_content()).unwrap(), m);
+        let o: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_content(&o.to_content()).unwrap(), None);
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn errors_name_the_mismatch() {
+        let err = i64::from_content(&Content::Str("nope".into())).unwrap_err();
+        assert!(err.to_string().contains("expected integer"));
+        assert!(String::from_content(&Content::I64(3)).is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! In-tree shim of `serde_derive`: hand-rolled token parsing (no
+//! syn/quote available) generating impls of the serde shim's
+//! content-tree `Serialize`/`Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - structs with named fields, honoring `#[serde(skip)]`,
+//!   `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`;
+//!   missing `Option` fields deserialize as `None`
+//! - tuple structs (single-field ones delegate to the inner value, as
+//!   real serde does for newtypes; `#[serde(transparent)]` is accepted)
+//! - enums with unit / tuple / struct variants, externally tagged like
+//!   real serde (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`)
+//! - `#[serde(untagged)]` enums, deserialized by trying variants in
+//!   declaration order
+//!
+//! Generics are not supported (none of the workspace's serialized types
+//! are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- model --------------------------------------------------------------
+
+struct Item {
+    name: String,
+    untagged: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---- parsing ------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    untagged: bool,
+    skip: bool,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Consume leading `#[...]` attributes from `toks[*idx..]`, folding any
+/// `#[serde(...)]` flags into the returned set.
+fn take_attrs(toks: &[TokenTree], idx: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *idx < toks.len() && is_punct(&toks[*idx], '#') {
+        let TokenTree::Group(g) = &toks[*idx + 1] else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.first().and_then(ident_str).as_deref() == Some("serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(&args.stream().into_iter().collect::<Vec<_>>(), &mut attrs);
+            }
+        }
+        *idx += 2;
+    }
+    attrs
+}
+
+fn parse_serde_args(args: &[TokenTree], attrs: &mut SerdeAttrs) {
+    let mut i = 0;
+    while i < args.len() {
+        let name = ident_str(&args[i]).unwrap_or_default();
+        // `name = "literal"` or bare `name`.
+        if i + 2 < args.len() && is_punct(&args[i + 1], '=') {
+            let lit = args[i + 2].to_string();
+            let value = lit.trim_matches('"').to_string();
+            if name == "skip_serializing_if" {
+                attrs.skip_if = Some(value);
+            }
+            i += 3;
+        } else {
+            match name.as_str() {
+                "transparent" => attrs.transparent = true,
+                "untagged" => attrs.untagged = true,
+                "skip" => attrs.skip = true,
+                "default" => attrs.default = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < args.len() && is_punct(&args[i], ',') {
+            i += 1;
+        }
+    }
+}
+
+/// Skip `pub`, `pub(...)` visibility at `toks[*idx..]`.
+fn skip_vis(toks: &[TokenTree], idx: &mut usize) {
+    if *idx < toks.len() && ident_str(&toks[*idx]).as_deref() == Some("pub") {
+        *idx += 1;
+        if *idx < toks.len() {
+            if let TokenTree::Group(g) = &toks[*idx] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *idx += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    let container = take_attrs(&toks, &mut idx);
+    skip_vis(&toks, &mut idx);
+    let keyword = ident_str(&toks[idx]).expect("serde_derive: expected struct/enum");
+    idx += 1;
+    let name = ident_str(&toks[idx]).expect("serde_derive: expected type name");
+    idx += 1;
+    if idx < toks.len() && is_punct(&toks[idx], '<') {
+        panic!("serde_derive shim: generic types are not supported (type {name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match toks.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            _ => panic!("serde_derive: malformed enum {name}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        untagged: container.untagged,
+        kind,
+    }
+}
+
+/// Parse `name: Type, ...` fields, honoring `<...>` nesting when looking
+/// for the separating commas.
+fn parse_named_fields(toks: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < toks.len() {
+        let attrs = take_attrs(toks, &mut idx);
+        if idx >= toks.len() {
+            break;
+        }
+        skip_vis(toks, &mut idx);
+        let name = ident_str(&toks[idx]).expect("serde_derive: expected field name");
+        idx += 1;
+        assert!(is_punct(&toks[idx], ':'), "serde_derive: expected `:` after field name");
+        idx += 1;
+        // First type token decides Option-ness (fallback to None on missing input).
+        let is_option = ident_str(&toks[idx]).as_deref() == Some("Option");
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while idx < toks.len() {
+            if is_punct(&toks[idx], '<') {
+                depth += 1;
+            } else if is_punct(&toks[idx], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&toks[idx], ',') {
+                idx += 1;
+                break;
+            }
+            idx += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut idx = 0;
+    while idx < toks.len() {
+        // Leading per-field attributes would confuse the comma count; the
+        // workspace has none, but skip them defensively.
+        if depth == 0 && is_punct(&toks[idx], '#') {
+            idx += 2;
+            continue;
+        }
+        if is_punct(&toks[idx], '<') {
+            depth += 1;
+        } else if is_punct(&toks[idx], '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(&toks[idx], ',') && idx + 1 < toks.len() {
+            count += 1;
+        }
+        idx += 1;
+    }
+    count
+}
+
+fn parse_variants(toks: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < toks.len() {
+        let _attrs = take_attrs(toks, &mut idx);
+        if idx >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[idx]).expect("serde_derive: expected variant name");
+        idx += 1;
+        let data = match toks.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                VariantData::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                VariantData::Struct(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => VariantData::Unit,
+        };
+        if idx < toks.len() && is_punct(&toks[idx], ',') {
+            idx += 1;
+        }
+        variants.push(Variant { name, data });
+    }
+    variants
+}
+
+// ---- codegen: Serialize -------------------------------------------------
+
+fn named_fields_to_map(fields: &[Field], access_prefix: &str) -> String {
+    // `access_prefix` is "&self." for structs, "" for destructured
+    // variant bindings (which are already references).
+    let mut out = String::from("{ let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        let access = format!("{}{}", access_prefix, f.name);
+        let push = format!(
+            "m.push((::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content({a})));",
+            n = f.name,
+            a = access
+        );
+        match &f.skip_if {
+            Some(path) => out.push_str(&format!("if !({path}({a})) {{ {push} }}", a = access)),
+            None => out.push_str(&push),
+        }
+    }
+    out.push_str(" ::serde::Content::Map(m) }");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_fields_to_map(fields, "&self."),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let arm = match &v.data {
+                    VariantData::Unit => {
+                        let content = if item.untagged {
+                            "::serde::Content::Null".to_string()
+                        } else {
+                            format!("::serde::Content::Str(::std::string::String::from(\"{vname}\"))")
+                        };
+                        format!("{name}::{vname} => {content},")
+                    }
+                    VariantData::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_content(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        let content = tag_content(item, vname, &inner);
+                        format!("{name}::{vname}({}) => {content},", binds.join(", "))
+                    }
+                    VariantData::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = named_fields_to_map(fields, "");
+                        let content = tag_content(item, vname, &inner);
+                        format!("{name}::{vname} {{ {} }} => {content},", binds.join(", "))
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+/// Wrap variant content in the external `{"Variant": ...}` tag unless
+/// untagged.
+fn tag_content(item: &Item, vname: &str, inner: &str) -> String {
+    if item.untagged {
+        inner.to_string()
+    } else {
+        format!(
+            "::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})])"
+        )
+    }
+}
+
+// ---- codegen: Deserialize -----------------------------------------------
+
+/// `Name { f: ..., ... }` construction from a map in `src` (an expression
+/// of type `&Content`).
+fn named_fields_from_map(type_path: &str, fields: &[Field], src: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            // Skipped fields never consult the input, so their type needs
+            // no Deserialize impl — only Default.
+            inits.push_str(&format!("{fname}: ::core::default::Default::default(),"));
+            continue;
+        }
+        let fallback = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{fname}\"))"
+            )
+        };
+        inits.push_str(&format!(
+            "{fname}: match {src}.get(\"{fname}\") {{ \
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, \
+               ::std::option::Option::None => {fallback} \
+             }},"
+        ));
+    }
+    format!(
+        "{{ if {src}.as_map().is_none() {{ \
+             return ::std::result::Result::Err(::serde::DeError::expected(\"map\", {src})); \
+           }} \
+           ::std::result::Result::Ok({type_path} {{ {inits} }}) }}"
+    )
+}
+
+/// `Name::Variant(a, b, ...)` construction from sequence content in `src`.
+fn tuple_from_seq(ctor: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        return format!(
+            "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_content({src})?))"
+        );
+    }
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+        .collect();
+    format!(
+        "{{ let items = {src}.as_seq().ok_or_else(|| ::serde::DeError::expected(\"sequence\", {src}))?; \
+           if items.len() != {n} {{ \
+             return ::std::result::Result::Err(::serde::DeError::custom(::std::format!(\
+               \"expected {n} elements, found {{}}\", items.len()))); \
+           }} \
+           ::std::result::Result::Ok({ctor}({items})) }}",
+        items = items.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => named_fields_from_map(name, fields, "c"),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))"
+        ),
+        Kind::TupleStruct(n) => tuple_from_seq(name, *n, "c"),
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) if item.untagged => {
+            // Try variants in declaration order; first success wins.
+            let mut tries = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => tries.push_str(&format!(
+                        "if ::std::matches!(c, ::serde::Content::Null) {{ \
+                           return ::std::result::Result::Ok({name}::{vname}); }}"
+                    )),
+                    VariantData::Tuple(1) => tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(v) = ::serde::Deserialize::from_content(c) {{ \
+                           return ::std::result::Result::Ok({name}::{vname}(v)); }}"
+                    )),
+                    VariantData::Tuple(n) => tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(v) = \
+                           (|| -> ::std::result::Result<{name}, ::serde::DeError> {{ {} }})() {{ \
+                           return ::std::result::Result::Ok(v); }}",
+                        tuple_from_seq(&format!("{name}::{vname}"), *n, "c")
+                    )),
+                    VariantData::Struct(fields) => tries.push_str(&format!(
+                        "if let ::std::result::Result::Ok(v) = \
+                           (|| -> ::std::result::Result<{name}, ::serde::DeError> {{ {} }})() {{ \
+                           return ::std::result::Result::Ok(v); }}",
+                        named_fields_from_map(&format!("{name}::{vname}"), fields, "c")
+                    )),
+                }
+            }
+            format!(
+                "{tries} ::std::result::Result::Err(::serde::DeError::custom(\
+                   \"data did not match any variant of untagged enum {name}\"))"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.data {
+                    VariantData::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                        // Also accept `{"Variant": null}` like serde does.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ));
+                    }
+                    VariantData::Tuple(n) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => {},",
+                        tuple_from_seq(&format!("{name}::{vname}"), *n, "inner")
+                    )),
+                    VariantData::Struct(fields) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => {},",
+                        named_fields_from_map(&format!("{name}::{vname}"), fields, "inner")
+                    )),
+                }
+            }
+            format!(
+                "match c {{ \
+                   ::serde::Content::Str(s) => match s.as_str() {{ \
+                     {unit_arms} \
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                       ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))), \
+                   }}, \
+                   ::serde::Content::Map(pairs) if pairs.len() == 1 => {{ \
+                     let (tag, inner) = &pairs[0]; \
+                     let _ = inner; \
+                     match tag.as_str() {{ \
+                       {tagged_arms} \
+                       other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))), \
+                     }} \
+                   }}, \
+                   other => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", other)), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}
