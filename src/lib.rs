@@ -1,0 +1,42 @@
+//! Workspace facade for the GRR (Graph Repairing Rules) system.
+//!
+//! This crate re-exports the workspace's public layers so integration
+//! tests and downstream users can depend on a single crate:
+//!
+//! - [`graph`] — the storage substrate ([`grepair_graph`])
+//! - [`matching`] — subgraph-isomorphism matching ([`grepair_match`])
+//! - [`core`] — rules, engines, repair semantics ([`grepair_core`])
+//! - [`gen`] — synthetic dataset generators ([`grepair_gen`])
+//! - [`mine`] — rule mining ([`grepair_mine`])
+//! - [`eval`] — repair-quality metrics and experiments ([`grepair_eval`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use grepair::core::{RepairEngine, RuleSet};
+//! use grepair::graph::Graph;
+//!
+//! let mut g = Graph::new();
+//! let bob = g.add_node_named("Person");
+//! g.add_edge_named(bob, bob, "marriedTo").unwrap(); // conflict: self-marriage
+//!
+//! let rules = RuleSet::from_dsl(
+//!     "demo",
+//!     r#"
+//!     rule no_self_marriage [conflict]
+//!     match (x:Person)-[marriedTo]->(x)
+//!     repair delete edge (x)-[marriedTo]->(x)
+//!     "#,
+//! )
+//! .unwrap();
+//! let report = RepairEngine::default().repair(&mut g, &rules.rules);
+//! assert!(report.converged);
+//! assert_eq!(g.num_edges(), 0);
+//! ```
+
+pub use grepair_core as core;
+pub use grepair_eval as eval;
+pub use grepair_gen as gen;
+pub use grepair_graph as graph;
+pub use grepair_match as matching;
+pub use grepair_mine as mine;
