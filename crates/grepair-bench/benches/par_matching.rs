@@ -1,0 +1,114 @@
+//! Parallel-matching bench: `Matcher::par_find_all` and the engine's
+//! `par_match_sweep` vs their single-threaded counterparts on the
+//! scale-graph workload. Requires `--features parallel`.
+//!
+//! Prints an explicit serial/parallel speedup summary after the
+//! criterion groups; the expected speedup scales with available cores
+//! (on a single-core host the two paths should be within noise of each
+//! other — the parallel path's only extra work is root partitioning).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::{RepairEngine, RuleSet};
+use grepair_gen::gold_kg_rules;
+use grepair_match::Matcher;
+use std::time::{Duration, Instant};
+
+fn bench_par_matching(c: &mut Criterion) {
+    let g = dirty_kg_fixture(10_000);
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("par_matching");
+    group.sample_size(10);
+
+    for (name, parallel) in [("serial", false), ("parallel", true)] {
+        group.bench_with_input(BenchmarkId::new("find_all", name), &parallel, |b, &par| {
+            let m = Matcher::new(&g);
+            b.iter(|| {
+                let mut total = 0usize;
+                for r in &rules.rules {
+                    let found = if par {
+                        m.par_find_all(&r.pattern)
+                    } else {
+                        m.find_all(&r.pattern)
+                    };
+                    total += found.len();
+                }
+                total
+            })
+        });
+    }
+
+    let engine = RepairEngine::default();
+    for (name, parallel) in [("serial", false), ("parallel", true)] {
+        group.bench_with_input(BenchmarkId::new("rule_sweep", name), &parallel, |b, &par| {
+            let m = Matcher::new(&g);
+            b.iter(|| {
+                if par {
+                    engine
+                        .par_match_sweep(&g, &rules)
+                        .iter()
+                        .map(|ms| ms.len())
+                        .sum::<usize>()
+                } else {
+                    rules
+                        .rules
+                        .iter()
+                        .map(|r| m.find_all(&r.pattern).len())
+                        .sum::<usize>()
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Median-of-N wall time for `f`.
+fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn speedup_summary() {
+    let g = dirty_kg_fixture(10_000);
+    let rules: RuleSet = gold_kg_rules();
+    let m = Matcher::new(&g);
+    let serial = time(9, || {
+        rules
+            .rules
+            .iter()
+            .map(|r| m.find_all(&r.pattern).len())
+            .sum::<usize>()
+    });
+    let parallel = time(9, || {
+        rules
+            .rules
+            .iter()
+            .map(|r| m.par_find_all(&r.pattern).len())
+            .sum::<usize>()
+    });
+    let threads = rayon_threads();
+    println!(
+        "\nspeedup summary ({threads} worker thread(s)): serial {serial:?} / parallel {parallel:?} = {:.2}x",
+        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12)
+    );
+}
+
+fn rayon_threads() -> usize {
+    // The same value par_find_all partitions for — not the host's core
+    // count, which can differ under RAYON_NUM_THREADS or a pool.
+    rayon::current_num_threads()
+}
+
+criterion_group!(benches, bench_par_matching);
+
+fn main() {
+    benches();
+    speedup_summary();
+}

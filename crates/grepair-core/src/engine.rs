@@ -246,6 +246,39 @@ impl RepairEngine {
         report
     }
 
+    /// All matches of every rule's pattern, computed concurrently.
+    ///
+    /// This is the `RuleSet`-level parallel sweep: independent rules'
+    /// patterns are evaluated on rayon workers, and within each rule the
+    /// matcher's root-partitioned parallelism
+    /// ([`grepair_match::Matcher::par_find_all`]) keeps skewed workloads
+    /// (one dominant rule) scaling with cores. Results are indexed like
+    /// `rules.rules` and each inner vector is in the sequential
+    /// `find_all` emission order, so the sweep is a drop-in,
+    /// deterministic replacement for a serial scan. The same sweep backs
+    /// [`RepairEngine::repair`]'s full scans when
+    /// [`EngineConfig::parallel`] is set.
+    #[cfg(feature = "parallel")]
+    pub fn par_match_sweep(&self, g: &Graph, rules: &crate::ruleset::RuleSet) -> Vec<Vec<Match>> {
+        let matcher = Matcher::with_config(g, self.config.match_config);
+        Self::parallel_scan(&matcher, &rules.rules)
+    }
+
+    /// Rule-level parallel sweep; with the `parallel` feature each rule
+    /// additionally fans out over root candidates.
+    fn parallel_scan(matcher: &Matcher<'_>, rules: &[Grr]) -> Vec<Vec<Match>> {
+        #[cfg(feature = "parallel")]
+        return rules
+            .par_iter()
+            .map(|r| matcher.par_find_all(&r.pattern))
+            .collect();
+        #[cfg(not(feature = "parallel"))]
+        rules
+            .par_iter()
+            .map(|r| matcher.find_all(&r.pattern))
+            .collect()
+    }
+
     /// Count current violations without repairing.
     pub fn count_violations(&self, g: &Graph, rules: &[Grr]) -> usize {
         let matcher = Matcher::with_config(g, self.config.match_config);
@@ -260,10 +293,7 @@ impl RepairEngine {
     fn full_scan(&self, g: &Graph, rules: &[Grr]) -> Vec<Violation> {
         let matcher = Matcher::with_config(g, self.config.match_config);
         let per_rule: Vec<Vec<Match>> = if self.config.parallel {
-            rules
-                .par_iter()
-                .map(|r| matcher.find_all(&r.pattern))
-                .collect()
+            Self::parallel_scan(&matcher, rules)
         } else {
             rules.iter().map(|r| matcher.find_all(&r.pattern)).collect()
         };
@@ -529,6 +559,30 @@ mod tests {
              repair merge y into x",
         )
         .unwrap()
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn par_match_sweep_agrees_with_serial_scan() {
+        let g = dirty_graph();
+        let rule_set = crate::ruleset::RuleSet::new("t", rules()).unwrap();
+        let engine = RepairEngine::default();
+        let par = engine.par_match_sweep(&g, &rule_set);
+        let matcher = Matcher::with_config(&g, engine.config().match_config);
+        let serial: Vec<Vec<Match>> = rule_set
+            .rules
+            .iter()
+            .map(|r| matcher.find_all(&r.pattern))
+            .collect();
+        assert_eq!(par, serial);
+
+        // A single-rule set exercises the matcher-level parallel path.
+        let single =
+            crate::ruleset::RuleSet::new("one", vec![rule_set.rules[0].clone()]).unwrap();
+        let par_one = engine.par_match_sweep(&g, &single);
+        assert_eq!(par_one, serial[0..1].to_vec());
+
+        assert!(engine.par_match_sweep(&g, &crate::ruleset::RuleSet::default()).is_empty());
     }
 
     #[test]

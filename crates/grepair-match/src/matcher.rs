@@ -207,6 +207,58 @@ impl<'g> Matcher<'g> {
         out
     }
 
+    /// All matches of `pattern`, enumerated in parallel.
+    ///
+    /// The search space is partitioned by the first plan variable's
+    /// candidate set (drawn from the label index under the default
+    /// configuration), and each root candidate's subtree is explored
+    /// independently on rayon workers. Returns exactly [`Matcher::find_all`]'s
+    /// match set in the same order: roots are processed in candidate
+    /// order and per-root results are concatenated, which is the
+    /// sequential DFS emission order.
+    #[cfg(feature = "parallel")]
+    pub fn par_find_all(&self, pattern: &Pattern) -> Vec<Match> {
+        use rayon::prelude::*;
+        debug_assert!(pattern.validate().is_ok());
+        let empty = TouchSet::default();
+        let Some(comp) = self.compile(pattern, None, &empty) else {
+            return Vec::new();
+        };
+        if comp.plan.is_empty() {
+            return self.find_all(pattern);
+        }
+        let fresh = || SearchState {
+            assignment: vec![NodeId(u32::MAX); comp.plan.len()],
+            used: FxHashSet::default(),
+            witness: vec![EdgeId(u32::MAX); comp.edges.len()],
+            stopped: false,
+        };
+        let roots = self.candidates(&comp, &fresh(), 0, &empty);
+        // Oversplit relative to the worker count so uneven subtree sizes
+        // balance; each chunk reuses one backtracking state across its
+        // roots, so a single-threaded run does the same work as
+        // `find_all` plus only the partitioning.
+        let threads = rayon::current_num_threads();
+        let chunk_count = if threads <= 1 { 1 } else { threads * 4 };
+        let chunk_len = roots.len().div_ceil(chunk_count).max(1);
+        let chunks: Vec<&[NodeId]> = roots.chunks(chunk_len).collect();
+        let comp = &comp;
+        let empty = &empty;
+        let per_chunk: Vec<Vec<Match>> = chunks
+            .into_par_iter()
+            .map(|chunk| {
+                let mut st = fresh();
+                let mut out = Vec::new();
+                self.run_roots(comp, &mut st, chunk, &mut |m| {
+                    out.push(m);
+                    true
+                }, empty);
+                out
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
     /// Up to `limit` matches.
     pub fn find_limited(&self, pattern: &Pattern, limit: usize) -> Vec<Match> {
         let mut out = Vec::new();
@@ -505,7 +557,41 @@ impl<'g> Matcher<'g> {
             witness: vec![EdgeId(u32::MAX); comp.edges.len()],
             stopped: false,
         };
-        self.step(comp, &mut st, 0, emit, touched);
+        if comp.plan.is_empty() {
+            // Zero-variable pattern: `step` emits the single empty match.
+            self.step(comp, &mut st, 0, emit, touched);
+            return;
+        }
+        let roots = self.candidates(comp, &st, 0, touched);
+        self.run_roots(comp, &mut st, &roots, emit, touched);
+    }
+
+    /// The depth-0 binding loop over an explicit root-candidate list —
+    /// the one copy of the backtracking protocol shared by the
+    /// sequential entry point and each parallel chunk, so the two paths
+    /// cannot diverge.
+    fn run_roots(
+        &self,
+        comp: &Compiled,
+        st: &mut SearchState,
+        roots: &[NodeId],
+        emit: &mut dyn FnMut(Match) -> bool,
+        touched: &TouchSet,
+    ) {
+        let v0 = comp.plan[0];
+        for &root in roots {
+            if st.stopped {
+                return;
+            }
+            if !self.accept(comp, st, 0, v0, root, touched) {
+                continue;
+            }
+            st.assignment[v0] = root;
+            st.used.insert(root);
+            self.step(comp, st, 1, emit, touched);
+            st.used.remove(&root);
+            st.assignment[v0] = NodeId(u32::MAX);
+        }
     }
 
     fn step(

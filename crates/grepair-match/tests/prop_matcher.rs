@@ -194,6 +194,22 @@ proptest! {
         prop_assert_eq!(touching.len(), expected.len());
     }
 
+    /// The parallel batch path returns exactly the sequential match set
+    /// — same matches, same order — and therefore also agrees with the
+    /// brute-force oracle.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn par_find_all_agrees_with_find_all_and_oracle(rg in graph_strategy(), rp in pattern_strategy()) {
+        let g = build_graph(&rg);
+        let p = build_pattern(&rp);
+        let m = Matcher::new(&g);
+        let seq = m.find_all(&p);
+        let par = m.par_find_all(&p);
+        prop_assert_eq!(&par, &seq, "parallel and sequential match sets differ");
+        let expected = node_sets(&oracle::brute_force_matches(&g, &p));
+        prop_assert_eq!(node_sets(&par), expected);
+    }
+
     /// Witness edges are always live, correctly labelled, and connect the
     /// matched endpoints.
     #[test]
