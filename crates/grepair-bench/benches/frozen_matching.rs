@@ -1,0 +1,117 @@
+//! Frozen-snapshot matching bench: full multi-rule scans over the live
+//! [`grepair_graph::Graph`] vs a [`grepair_graph::FrozenGraph`] CSR
+//! snapshot, plus the freeze cost itself.
+//!
+//! Prints an explicit live/frozen speedup summary after the criterion
+//! groups. Expect a speedup on label-filtered scans at scale; on tiny
+//! graphs parity (or a small loss, from the freeze pass) is acceptable —
+//! the snapshot exists for the scan-heavy regime.
+//!
+//! Set `GREPAIR_BENCH_SMOKE=1` to run a minimal configuration (small
+//! fixture, minimum samples) so CI can exercise the whole bench path in
+//! seconds.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::RuleSet;
+use grepair_gen::gold_kg_rules;
+use grepair_graph::{FrozenGraph, Graph};
+use grepair_match::Matcher;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn fixture_persons() -> usize {
+    if smoke() {
+        300
+    } else {
+        10_000
+    }
+}
+
+fn scan_live(g: &Graph, rules: &RuleSet) -> usize {
+    let m = Matcher::new(g);
+    rules
+        .rules
+        .iter()
+        .map(|r| m.find_all(&r.pattern).len())
+        .sum()
+}
+
+fn scan_frozen(f: &FrozenGraph, rules: &RuleSet) -> usize {
+    let m = Matcher::new(f);
+    rules
+        .rules
+        .iter()
+        .map(|r| m.find_all(&r.pattern).len())
+        .sum()
+}
+
+fn bench_frozen_matching(c: &mut Criterion) {
+    let g = dirty_kg_fixture(fixture_persons());
+    let frozen = FrozenGraph::freeze(&g);
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("frozen_matching");
+    group.sample_size(if smoke() { 2 } else { 10 });
+
+    group.bench_with_input(BenchmarkId::new("find_all", "live"), &g, |b, g| {
+        b.iter(|| scan_live(g, &rules))
+    });
+    group.bench_with_input(
+        BenchmarkId::new("find_all", "frozen"),
+        &frozen,
+        |b, f| b.iter(|| scan_frozen(f, &rules)),
+    );
+    // Amortization reference: what one snapshot rebuild costs.
+    group.bench_with_input(BenchmarkId::new("freeze", "build"), &g, |b, g| {
+        b.iter(|| FrozenGraph::freeze(g))
+    });
+    group.finish();
+}
+
+/// Median-of-N wall time for `f`, after one untimed warm-up call.
+fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn speedup_summary() {
+    let g = dirty_kg_fixture(fixture_persons());
+    let rules = gold_kg_rules();
+    let samples = if smoke() { 1 } else { 9 };
+
+    let frozen = FrozenGraph::freeze(&g);
+    let live = time(samples, || scan_live(&g, &rules));
+    let warm = time(samples, || scan_frozen(&frozen, &rules));
+    let freeze = time(samples, || FrozenGraph::freeze(&g));
+    let cold = time(samples, || scan_frozen(&FrozenGraph::freeze(&g), &rules));
+
+    // Matching over the snapshot must find exactly what the live scan
+    // finds — a bench that silently diverged would be measuring nothing.
+    assert_eq!(scan_live(&g, &rules), scan_frozen(&frozen, &rules));
+
+    println!(
+        "\nfrozen-vs-live summary ({} persons): live {live:?} / frozen {warm:?} = {:.2}x \
+         (freeze pass {freeze:?}; freeze+scan {cold:?} = {:.2}x)",
+        fixture_persons(),
+        live.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+        live.as_secs_f64() / cold.as_secs_f64().max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench_frozen_matching);
+
+fn main() {
+    benches();
+    speedup_summary();
+}

@@ -64,7 +64,7 @@ impl Args {
     /// Parse a raw token list. Tokens starting with `--` take the next
     /// token as value unless they are known boolean switches.
     pub fn parse(tokens: &[String]) -> Self {
-        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel"];
+        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel", "--frozen"];
         let mut out = Args::default();
         let mut i = 0;
         while i < tokens.len() {
@@ -170,14 +170,16 @@ commands:
   gen kg       --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
   gen social   --accounts N [--seed S] -o OUT
   stats        GRAPH
-  check        -r RULES -g GRAPH
-  repair       -r RULES -g GRAPH -o OUT [--naive] [--report R]
+  check        -r RULES -g GRAPH [--frozen]
+  repair       -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
   analyze      -r RULES
   mine         -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
   fmt          -r RULES
 
 Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
-.grr DSL or .json.";
+.grr DSL or .json. --frozen runs full scans over a compacted CSR snapshot
+of the graph (faster on large graphs, identical results; --naive enables
+it by default).";
 
 /// Dispatch a command line (without the program name). Returns the text
 /// to print on stdout.
@@ -293,11 +295,17 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         args.get(&["g", "graph"])
             .ok_or_else(|| CliError::usage("check: missing -g GRAPH"))?,
     )?;
-    let matcher = grepair_match::Matcher::new(&g);
+    let counts: Vec<usize> = if args.has("frozen") {
+        let frozen = grepair_graph::FrozenGraph::freeze(&g);
+        let matcher = grepair_match::Matcher::new(&frozen);
+        rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
+    } else {
+        let matcher = grepair_match::Matcher::new(&g);
+        rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
+    };
     let mut out = String::new();
     let mut total = 0usize;
-    for r in &rules.rules {
-        let n = matcher.count(&r.pattern);
+    for (r, n) in rules.rules.iter().zip(counts) {
         total += n;
         writeln!(out, "{:<40} {:>6}", r.name, n).unwrap();
     }
@@ -318,11 +326,14 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     let out_path = args
         .get(&["o", "out"])
         .ok_or_else(|| CliError::usage("repair: missing -o OUT"))?;
-    let config = if args.has("naive") {
+    let mut config = if args.has("naive") {
         EngineConfig::naive_with_indexes()
     } else {
         EngineConfig::default()
     };
+    if args.has("frozen") {
+        config.freeze_scans = true;
+    }
     let report = RepairEngine::new(config).repair(&mut g, &rules.rules);
     save_graph(&g, out_path)?;
     if let Some(rp) = args.get(&["report"]) {
@@ -538,6 +549,51 @@ mod tests {
         .unwrap();
         assert!(out.contains("applied"), "{out}");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frozen_switch_matches_live_results() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-frozen.json");
+        let rules = dir.join("rules-frozen.grr");
+        let out_live = dir.join("repaired-live.json");
+        let out_frozen = dir.join("repaired-frozen.json");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "200", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+
+        // check: identical per-rule counts with and without --frozen.
+        let live = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let frozen = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "--frozen",
+        ]))
+        .unwrap();
+        assert_eq!(live, frozen);
+
+        // repair: identical repaired graphs with and without --frozen.
+        dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", out_live.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", out_frozen.to_str().unwrap(), "--frozen",
+        ]))
+        .unwrap();
+        assert!(out.contains("converged: true"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&out_live).unwrap(),
+            std::fs::read_to_string(&out_frozen).unwrap()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -384,7 +384,7 @@ pub fn revalidate(g: &Graph, pattern: &Pattern, m: &mut Match) -> bool {
         let d = m.nodes[pe.dst.index()];
         let found = match &pe.label {
             Some(name) => g.try_label(name).and_then(|l| g.find_edge(s, d, l)),
-            None => g.edges_between(s, d).next(),
+            None => g.find_edge_any(s, d),
         };
         match found {
             Some(e) => m.edges[i] = e,

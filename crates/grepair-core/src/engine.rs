@@ -26,13 +26,26 @@
 //! - **Churn guard** — the same (rule, matched nodes) repair may be
 //!   applied at most [`EngineConfig::max_churn`] times, which bounds
 //!   runtime even for rule sets whose trigger graph is cyclic.
+//!
+//! ## Full scans over frozen snapshots
+//!
+//! Every *full* scan — each naive round, the incremental engine's seed
+//! scan, and the final fixpoint verification — is a pure read phase. With
+//! [`EngineConfig::freeze_scans`] the engine first compacts the graph
+//! into a [`grepair_graph::FrozenGraph`] CSR snapshot and matches against
+//! that, which trades one `O(V + E)` freeze for cache-friendly,
+//! binary-searchable adjacency during the scan. Match output is
+//! byte-identical to scanning the live graph (see
+//! [`grepair_match::view`]), so the choice is purely a performance knob.
+//! Delta-driven re-matching after each repair always runs on the live
+//! graph — the snapshot would be stale after the first applied repair.
 
 use crate::analysis::{l_overlap, preconditions_of, Preconditions};
 use crate::apply::{apply_rule, revalidate, Applied, AppliedOp};
 use crate::cost::estimate_cost;
 use crate::rule::Grr;
-use grepair_graph::{EditCosts, Graph, NodeId};
-use grepair_match::{Match, MatchConfig, Matcher, TouchSet};
+use grepair_graph::{EditCosts, FrozenGraph, Graph, NodeId};
+use grepair_match::{GraphView, Match, MatchConfig, Matcher, TouchSet};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -68,6 +81,14 @@ pub struct EngineConfig {
     pub costs: EditCosts,
     /// Enumerate rule matches in parallel during full scans (F8).
     pub parallel: bool,
+    /// Build a [`FrozenGraph`] CSR snapshot before every full scan
+    /// (naive rounds, the incremental seed scan, fixpoint verification)
+    /// and match against it instead of the live graph. Match output is
+    /// byte-identical; the compacted layout pays off on label-filtered
+    /// scans over non-tiny graphs. On by default for
+    /// [`EngineConfig::naive_with_indexes`], whose cost is dominated by
+    /// repeated full scans.
+    pub freeze_scans: bool,
     /// Run a final full scan to count residual violations.
     pub verify_fixpoint: bool,
 }
@@ -82,6 +103,7 @@ impl Default for EngineConfig {
             max_churn: 16,
             costs: EditCosts::default(),
             parallel: false,
+            freeze_scans: false,
             verify_fixpoint: true,
         }
     }
@@ -98,10 +120,13 @@ impl EngineConfig {
     }
 
     /// Naive rounds but with the optimized matcher (isolates the
-    /// incremental-maintenance contribution, F6).
+    /// incremental-maintenance contribution, F6). Full scans run over a
+    /// frozen CSR snapshot by default — this engine's cost is almost
+    /// entirely repeated full scans, exactly the phase snapshots speed up.
     pub fn naive_with_indexes() -> Self {
         Self {
             mode: EngineMode::Naive,
+            freeze_scans: true,
             ..Self::default()
         }
     }
@@ -158,20 +183,50 @@ impl Violation {
     }
 }
 
+/// Monotone map from `f64` into `u64`: IEEE-754 total order
+/// (`f64::total_cmp`) for non-NaN values — flip the sign bit for
+/// non-negatives, all bits for negatives — with every NaN canonicalized
+/// to sort *last*. Degenerate rule cost tables can produce `±inf` (e.g.
+/// an infinite per-op cost) or `NaN` (`inf − inf`, `0 × inf` during
+/// estimation), and hardware NaNs carry an arbitrary sign bit (`inf −
+/// inf` yields a *negative* NaN on x86-64, which raw total order would
+/// rank cheapest of all); canonicalizing keeps the arbitration queue
+/// total and deterministic — negative costs first, then finite, `+inf`,
+/// and any NaN last — instead of relying on raw `f64` comparisons whose
+/// `NaN` behaviour breaks the `Eq`/`Ord` contracts.
+#[inline]
+fn cost_order_bits(cost: f64) -> u64 {
+    if cost.is_nan() {
+        return u64::MAX;
+    }
+    let bits = cost.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+impl Violation {
+    /// Min-heap order: cheapest cost (total order over all `f64`s,
+    /// including non-finite), then highest priority, then rule index,
+    /// then node ids — fully deterministic.
+    fn cmp_key(&self) -> (u64, i32, usize, &[NodeId]) {
+        (
+            cost_order_bits(self.cost),
+            -self.priority,
+            self.rule,
+            &self.m.nodes,
+        )
+    }
+}
+
 impl PartialEq for Violation {
     fn eq(&self, other: &Self) -> bool {
         self.cmp_key() == other.cmp_key()
     }
 }
 impl Eq for Violation {}
-
-impl Violation {
-    /// Min-heap order: cheapest cost, then highest priority, then rule
-    /// index, then node ids — fully deterministic.
-    fn cmp_key(&self) -> (f64, i32, usize, &[NodeId]) {
-        (self.cost, -self.priority, self.rule, &self.m.nodes)
-    }
-}
 
 impl PartialOrd for Violation {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
@@ -182,12 +237,7 @@ impl PartialOrd for Violation {
 impl Ord for Violation {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
-        let a = self.cmp_key();
-        let b = other.cmp_key();
-        b.0.total_cmp(&a.0)
-            .then(b.1.cmp(&a.1))
-            .then(b.2.cmp(&a.2))
-            .then(b.3.cmp(a.3))
+        other.cmp_key().cmp(&self.cmp_key())
     }
 }
 
@@ -266,7 +316,10 @@ impl RepairEngine {
 
     /// Rule-level parallel sweep; with the `parallel` feature each rule
     /// additionally fans out over root candidates.
-    fn parallel_scan(matcher: &Matcher<'_>, rules: &[Grr]) -> Vec<Vec<Match>> {
+    fn parallel_scan<G: GraphView + Sync>(
+        matcher: &Matcher<'_, G>,
+        rules: &[Grr],
+    ) -> Vec<Vec<Match>> {
         #[cfg(feature = "parallel")]
         return rules
             .par_iter()
@@ -279,9 +332,31 @@ impl RepairEngine {
             .collect()
     }
 
+    /// One full multi-rule scan over an arbitrary view, honoring the
+    /// `parallel` toggle. Results are indexed like `rules`.
+    fn scan_matches<G: GraphView + Sync>(
+        &self,
+        matcher: &Matcher<'_, G>,
+        rules: &[Grr],
+    ) -> Vec<Vec<Match>> {
+        if self.config.parallel {
+            Self::parallel_scan(matcher, rules)
+        } else {
+            rules.iter().map(|r| matcher.find_all(&r.pattern)).collect()
+        }
+    }
+
     /// Count current violations without repairing.
     pub fn count_violations(&self, g: &Graph, rules: &[Grr]) -> usize {
-        let matcher = Matcher::with_config(g, self.config.match_config);
+        if self.config.freeze_scans {
+            let frozen = FrozenGraph::freeze(g);
+            self.count_with(&Matcher::with_config(&frozen, self.config.match_config), rules)
+        } else {
+            self.count_with(&Matcher::with_config(g, self.config.match_config), rules)
+        }
+    }
+
+    fn count_with<G: GraphView + Sync>(&self, matcher: &Matcher<'_, G>, rules: &[Grr]) -> usize {
         if self.config.parallel {
             rules.par_iter().map(|r| matcher.count(&r.pattern)).sum()
         } else {
@@ -290,12 +365,18 @@ impl RepairEngine {
     }
 
     /// Full scan: all violations of all rules, with cost estimates.
+    ///
+    /// With [`EngineConfig::freeze_scans`] the matching itself runs over a
+    /// freshly frozen CSR snapshot; cost estimation always reads the live
+    /// graph (identical data — the snapshot is taken at the same version).
     fn full_scan(&self, g: &Graph, rules: &[Grr]) -> Vec<Violation> {
-        let matcher = Matcher::with_config(g, self.config.match_config);
-        let per_rule: Vec<Vec<Match>> = if self.config.parallel {
-            Self::parallel_scan(&matcher, rules)
+        let per_rule: Vec<Vec<Match>> = if self.config.freeze_scans {
+            let frozen = FrozenGraph::freeze(g);
+            let matcher = Matcher::with_config(&frozen, self.config.match_config);
+            self.scan_matches(&matcher, rules)
         } else {
-            rules.iter().map(|r| matcher.find_all(&r.pattern)).collect()
+            let matcher = Matcher::with_config(g, self.config.match_config);
+            self.scan_matches(&matcher, rules)
         };
         let mut out = Vec::new();
         for (ri, ms) in per_rule.into_iter().enumerate() {
@@ -330,10 +411,7 @@ impl RepairEngine {
                 report.per_rule[v.rule].matches_found += 1;
             }
             // Cheapest-first within the round (best-repair arbitration).
-            violations.sort_by(|a, b| a.cmp_key().0.total_cmp(&b.cmp_key().0)
-                .then_with(|| a.cmp_key().1.cmp(&b.cmp_key().1))
-                .then_with(|| a.cmp_key().2.cmp(&b.cmp_key().2))
-                .then_with(|| a.cmp_key().3.cmp(b.cmp_key().3)));
+            violations.sort_by(|a, b| a.cmp_key().cmp(&b.cmp_key()));
             let mut applied_any = false;
             for mut v in violations {
                 if report.repairs_applied >= max_repairs {
@@ -830,6 +908,91 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    #[test]
+    fn violation_order_is_total_for_non_finite_costs() {
+        // Degenerate cost tables can estimate ±inf or NaN repairs; the
+        // arbitration queue must still order them deterministically and
+        // uphold the Eq/Ord contracts (regression: the key used raw f64s,
+        // so a NaN violation was unequal to itself while Ord::cmp said
+        // Equal — undefined queue behaviour).
+        let mk = |cost: f64| Violation {
+            rule: 0,
+            m: Match {
+                nodes: vec![NodeId(0)],
+                edges: vec![],
+            },
+            cost,
+            priority: 0,
+        };
+        let nan = mk(f64::NAN);
+        assert_eq!(nan, mk(f64::NAN), "NaN violations must be self-equal");
+        assert_eq!(nan.cmp(&mk(f64::NAN)), std::cmp::Ordering::Equal);
+        // Hardware NaNs can carry a set sign bit (x86-64's `inf - inf`
+        // does); they must rank identically to positive NaN, not below
+        // -inf.
+        let neg_nan = f64::from_bits(f64::NAN.to_bits() | (1 << 63));
+        assert!(neg_nan.is_nan() && neg_nan.is_sign_negative());
+        assert_eq!(nan.cmp(&mk(neg_nan)), std::cmp::Ordering::Equal);
+
+        let mut heap: BinaryHeap<Violation> = [
+            neg_nan,
+            f64::INFINITY,
+            1.0,
+            f64::NEG_INFINITY,
+            -0.0,
+            0.0,
+            2.0,
+        ]
+        .into_iter()
+        .map(mk)
+        .collect();
+        let mut popped = Vec::new();
+        while let Some(v) = heap.pop() {
+            popped.push(v.cost);
+        }
+        // Cheapest-first total order: -inf < -0.0 < +0.0 < finite < +inf
+        // < NaN.
+        assert_eq!(popped[0], f64::NEG_INFINITY);
+        assert!(popped[1].is_sign_negative() && popped[1] == 0.0);
+        assert!(!popped[2].is_sign_negative() && popped[2] == 0.0);
+        assert_eq!(popped[3], 1.0);
+        assert_eq!(popped[4], 2.0);
+        assert_eq!(popped[5], f64::INFINITY);
+        assert!(popped[6].is_nan(), "NaN must sort last: {popped:?}");
+    }
+
+    #[test]
+    fn frozen_scans_reach_identical_fixpoints() {
+        let rules = rules();
+        for base_cfg in [
+            EngineConfig::default(),
+            EngineConfig::naive_with_indexes(),
+        ] {
+            let mut live_cfg = base_cfg.clone();
+            live_cfg.freeze_scans = false;
+            let mut frozen_cfg = base_cfg;
+            frozen_cfg.freeze_scans = true;
+
+            let mut g1 = dirty_graph();
+            let r1 = RepairEngine::new(live_cfg).repair(&mut g1, &rules);
+            let mut g2 = dirty_graph();
+            let r2 = RepairEngine::new(frozen_cfg).repair(&mut g2, &rules);
+            assert!(r1.converged && r2.converged);
+            assert_eq!(r1.repairs_applied, r2.repairs_applied);
+            assert_eq!(r1.rounds, r2.rounds);
+            assert_eq!(g1.num_nodes(), g2.num_nodes());
+            assert_eq!(g1.num_edges(), g2.num_edges());
+            assert_eq!(g1.to_doc(), g2.to_doc(), "fixpoints must be identical");
+        }
+    }
+
+    #[test]
+    fn naive_with_indexes_freezes_by_default() {
+        assert!(EngineConfig::naive_with_indexes().freeze_scans);
+        assert!(!EngineConfig::default().freeze_scans);
+        assert!(!EngineConfig::naive().freeze_scans);
     }
 
     #[test]

@@ -693,17 +693,41 @@ impl Graph {
     }
 
     /// Whether some live edge `src --label--> dst` exists.
+    ///
+    /// Short-circuits on the first hit — unlike [`Graph::find_edge`],
+    /// which must walk the full adjacency to find the minimal id.
     pub fn has_edge_labeled(&self, src: NodeId, dst: NodeId, label: LabelId) -> bool {
-        self.find_edge(src, dst, label).is_some()
-    }
-
-    /// First live edge `src --label--> dst`, if any.
-    pub fn find_edge(&self, src: NodeId, dst: NodeId, label: LabelId) -> Option<EdgeId> {
-        let n = self.live_node(src).ok()?;
-        n.out.iter().copied().find(|&e| {
+        let Ok(n) = self.live_node(src) else {
+            return false;
+        };
+        n.out.iter().any(|&e| {
             let s = &self.edges[e.index()];
             s.dst == dst && s.label == label
         })
+    }
+
+    /// Minimal live edge id `src --label--> dst`, if any.
+    ///
+    /// Among parallel duplicates the *lowest* edge id wins, independent of
+    /// adjacency-list order — the witness convention shared with
+    /// [`crate::FrozenGraph`] so matching over a snapshot is byte-identical
+    /// to matching over the live graph.
+    pub fn find_edge(&self, src: NodeId, dst: NodeId, label: LabelId) -> Option<EdgeId> {
+        let n = self.live_node(src).ok()?;
+        n.out
+            .iter()
+            .copied()
+            .filter(|&e| {
+                let s = &self.edges[e.index()];
+                s.dst == dst && s.label == label
+            })
+            .min()
+    }
+
+    /// Minimal live edge id `src --*--> dst` over any label, if any. Same
+    /// min-id convention as [`Graph::find_edge`].
+    pub fn find_edge_any(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.edges_between(src, dst).min()
     }
 
     /// All live edges `src --*--> dst`.

@@ -38,6 +38,8 @@
 //! - [`edit_distance`] — graph edit distance (cost table + exact small-graph
 //!   solver + lower bound), backing the paper's "best repair" selection.
 //! - [`io`] — portable JSON / plain-text documents.
+//! - [`snapshot`] — frozen, compacted CSR snapshots for scan-heavy
+//!   matching phases.
 //! - [`stats`] — dataset statistics (T1 table).
 
 #![warn(missing_docs)]
@@ -49,6 +51,7 @@ pub mod graph;
 pub mod ids;
 pub mod interner;
 pub mod io;
+pub mod snapshot;
 pub mod stats;
 mod value;
 
@@ -58,5 +61,6 @@ pub use graph::{sig_bit, EdgeRef, Graph, MergeOutcome};
 pub use ids::{AttrKeyId, Direction, EdgeId, LabelId, NodeId};
 pub use interner::Interner;
 pub use io::{EdgeDoc, GraphDoc, NodeDoc};
+pub use snapshot::{CsrEntry, FrozenGraph};
 pub use stats::GraphStats;
 pub use value::Value;

@@ -40,6 +40,8 @@
 pub mod matcher;
 pub mod oracle;
 pub mod pattern;
+pub mod view;
 
 pub use matcher::{Match, MatchConfig, Matcher, TouchSet};
 pub use pattern::{CmpOp, Constraint, Pattern, PatternBuilder, PatternEdge, PatternNode, Rhs, Var};
+pub use view::GraphView;

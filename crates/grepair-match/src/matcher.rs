@@ -22,6 +22,7 @@
 //! set, without duplicates.
 
 use crate::pattern::{CmpOp, Constraint, Pattern, Rhs};
+use crate::view::GraphView;
 use grepair_graph::{sig_bit, AttrKeyId, Direction, EdgeId, Graph, LabelId, NodeId, Value};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
@@ -172,15 +173,18 @@ struct Compiled {
     forbid_touched: Vec<bool>,
 }
 
-/// Pattern matcher over a single graph.
-pub struct Matcher<'g> {
-    g: &'g Graph,
+/// Pattern matcher over a single [`GraphView`] — the live [`Graph`] by
+/// default, or a [`grepair_graph::FrozenGraph`] CSR snapshot for
+/// scan-heavy phases. Both views yield byte-identical match output (see
+/// [`crate::view`]).
+pub struct Matcher<'g, G: GraphView + ?Sized = Graph> {
+    g: &'g G,
     cfg: MatchConfig,
 }
 
-impl<'g> Matcher<'g> {
+impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
     /// Matcher with default (fully optimized) configuration.
-    pub fn new(g: &'g Graph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         Self {
             g,
             cfg: MatchConfig::default(),
@@ -188,12 +192,12 @@ impl<'g> Matcher<'g> {
     }
 
     /// Matcher with explicit configuration.
-    pub fn with_config(g: &'g Graph, cfg: MatchConfig) -> Self {
+    pub fn with_config(g: &'g G, cfg: MatchConfig) -> Self {
         Self { g, cfg }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
+    /// The underlying graph view.
+    pub fn graph(&self) -> &'g G {
         self.g
     }
 
@@ -217,7 +221,10 @@ impl<'g> Matcher<'g> {
     /// order and per-root results are concatenated, which is the
     /// sequential DFS emission order.
     #[cfg(feature = "parallel")]
-    pub fn par_find_all(&self, pattern: &Pattern) -> Vec<Match> {
+    pub fn par_find_all(&self, pattern: &Pattern) -> Vec<Match>
+    where
+        G: Sync,
+    {
         use rayon::prelude::*;
         debug_assert!(pattern.validate().is_ok());
         let empty = TouchSet::default();
@@ -667,25 +674,11 @@ impl<'g> Matcher<'g> {
                     continue;
                 };
                 let anchor_node = st.assignment[anchor];
-                let edges: Vec<EdgeId> = match dir {
-                    Direction::Out => g.out_edges(anchor_node).collect(),
-                    Direction::In => g.in_edges(anchor_node).collect(),
+                let want = match e.label {
+                    LabelReq::Is(l) => Some(l),
+                    _ => None,
                 };
-                let mut cands: Vec<NodeId> = edges
-                    .into_iter()
-                    .filter_map(|eid| {
-                        let er = g.edge(eid).ok()?;
-                        if let LabelReq::Is(l) = e.label {
-                            if er.label != l {
-                                return None;
-                            }
-                        }
-                        Some(match dir {
-                            Direction::Out => er.dst,
-                            Direction::In => er.src,
-                        })
-                    })
-                    .collect();
+                let mut cands = g.neighbors(anchor_node, dir, want);
                 cands.sort_unstable();
                 cands.dedup();
                 if best.as_ref().map(|b| cands.len() < b.len()).unwrap_or(true) {
@@ -741,7 +734,7 @@ impl<'g> Matcher<'g> {
                 c.sort_unstable();
                 c
             }
-            _ => g.nodes().collect(),
+            _ => g.node_ids(),
         }
     }
 
@@ -763,7 +756,7 @@ impl<'g> Matcher<'g> {
             return false;
         }
         if let LabelReq::Is(l) = comp.labels[v] {
-            if g.node_label(cand) != Ok(l) {
+            if g.label_of(cand) != Some(l) {
                 return false;
             }
         } else if !g.contains_node(cand) {
@@ -786,8 +779,8 @@ impl<'g> Matcher<'g> {
             let s = if e.src == v { cand } else { st.assignment[e.src] };
             let d = if e.dst == v { cand } else { st.assignment[e.dst] };
             let found = match e.label {
-                LabelReq::Is(l) => g.find_edge(s, d, l),
-                LabelReq::Any => g.edges_between(s, d).next(),
+                LabelReq::Is(l) => g.find_edge(s, d, Some(l)),
+                LabelReq::Any => g.find_edge(s, d, None),
                 LabelReq::Unsatisfiable => None,
             };
             match found {
@@ -801,8 +794,8 @@ impl<'g> Matcher<'g> {
             let s = if e.src == v { cand } else { st.assignment[e.src] };
             let d = if e.dst == v { cand } else { st.assignment[e.dst] };
             let exists = match e.label {
-                LabelReq::Is(l) => g.has_edge_labeled(s, d, l),
-                LabelReq::Any => g.edges_between(s, d).next().is_some(),
+                LabelReq::Is(l) => g.has_edge(s, d, Some(l)),
+                LabelReq::Any => g.has_edge(s, d, None),
                 LabelReq::Unsatisfiable => false,
             };
             if exists {
@@ -830,12 +823,12 @@ impl<'g> Matcher<'g> {
         match c {
             CC::HasAttr(var, key) => attr_of(*var, *key).is_some(),
             CC::MissingAttr(var, key) => attr_of(*var, *key).is_none(),
-            CC::NoOutEdge(var, label) => !g
-                .out_edges(node_of(*var))
-                .any(|e| label.is_none() || g.edge(e).map(|er| Some(er.label) == *label).unwrap_or(false)),
-            CC::NoInEdge(var, label) => !g
-                .in_edges(node_of(*var))
-                .any(|e| label.is_none() || g.edge(e).map(|er| Some(er.label) == *label).unwrap_or(false)),
+            CC::NoOutEdge(var, label) => {
+                !g.has_adjacent_edge(node_of(*var), Direction::Out, *label)
+            }
+            CC::NoInEdge(var, label) => {
+                !g.has_adjacent_edge(node_of(*var), Direction::In, *label)
+            }
             CC::Cmp { var, key, op, rhs } => {
                 let Some(lhs) = attr_of(*var, *key) else {
                     return false;

@@ -12,7 +12,7 @@ use grepair_graph::{EdgeId, Graph, NodeId, Value};
 /// All matches of `pattern` in `g`, by exhaustive enumeration.
 ///
 /// Matches are returned with the same witness-edge convention as the real
-/// matcher (first edge found between the matched endpoints).
+/// matcher (minimal edge id among parallel candidates).
 pub fn brute_force_matches(g: &Graph, pattern: &Pattern) -> Vec<crate::Match> {
     let nodes: Vec<NodeId> = g.nodes().collect();
     let k = pattern.num_vars();
@@ -67,7 +67,7 @@ fn check(g: &Graph, pattern: &Pattern, m: &[NodeId]) -> Option<Vec<EdgeId>> {
                 let l = g.try_label(name)?;
                 g.find_edge(s, d, l)
             }
-            None => g.edges_between(s, d).next(),
+            None => g.find_edge_any(s, d),
         };
         witness.push(found?);
     }

@@ -1,0 +1,331 @@
+//! Read-only graph abstraction the matcher runs over.
+//!
+//! [`GraphView`] is the exact query surface the [`crate::Matcher`] needs —
+//! vocabulary lookups, node/label/attribute access, adjacency enumeration
+//! and edge-existence checks. Two implementations exist:
+//!
+//! - the mutable [`Graph`], for incremental delta re-matching where the
+//!   graph changes between queries;
+//! - the compacted [`FrozenGraph`] CSR snapshot, for full scans where a
+//!   one-pass freeze buys contiguous, binary-searchable adjacency.
+//!
+//! The contract is engineered so both implementations produce
+//! **byte-identical match output**:
+//!
+//! - candidate-returning methods may return ids in any order (the matcher
+//!   sorts), but must return the same *sets*;
+//! - [`GraphView::find_edge`] must return the **minimal** matching edge id
+//!   among parallel duplicates — the shared witness convention.
+
+use grepair_graph::{AttrKeyId, Direction, EdgeId, FrozenGraph, Graph, LabelId, NodeId, Value};
+
+/// Read-only queries the matcher issues against a graph or snapshot.
+///
+/// See the module docs for the inter-implementation contract.
+pub trait GraphView {
+    /// Look up a label by name, without interning.
+    fn try_label(&self, name: &str) -> Option<LabelId>;
+    /// Look up an attribute key by name, without interning.
+    fn try_attr_key(&self, name: &str) -> Option<AttrKeyId>;
+    /// Number of live nodes.
+    fn num_nodes(&self) -> usize;
+    /// All live node ids, ascending.
+    fn node_ids(&self) -> Vec<NodeId>;
+    /// Whether `id` refers to a live node.
+    fn contains_node(&self, id: NodeId) -> bool;
+    /// Label of a live node.
+    fn label_of(&self, id: NodeId) -> Option<LabelId>;
+    /// Out-degree (0 for unknown nodes).
+    fn out_degree(&self, id: NodeId) -> usize;
+    /// In-degree (0 for unknown nodes).
+    fn in_degree(&self, id: NodeId) -> usize;
+    /// Neighbor-label signature (0 for unknown nodes).
+    fn signature(&self, id: NodeId) -> u64;
+    /// Attribute value of a node.
+    fn attr(&self, id: NodeId, key: AttrKeyId) -> Option<&Value>;
+    /// Live nodes carrying `label`, in unspecified order.
+    fn nodes_with_label(&self, label: LabelId) -> &[NodeId];
+    /// Count of live nodes with `label`.
+    fn count_nodes_with_label(&self, label: LabelId) -> usize;
+    /// Live nodes whose attribute `key` equals `value`, unspecified order.
+    fn nodes_with_attr(&self, key: AttrKeyId, value: &Value) -> Vec<NodeId>;
+    /// Neighbors reached over `dir`-oriented incident edges, optionally
+    /// restricted to one edge label. May contain duplicates (parallel
+    /// edges); unspecified order.
+    fn neighbors(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> Vec<NodeId>;
+    /// Minimal edge id `src → dst` with the given label (`None` = any
+    /// label), if one exists.
+    fn find_edge(&self, src: NodeId, dst: NodeId, label: Option<LabelId>) -> Option<EdgeId>;
+    /// Whether any edge `src → dst` with the given label (`None` = any)
+    /// exists.
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Option<LabelId>) -> bool {
+        self.find_edge(src, dst, label).is_some()
+    }
+    /// Whether `id` has any `dir`-oriented incident edge with the given
+    /// label (`None` = any label at all).
+    fn has_adjacent_edge(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> bool;
+}
+
+impl GraphView for Graph {
+    fn try_label(&self, name: &str) -> Option<LabelId> {
+        Graph::try_label(self, name)
+    }
+
+    fn try_attr_key(&self, name: &str) -> Option<AttrKeyId> {
+        Graph::try_attr_key(self, name)
+    }
+
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes().collect()
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        Graph::contains_node(self, id)
+    }
+
+    fn label_of(&self, id: NodeId) -> Option<LabelId> {
+        self.node_label(id).ok()
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        Graph::out_degree(self, id)
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        Graph::in_degree(self, id)
+    }
+
+    fn signature(&self, id: NodeId) -> u64 {
+        Graph::signature(self, id)
+    }
+
+    fn attr(&self, id: NodeId, key: AttrKeyId) -> Option<&Value> {
+        Graph::attr(self, id, key)
+    }
+
+    fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
+        Graph::nodes_with_label(self, label)
+    }
+
+    fn count_nodes_with_label(&self, label: LabelId) -> usize {
+        Graph::count_nodes_with_label(self, label)
+    }
+
+    fn nodes_with_attr(&self, key: AttrKeyId, value: &Value) -> Vec<NodeId> {
+        Graph::nodes_with_attr(self, key, value)
+    }
+
+    fn neighbors(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> Vec<NodeId> {
+        // Hot path: one output allocation, no intermediate edge-id Vec.
+        fn gather(
+            g: &Graph,
+            edges: impl Iterator<Item = EdgeId>,
+            dir: Direction,
+            label: Option<LabelId>,
+        ) -> Vec<NodeId> {
+            edges
+                .filter_map(|e| {
+                    let er = g.edge(e).ok()?;
+                    if let Some(l) = label {
+                        if er.label != l {
+                            return None;
+                        }
+                    }
+                    Some(match dir {
+                        Direction::Out => er.dst,
+                        Direction::In => er.src,
+                    })
+                })
+                .collect()
+        }
+        match dir {
+            Direction::Out => gather(self, self.out_edges(id), dir, label),
+            Direction::In => gather(self, self.in_edges(id), dir, label),
+        }
+    }
+
+    fn find_edge(&self, src: NodeId, dst: NodeId, label: Option<LabelId>) -> Option<EdgeId> {
+        match label {
+            Some(l) => Graph::find_edge(self, src, dst, l),
+            None => self.find_edge_any(src, dst),
+        }
+    }
+
+    fn has_edge(&self, src: NodeId, dst: NodeId, label: Option<LabelId>) -> bool {
+        match label {
+            Some(l) => self.has_edge_labeled(src, dst, l),
+            None => self.edges_between(src, dst).next().is_some(),
+        }
+    }
+
+    fn has_adjacent_edge(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> bool {
+        // Monomorphized per call site: `out_edges` and `in_edges` return
+        // distinct opaque iterator types, and this sits in the matcher's
+        // innermost constraint loop — no boxing.
+        fn check(g: &Graph, mut edges: impl Iterator<Item = EdgeId>, label: Option<LabelId>) -> bool {
+            match label {
+                None => edges.next().is_some(),
+                Some(l) => edges.any(|e| g.edge(e).map(|er| er.label == l).unwrap_or(false)),
+            }
+        }
+        match dir {
+            Direction::Out => check(self, self.out_edges(id), label),
+            Direction::In => check(self, self.in_edges(id), label),
+        }
+    }
+}
+
+impl GraphView for FrozenGraph {
+    fn try_label(&self, name: &str) -> Option<LabelId> {
+        FrozenGraph::try_label(self, name)
+    }
+
+    fn try_attr_key(&self, name: &str) -> Option<AttrKeyId> {
+        FrozenGraph::try_attr_key(self, name)
+    }
+
+    fn num_nodes(&self) -> usize {
+        FrozenGraph::num_nodes(self)
+    }
+
+    fn node_ids(&self) -> Vec<NodeId> {
+        FrozenGraph::node_ids(self).to_vec()
+    }
+
+    fn contains_node(&self, id: NodeId) -> bool {
+        FrozenGraph::contains_node(self, id)
+    }
+
+    fn label_of(&self, id: NodeId) -> Option<LabelId> {
+        self.node_label(id)
+    }
+
+    fn out_degree(&self, id: NodeId) -> usize {
+        FrozenGraph::out_degree(self, id)
+    }
+
+    fn in_degree(&self, id: NodeId) -> usize {
+        FrozenGraph::in_degree(self, id)
+    }
+
+    fn signature(&self, id: NodeId) -> u64 {
+        FrozenGraph::signature(self, id)
+    }
+
+    fn attr(&self, id: NodeId, key: AttrKeyId) -> Option<&Value> {
+        FrozenGraph::attr(self, id, key)
+    }
+
+    fn nodes_with_label(&self, label: LabelId) -> &[NodeId] {
+        FrozenGraph::nodes_with_label(self, label)
+    }
+
+    fn count_nodes_with_label(&self, label: LabelId) -> usize {
+        FrozenGraph::count_nodes_with_label(self, label)
+    }
+
+    fn nodes_with_attr(&self, key: AttrKeyId, value: &Value) -> Vec<NodeId> {
+        FrozenGraph::nodes_with_attr(self, key, value).to_vec()
+    }
+
+    fn neighbors(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> Vec<NodeId> {
+        let run = match (dir, label) {
+            (Direction::Out, Some(l)) => self.out_entries_labeled(id, l),
+            (Direction::Out, None) => self.out_entries(id),
+            (Direction::In, Some(l)) => self.in_entries_labeled(id, l),
+            (Direction::In, None) => self.in_entries(id),
+        };
+        run.iter().map(|e| e.neighbor).collect()
+    }
+
+    fn find_edge(&self, src: NodeId, dst: NodeId, label: Option<LabelId>) -> Option<EdgeId> {
+        match label {
+            Some(l) => FrozenGraph::find_edge(self, src, dst, l),
+            None => self.find_edge_any(src, dst),
+        }
+    }
+
+    fn has_adjacent_edge(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> bool {
+        match (dir, label) {
+            (Direction::Out, Some(l)) => !self.out_entries_labeled(id, l).is_empty(),
+            (Direction::Out, None) => FrozenGraph::out_degree(self, id) > 0,
+            (Direction::In, Some(l)) => !self.in_entries_labeled(id, l).is_empty(),
+            (Direction::In, None) => FrozenGraph::in_degree(self, id) > 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let q = g.label("Q");
+        let r = g.label("r");
+        let s = g.label("s");
+        let a = g.add_node(p);
+        let b = g.add_node(p);
+        let c = g.add_node(q);
+        g.add_edge(a, b, r).unwrap();
+        g.add_edge(a, b, r).unwrap(); // parallel
+        g.add_edge(a, c, s).unwrap();
+        g.add_edge(c, a, r).unwrap();
+        g
+    }
+
+    /// Both implementations must answer every query identically (after
+    /// order normalization where the contract leaves order open).
+    #[test]
+    fn live_and_frozen_views_agree() {
+        let g = sample();
+        let f = FrozenGraph::freeze(&g);
+        let live: &dyn Fn(&dyn GraphView) -> Vec<String> = &|v| {
+            let mut out = Vec::new();
+            out.push(format!("{}", v.num_nodes()));
+            let mut ids = v.node_ids();
+            ids.sort_unstable();
+            out.push(format!("{ids:?}"));
+            for id in ids {
+                out.push(format!(
+                    "{:?} {:?} {} {} {:016x}",
+                    v.label_of(id),
+                    v.contains_node(id),
+                    v.out_degree(id),
+                    v.in_degree(id),
+                    v.signature(id)
+                ));
+                for dir in [Direction::Out, Direction::In] {
+                    for label in [None, v.try_label("r"), v.try_label("s")] {
+                        let mut nb = v.neighbors(id, dir, label);
+                        nb.sort_unstable();
+                        out.push(format!("{nb:?} {}", v.has_adjacent_edge(id, dir, label)));
+                    }
+                }
+            }
+            out
+        };
+        assert_eq!(live(&g), live(&f));
+
+        let r = GraphView::try_label(&g, "r");
+        let a = g.nodes().next().unwrap();
+        let b = g.nodes().nth(1).unwrap();
+        assert_eq!(
+            GraphView::find_edge(&g, a, b, r),
+            GraphView::find_edge(&f, a, b, r)
+        );
+        assert_eq!(
+            GraphView::find_edge(&g, a, b, None),
+            GraphView::find_edge(&f, a, b, None)
+        );
+        assert_eq!(
+            GraphView::has_edge(&g, b, a, r),
+            GraphView::has_edge(&f, b, a, r)
+        );
+    }
+}

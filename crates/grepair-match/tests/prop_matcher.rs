@@ -1,7 +1,7 @@
 //! Property tests: the optimized matcher agrees with the brute-force
 //! oracle on random graphs and patterns, under every configuration.
 
-use grepair_graph::{Graph, NodeId, Value};
+use grepair_graph::{FrozenGraph, Graph, NodeId, Value};
 use grepair_match::{oracle, Match, MatchConfig, Matcher, Pattern, TouchSet};
 use proptest::prelude::*;
 
@@ -208,6 +208,60 @@ proptest! {
         prop_assert_eq!(&par, &seq, "parallel and sequential match sets differ");
         let expected = node_sets(&oracle::brute_force_matches(&g, &p));
         prop_assert_eq!(node_sets(&par), expected);
+    }
+
+    /// Matching over a frozen CSR snapshot returns exactly the live
+    /// matcher's match sequence — same assignments, same witness edges,
+    /// same order — under every configuration, and therefore also agrees
+    /// with the brute-force oracle. Exercises the tombstone-compaction
+    /// path by deleting some nodes before freezing.
+    #[test]
+    fn frozen_matcher_equals_live_matcher(
+        rg in graph_strategy(),
+        rp in pattern_strategy(),
+        kill_mask in any::<u8>(),
+    ) {
+        let mut g = build_graph(&rg);
+        // Punch tombstones so the snapshot must compact.
+        let victims: Vec<NodeId> = g
+            .nodes()
+            .enumerate()
+            .filter(|(i, _)| kill_mask & (1 << (i % 8)) != 0 && i % 3 == 0)
+            .map(|(_, n)| n)
+            .collect();
+        for v in victims {
+            g.remove_node(v).unwrap();
+        }
+        let p = build_pattern(&rp);
+        let frozen = FrozenGraph::freeze(&g);
+        frozen.check_against(&g).unwrap();
+
+        let full = MatchConfig::default();
+        for cfg in [
+            full,
+            MatchConfig::naive(),
+            MatchConfig { use_label_index: false, ..full },
+            MatchConfig { connected_order: false, ..full },
+        ] {
+            let live = Matcher::with_config(&g, cfg).find_all(&p);
+            let cold = Matcher::with_config(&frozen, cfg).find_all(&p);
+            prop_assert_eq!(&live, &cold, "config {:?}", cfg);
+        }
+        let expected = node_sets(&oracle::brute_force_matches(&g, &p));
+        prop_assert_eq!(node_sets(&Matcher::new(&frozen).find_all(&p)), expected);
+    }
+
+    /// The parallel batch path over a frozen snapshot also returns the
+    /// exact sequential match sequence.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn frozen_par_find_all_equals_live_sequential(rg in graph_strategy(), rp in pattern_strategy()) {
+        let g = build_graph(&rg);
+        let p = build_pattern(&rp);
+        let frozen = FrozenGraph::freeze(&g);
+        let live_seq = Matcher::new(&g).find_all(&p);
+        let frozen_par = Matcher::new(&frozen).par_find_all(&p);
+        prop_assert_eq!(&frozen_par, &live_seq);
     }
 
     /// Witness edges are always live, correctly labelled, and connect the
