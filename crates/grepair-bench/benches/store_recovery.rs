@@ -1,0 +1,197 @@
+//! Durable-store benchmarks: WAL replay throughput, open-after-crash
+//! latency, snapshot open, and journaled append cost, on a 10k+-node
+//! knowledge graph.
+//!
+//! Prints an explicit summary (records/s replay throughput, open
+//! latencies) after the criterion groups. Set `GREPAIR_BENCH_SMOKE=1`
+//! for a minimal configuration so CI can exercise the whole path in
+//! seconds.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::{RepairEngine, RuleSet};
+use grepair_gen::gold_kg_rules;
+use grepair_store::{DurableGraph, StoreConfig};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn fixture_persons() -> usize {
+    if smoke() {
+        300
+    } else {
+        10_000
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "grepair-bench-store-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Journal-import the dirty KG fixture, then run a durable repair so the
+/// log holds generated mutations *and* engine-applied repairs — the
+/// workload recovery actually replays in production. Returns the store
+/// directory and the journaled record count.
+fn build_store(tag: &str) -> (PathBuf, u64) {
+    let dir = tmpdir(tag);
+    let g = dirty_kg_fixture(fixture_persons());
+    let doc = g.to_doc();
+    let mut store = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+    let mut ids = Vec::with_capacity(doc.nodes.len());
+    for n in &doc.nodes {
+        let attrs: Vec<_> = n
+            .attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        ids.push(store.add_node_with_attrs(&n.label, &attrs).unwrap());
+    }
+    for e in &doc.edges {
+        store
+            .add_edge(ids[e.src as usize], ids[e.dst as usize], &e.label)
+            .unwrap();
+    }
+    let rules: RuleSet = gold_kg_rules();
+    store.repair(&RepairEngine::default(), &rules.rules).unwrap();
+    store.commit().unwrap();
+    let records = store.last_seq();
+    (dir, records)
+}
+
+/// Append a torn half-record to the active segment of `dir`.
+fn tear_tail(dir: &std::path::Path) {
+    use std::io::Write as _;
+    let (_, seg) = grepair_store::wal::list_segments(dir).unwrap().pop().unwrap();
+    let mut f = std::fs::OpenOptions::new().append(true).open(seg).unwrap();
+    f.write_all(&[0xC4; 21]).unwrap(); // torn frame header + partial payload
+}
+
+/// A copy of `src` with a torn half-record appended to the active
+/// segment — the crash-recovery workload.
+fn crashed_copy(src: &PathBuf, tag: &str) -> PathBuf {
+    let dst = tmpdir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    tear_tail(&dst);
+    dst
+}
+
+/// A compacted copy: recovery = snapshot load, no replay.
+fn compacted_copy(src: &PathBuf, tag: &str) -> PathBuf {
+    let dst = tmpdir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    let mut store = DurableGraph::open(&dst, StoreConfig::default()).unwrap();
+    store.compact().unwrap();
+    dst
+}
+
+fn bench_store_recovery(c: &mut Criterion) {
+    let (dir, records) = build_store("fixture");
+    let crashed = crashed_copy(&dir, "crashed");
+    let compacted = compacted_copy(&dir, "compacted");
+
+    let mut group = c.benchmark_group("store_recovery");
+    group.sample_size(if smoke() { 2 } else { 10 });
+
+    group.bench_with_input(BenchmarkId::new("open", "replay_log"), &dir, |b, d| {
+        b.iter(|| DurableGraph::open(d, StoreConfig::default()).unwrap().last_seq())
+    });
+    group.bench_with_input(
+        BenchmarkId::new("open", "after_crash"),
+        &crashed,
+        |b, d| {
+            // Recovery *heals* the tail (truncates it), so each iteration
+            // re-tears the segment first; the 21-byte append is noise
+            // next to the open.
+            b.iter(|| {
+                tear_tail(d);
+                let s = DurableGraph::open(d, StoreConfig::default()).unwrap();
+                assert!(s.last_recovery().torn_tail_bytes > 0);
+                s.last_seq()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("open", "from_snapshot"),
+        &compacted,
+        |b, d| {
+            b.iter(|| DurableGraph::open(d, StoreConfig::default()).unwrap().last_seq())
+        },
+    );
+    // Journaled append cost (no fsync per op; that's `commit`'s job).
+    group.bench_function("append/add_node", |b| {
+        let scratch = tmpdir("append");
+        let mut store = DurableGraph::create(&scratch, StoreConfig::default()).unwrap();
+        b.iter(|| store.add_node("Person").unwrap());
+        std::fs::remove_dir_all(&scratch).ok();
+    });
+    group.finish();
+
+    summary(&dir, &crashed, &compacted, records);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&crashed).ok();
+    std::fs::remove_dir_all(&compacted).ok();
+}
+
+/// Median-of-N wall time for `f`, after one untimed warm-up call.
+fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn summary(dir: &PathBuf, crashed: &PathBuf, compacted: &PathBuf, records: u64) {
+    let samples = if smoke() { 1 } else { 7 };
+    let open = |d: &PathBuf| {
+        let s = DurableGraph::open(d, StoreConfig::default()).unwrap();
+        (s.graph().num_nodes(), s.last_seq())
+    };
+    // The three paths must agree on the recovered graph.
+    let (nodes, _) = open(dir);
+    assert_eq!(open(crashed).0, nodes);
+    assert_eq!(open(compacted).0, nodes);
+
+    let replay = time(samples, || open(dir));
+    let crash = time(samples, || {
+        tear_tail(crashed);
+        open(crashed)
+    });
+    let snap = time(samples, || open(compacted));
+    let throughput = records as f64 / replay.as_secs_f64().max(1e-12);
+    println!(
+        "\nstore-recovery summary ({} persons, {nodes} live nodes, {records} log records):\n\
+         \x20 full replay {replay:?} = {throughput:.0} records/s\n\
+         \x20 open after crash (torn tail) {crash:?}\n\
+         \x20 open from snapshot {snap:?} ({:.2}x faster than replay)",
+        fixture_persons(),
+        replay.as_secs_f64() / snap.as_secs_f64().max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench_store_recovery);
+
+fn main() {
+    benches();
+}

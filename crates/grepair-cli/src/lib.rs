@@ -11,7 +11,13 @@
 //! grepair analyze -r rules.grr
 //! grepair mine -g clean.json -o mined.grr
 //! grepair fmt -r rules.grr
+//! grepair store init -d ./kg.store --from dirty.json
+//! grepair repair -r rules.grr --store ./kg.store
+//! grepair store status -d ./kg.store
 //! ```
+//!
+//! All file outputs are written atomically (temp file + rename), so an
+//! interrupted command never leaves a truncated graph on disk.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,7 +30,9 @@ use grepair_gen::{
 };
 use grepair_graph::{Graph, GraphDoc, GraphStats};
 use grepair_mine::{mine_all, MinerConfig};
+use grepair_store::{DurableGraph, StoreConfig};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// CLI error: message + suggested exit code.
 #[derive(Debug)]
@@ -138,6 +146,52 @@ fn load_graph(path: &str) -> Result<Graph, CliError> {
     Graph::from_doc(&doc).map_err(|e| CliError::io(format!("cannot build graph: {e}")))
 }
 
+/// Write `contents` to `path` atomically: temp file in the same
+/// directory, fsync, then rename over the target. An interrupted command
+/// leaves either the old file or the new one — never a truncated mix.
+///
+/// Non-regular targets (`/dev/null`, pipes) are written in place —
+/// renaming a temp file over a device would *replace the device*. A
+/// symlink target is resolved first so the write goes *through* the
+/// link (renaming would replace the link itself with a regular file).
+fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
+    let io_err = |e: std::io::Error| CliError::io(format!("cannot write {path}: {e}"));
+    let target: std::path::PathBuf =
+        if std::fs::symlink_metadata(path).is_ok_and(|m| m.file_type().is_symlink()) {
+            match std::fs::canonicalize(path) {
+                Ok(resolved) => resolved,
+                // Dangling link: write through it, creating the target.
+                Err(_) => return std::fs::write(path, contents).map_err(io_err),
+            }
+        } else {
+            path.into()
+        };
+    if std::fs::metadata(&target).is_ok_and(|m| !m.is_file()) {
+        return std::fs::write(&target, contents).map_err(io_err);
+    }
+    let dir = target.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| CliError::io(format!("invalid output path {path}")))?;
+    let tmp = dir
+        .unwrap_or_else(|| Path::new("."))
+        .join(format!(".{file_name}.{}.tmp", std::process::id()));
+    let write_tmp = || -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_data()
+    };
+    write_tmp()
+        .and_then(|()| std::fs::rename(&tmp, &target))
+        .map_err(|e| {
+            // Never leave temp droppings, whichever step failed.
+            let _ = std::fs::remove_file(&tmp);
+            io_err(e)
+        })
+}
+
 fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
     let doc = g.to_doc();
     let text = if path.ends_with(".txt") {
@@ -145,7 +199,7 @@ fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
     } else {
         doc.to_json()
     };
-    std::fs::write(path, text).map_err(|e| CliError::io(format!("cannot write {path}: {e}")))
+    write_atomic(path, &text)
 }
 
 fn load_rules(path: &str) -> Result<RuleSet, CliError> {
@@ -167,19 +221,30 @@ pub const USAGE: &str = "grepair — rule-based graph repairing
 usage: grepair <command> [args]
 
 commands:
-  gen kg       --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
-  gen social   --accounts N [--seed S] -o OUT
-  stats        GRAPH
-  check        -r RULES -g GRAPH [--frozen]
-  repair       -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
-  analyze      -r RULES
-  mine         -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
-  fmt          -r RULES
+  gen kg        --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
+  gen social    --accounts N [--seed S] -o OUT
+  stats         GRAPH
+  check         -r RULES (-g GRAPH | --store DIR) [--frozen]
+  repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
+  repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R]
+  analyze       -r RULES
+  mine          -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
+  fmt           -r RULES
+  store init    -d DIR [--from GRAPH]
+  store status  -d DIR
+  store compact -d DIR
+  store export  -d DIR -o OUT
 
 Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
 .grr DSL or .json. --frozen runs full scans over a compacted CSR snapshot
 of the graph (faster on large graphs, identical results; --naive enables
-it by default).";
+it by default).
+
+A store (--store/-d DIR) is a durable graph: every mutation and every
+applied repair is journaled to a checksummed write-ahead log with
+periodic binary snapshots, and reopening recovers the exact committed
+state even after a crash mid-write. `repair --store` commits repairs
+durably and compacts the log when it outgrows its threshold.";
 
 /// Dispatch a command line (without the program name). Returns the text
 /// to print on stdout.
@@ -196,6 +261,7 @@ pub fn dispatch(tokens: &[String]) -> CliResult {
         "analyze" => cmd_analyze(rest),
         "mine" => cmd_mine(rest),
         "fmt" => cmd_fmt(rest),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -240,8 +306,7 @@ fn cmd_gen(tokens: &[String]) -> CliResult {
                 if let Some(ledger_path) = args.get(&["ledger"]) {
                     let json = serde_json::to_string_pretty(&truth.errors)
                         .expect("ledger serializes");
-                    std::fs::write(ledger_path, json)
-                        .map_err(|e| CliError::io(e.to_string()))?;
+                    write_atomic(ledger_path, &json)?;
                 }
                 let (i, c, r) = truth.class_counts();
                 writeln!(
@@ -285,16 +350,46 @@ fn cmd_stats(tokens: &[String]) -> CliResult {
     Ok(format!("{path}: {}", GraphStats::compute(&g)))
 }
 
+fn open_store(dir: &str) -> Result<DurableGraph, CliError> {
+    DurableGraph::open(Path::new(dir), StoreConfig::default())
+        .map_err(|e| CliError::io(format!("cannot open store {dir}: {e}")))
+}
+
+fn recovery_summary(store: &DurableGraph) -> String {
+    let r = store.last_recovery();
+    let mut out = format!(
+        "opened store: snapshot seq {}, {} records replayed in {:?}",
+        r.snapshot_seq, r.records_replayed, r.wall
+    );
+    if r.torn_tail_bytes > 0 {
+        write!(out, " (truncated {} torn tail bytes)", r.torn_tail_bytes).unwrap();
+    }
+    if r.snapshots_skipped > 0 {
+        write!(out, " ({} damaged snapshots skipped)", r.snapshots_skipped).unwrap();
+    }
+    out
+}
+
 fn cmd_check(tokens: &[String]) -> CliResult {
     let args = Args::parse(tokens);
     let rules = load_rules(
         args.get(&["r", "rules"])
             .ok_or_else(|| CliError::usage("check: missing -r RULES"))?,
     )?;
-    let g = load_graph(
-        args.get(&["g", "graph"])
-            .ok_or_else(|| CliError::usage("check: missing -g GRAPH"))?,
-    )?;
+    let mut header = String::new();
+    let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
+        (Some(path), None) => load_graph(path)?,
+        (None, Some(dir)) => {
+            let store = open_store(dir)?;
+            writeln!(header, "{}", recovery_summary(&store)).unwrap();
+            store.into_graph()
+        }
+        _ => {
+            return Err(CliError::usage(
+                "check: need exactly one of -g GRAPH or --store DIR",
+            ))
+        }
+    };
     let counts: Vec<usize> = if args.has("frozen") {
         let frozen = grepair_graph::FrozenGraph::freeze(&g);
         let matcher = grepair_match::Matcher::new(&frozen);
@@ -303,7 +398,7 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         let matcher = grepair_match::Matcher::new(&g);
         rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
     };
-    let mut out = String::new();
+    let mut out = header;
     let mut total = 0usize;
     for (r, n) in rules.rules.iter().zip(counts) {
         total += n;
@@ -319,13 +414,6 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
         args.get(&["r", "rules"])
             .ok_or_else(|| CliError::usage("repair: missing -r RULES"))?,
     )?;
-    let mut g = load_graph(
-        args.get(&["g", "graph"])
-            .ok_or_else(|| CliError::usage("repair: missing -g GRAPH"))?,
-    )?;
-    let out_path = args
-        .get(&["o", "out"])
-        .ok_or_else(|| CliError::usage("repair: missing -o OUT"))?;
     let mut config = if args.has("naive") {
         EngineConfig::naive_with_indexes()
     } else {
@@ -334,13 +422,60 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     if args.has("frozen") {
         config.freeze_scans = true;
     }
-    let report = RepairEngine::new(config).repair(&mut g, &rules.rules);
-    save_graph(&g, out_path)?;
-    if let Some(rp) = args.get(&["report"]) {
-        std::fs::write(rp, serde_json::to_string_pretty(&report).unwrap())
-            .map_err(|e| CliError::io(e.to_string()))?;
-    }
+    let engine = RepairEngine::new(config);
+
     let mut out = String::new();
+    let report = match (args.get(&["g", "graph"]), args.get(&["store"])) {
+        (Some(graph_path), None) => {
+            let mut g = load_graph(graph_path)?;
+            let out_path = args
+                .get(&["o", "out"])
+                .ok_or_else(|| CliError::usage("repair: missing -o OUT"))?;
+            let report = engine.repair(&mut g, &rules.rules);
+            save_graph(&g, out_path)?;
+            writeln!(out, "wrote repaired graph to {out_path}").unwrap();
+            report
+        }
+        (None, Some(dir)) => {
+            let mut store = open_store(dir)?;
+            writeln!(out, "{}", recovery_summary(&store)).unwrap();
+            let report = store
+                .repair(&engine, &rules.rules)
+                .map_err(|e| CliError::io(format!("durable repair failed: {e}")))?;
+            if let Some(c) = store
+                .maybe_compact()
+                .map_err(|e| CliError::io(format!("compaction failed: {e}")))?
+            {
+                writeln!(
+                    out,
+                    "compacted: snapshot at seq {}, {} segments retired",
+                    c.snapshot_seq, c.segments_retired
+                )
+                .unwrap();
+            }
+            writeln!(
+                out,
+                "durably committed {} repairs to {dir} (last seq {})",
+                report.repairs_applied,
+                store.last_seq()
+            )
+            .unwrap();
+            // -o alongside --store exports the repaired graph too.
+            if let Some(out_path) = args.get(&["o", "out"]) {
+                save_graph(store.graph(), out_path)?;
+                writeln!(out, "wrote repaired graph to {out_path}").unwrap();
+            }
+            report
+        }
+        _ => {
+            return Err(CliError::usage(
+                "repair: need exactly one of -g GRAPH (with -o OUT) or --store DIR",
+            ))
+        }
+    };
+    if let Some(rp) = args.get(&["report"]) {
+        write_atomic(rp, &serde_json::to_string_pretty(&report).unwrap())?;
+    }
     writeln!(
         out,
         "applied {} repairs in {:?} (converged: {}, residual: {})",
@@ -350,8 +485,62 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     for s in report.per_rule.iter().filter(|s| s.repairs_applied > 0) {
         writeln!(out, "  {:<40} {:>6}", s.name, s.repairs_applied).unwrap();
     }
-    write!(out, "wrote repaired graph to {out_path}").unwrap();
+    out.truncate(out.trim_end().len());
     Ok(out)
+}
+
+fn cmd_store(tokens: &[String]) -> CliResult {
+    let Some(sub) = tokens.first().map(String::as_str) else {
+        return Err(CliError::usage(
+            "store: expected 'init', 'status', 'compact' or 'export'",
+        ));
+    };
+    let args = Args::parse(&tokens[1..]);
+    let dir = args
+        .get(&["d", "dir", "store"])
+        .ok_or_else(|| CliError::usage(format!("store {sub}: missing -d DIR")))?;
+    match sub {
+        "init" => {
+            let store = match args.get(&["from"]) {
+                Some(graph_path) => {
+                    let g = load_graph(graph_path)?;
+                    DurableGraph::create_with(Path::new(dir), StoreConfig::default(), g)
+                }
+                None => DurableGraph::create(Path::new(dir), StoreConfig::default()),
+            }
+            .map_err(|e| CliError::io(format!("cannot init store {dir}: {e}")))?;
+            let status = store
+                .status()
+                .map_err(|e| CliError::io(e.to_string()))?;
+            Ok(format!("initialized store at {dir}\n{status}"))
+        }
+        "status" => {
+            let store = open_store(dir)?;
+            let status = store
+                .status()
+                .map_err(|e| CliError::io(e.to_string()))?;
+            Ok(format!("{}\n{status}", recovery_summary(&store)))
+        }
+        "compact" => {
+            let mut store = open_store(dir)?;
+            let c = store
+                .compact()
+                .map_err(|e| CliError::io(format!("compaction failed: {e}")))?;
+            Ok(format!(
+                "compacted {dir}: snapshot at seq {}, {} segments and {} snapshots retired, {} bytes reclaimed",
+                c.snapshot_seq, c.segments_retired, c.snapshots_retired, c.bytes_reclaimed
+            ))
+        }
+        "export" => {
+            let out_path = args
+                .get(&["o", "out"])
+                .ok_or_else(|| CliError::usage("store export: missing -o OUT"))?;
+            let store = open_store(dir)?;
+            save_graph(store.graph(), out_path)?;
+            Ok(format!("exported store {dir} to {out_path}"))
+        }
+        other => Err(CliError::usage(format!("store: unknown subcommand {other:?}"))),
+    }
 }
 
 fn cmd_analyze(tokens: &[String]) -> CliResult {
@@ -424,7 +613,7 @@ fn cmd_mine(tokens: &[String]) -> CliResult {
         dsl.push('\n');
     }
     if let Some(out) = args.get(&["o", "out"]) {
-        std::fs::write(out, &dsl).map_err(|e| CliError::io(e.to_string()))?;
+        write_atomic(out, &dsl)?;
         writeln!(summary, "wrote DSL to {out}").unwrap();
     } else {
         summary.push('\n');
@@ -621,10 +810,205 @@ mod tests {
             vec!["analyze"],
             vec!["mine"],
             vec!["fmt"],
+            vec!["store"],
+            vec!["store", "init"],
+            vec!["store", "frobnicate", "-d", "x"],
+            vec!["store", "export", "-d", "x"],
         ] {
             let err = dispatch(&toks(&cmd)).unwrap_err();
             assert!(err.code == 2 || err.code == 1, "{cmd:?}: {}", err.message);
         }
+        // Graph source must be exactly one of -g / --store.
+        let dir = tmpdir();
+        let rules = dir.join("conflict-rules.grr");
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        let err = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", "a.json", "--store", "d",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", "a.json", "--store", "d",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_workflow_end_to_end() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty.json");
+        let store_dir = dir.join("kg.store");
+        let rules = dir.join("rules.grr");
+        let exported = dir.join("exported.json");
+        let report = dir.join("report.json");
+
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "150", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+
+        // init --from imports the graph as a genesis snapshot.
+        let out = dispatch(&toks(&[
+            "store", "init", "-d", store_dir.to_str().unwrap(),
+            "--from", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("initialized store"), "{out}");
+        // Double-init fails.
+        assert!(dispatch(&toks(&[
+            "store", "init", "-d", store_dir.to_str().unwrap(),
+        ]))
+        .is_err());
+
+        // check --store sees the same violations as check -g.
+        let from_store = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let from_file = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let totals = |s: &str| -> usize {
+            s.lines()
+                .find(|l| l.starts_with("TOTAL"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+                .unwrap()
+        };
+        assert!(totals(&from_store) > 0);
+        assert_eq!(totals(&from_store), totals(&from_file));
+
+        // repair --store commits durably and writes the report.
+        let out = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+            "--report", report.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("durably committed"), "{out}");
+        assert!(out.contains("converged: true"), "{out}");
+        assert!(report.exists());
+
+        // Reopen: repairs survived; zero violations.
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(totals(&out), 0, "{out}");
+
+        // status + compact + export round-trip.
+        let out = dispatch(&toks(&["store", "status", "-d", store_dir.to_str().unwrap()]))
+            .unwrap();
+        assert!(out.contains("last_seq"), "{out}");
+        let out = dispatch(&toks(&["store", "compact", "-d", store_dir.to_str().unwrap()]))
+            .unwrap();
+        assert!(out.contains("snapshot at seq"), "{out}");
+        dispatch(&toks(&[
+            "store", "export", "-d", store_dir.to_str().unwrap(),
+            "-o", exported.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", exported.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(totals(&out), 0, "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repair_store_survives_simulated_crash() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-crash.json");
+        let store_dir = dir.join("crash.store");
+        let rules = dir.join("rules-crash.grr");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "120", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        dispatch(&toks(&[
+            "store", "init", "-d", store_dir.to_str().unwrap(),
+            "--from", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Crash simulation: torn garbage on the active segment.
+        let seg = std::fs::read_dir(&store_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .max()
+            .unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[0xEE; 9]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        // The store reopens, reports the truncation, and keeps repairs.
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("torn tail"), "{out}");
+        assert!(out.lines().any(|l| l.starts_with("TOTAL") && l.contains('0')), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_never_leaves_truncated_output() {
+        let dir = tmpdir();
+        let path = dir.join("out.json");
+        // Overwrite an existing file; failure of the rename would leave
+        // the old contents, never a mix.
+        std::fs::write(&path, "OLD").unwrap();
+        write_atomic(path.to_str().unwrap(), "NEW CONTENTS").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "NEW CONTENTS");
+        // No temp droppings.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        // Writing into a missing directory errors cleanly.
+        let bad = dir.join("no-such-dir").join("x.json");
+        assert!(write_atomic(bad.to_str().unwrap(), "x").is_err());
+        // Special files are written in place, not renamed over: /dev/null
+        // must still be a character device afterwards.
+        #[cfg(unix)]
+        {
+            write_atomic("/dev/null", "discard me").unwrap();
+            use std::os::unix::fs::FileTypeExt as _;
+            let ft = std::fs::metadata("/dev/null").unwrap().file_type();
+            assert!(ft.is_char_device(), "/dev/null clobbered: {ft:?}");
+        }
+        // Symlinked outputs are written *through*, not replaced: the
+        // link survives and its target gets the new contents.
+        #[cfg(unix)]
+        {
+            let real = dir.join("real.json");
+            let link = dir.join("link.json");
+            std::fs::write(&real, "stale").unwrap();
+            std::os::unix::fs::symlink(&real, &link).unwrap();
+            write_atomic(link.to_str().unwrap(), "via link").unwrap();
+            assert!(std::fs::symlink_metadata(&link)
+                .unwrap()
+                .file_type()
+                .is_symlink());
+            assert_eq!(std::fs::read_to_string(&real).unwrap(), "via link");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -26,8 +26,11 @@ pub enum AppliedOp {
         node: NodeId,
         /// Its label.
         label: String,
-        /// Number of attributes set at creation.
-        attrs: usize,
+        /// Attributes set at creation, in application order. Recorded in
+        /// full (not just a count) so the op log is *replayable* — a
+        /// durable store can re-derive the exact graph state from the
+        /// log alone.
+        attrs: Vec<(String, Value)>,
     },
     /// An edge was created.
     InsertEdge {
@@ -161,7 +164,7 @@ pub fn apply_rule(
             } => {
                 let l = g.label(label);
                 let node = g.add_node(l);
-                let mut set = 0usize;
+                let mut set = Vec::new();
                 for (key, src) in attrs {
                     let value = match src {
                         ValueSource::Const(v) => Some(v.clone()),
@@ -174,8 +177,8 @@ pub fn apply_rule(
                     };
                     if let Some(value) = value {
                         let kk = g.attr_key(key);
-                        g.set_attr(node, kk, value)?;
-                        set += 1;
+                        g.set_attr(node, kk, value.clone())?;
+                        set.push((key.clone(), value));
                     }
                 }
                 fresh.insert(binder.as_str(), node);

@@ -22,7 +22,7 @@ use grepair_match::Match;
 pub fn op_cost(op: &AppliedOp, costs: &EditCosts) -> f64 {
     match op {
         AppliedOp::InsertNode { attrs, .. } => {
-            costs.node_insert + *attrs as f64 * costs.attr_change
+            costs.node_insert + attrs.len() as f64 * costs.attr_change
         }
         AppliedOp::InsertEdge { .. } => costs.edge_insert,
         AppliedOp::DeleteNode { removed_edges, .. } => {

@@ -266,6 +266,24 @@ impl RepairEngine {
 
     /// Repair `g` with `rules` until fixpoint (or a guard trips).
     pub fn repair(&self, g: &mut Graph, rules: &[Grr]) -> RepairReport {
+        self.repair_with_sink(g, rules, |_| {})
+    }
+
+    /// Like [`RepairEngine::repair`], but invokes `sink` with every
+    /// applied operation *as it lands*, in application order.
+    ///
+    /// This is the durability hook: a store wraps the graph, passes a
+    /// sink that journals each op to its write-ahead log, and the repair
+    /// run becomes replayable — the sink sees exactly the ops that
+    /// mutated the graph (no-ops are never reported), before the next
+    /// violation is attempted. The ops also still accumulate in
+    /// [`RepairReport::ops`].
+    pub fn repair_with_sink(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        mut sink: impl FnMut(&AppliedOp),
+    ) -> RepairReport {
         let start = Instant::now();
         let mut report = RepairReport {
             per_rule: rules
@@ -284,8 +302,10 @@ impl RepairEngine {
         };
 
         match self.config.mode {
-            EngineMode::Naive => self.run_naive(g, rules, &mut report, max_repairs),
-            EngineMode::Incremental => self.run_incremental(g, rules, &mut report, max_repairs),
+            EngineMode::Naive => self.run_naive(g, rules, &mut report, max_repairs, &mut sink),
+            EngineMode::Incremental => {
+                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink)
+            }
         }
 
         if self.config.verify_fixpoint {
@@ -399,6 +419,7 @@ impl RepairEngine {
         rules: &[Grr],
         report: &mut RepairReport,
         max_repairs: usize,
+        sink: &mut dyn FnMut(&AppliedOp),
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
         for _round in 0..self.config.max_rounds {
@@ -423,7 +444,7 @@ impl RepairEngine {
                 if !self.admit(&mut churn, &v) {
                     continue;
                 }
-                if self.apply_one(g, rules, &v, report) {
+                if self.apply_one(g, rules, &v, report, sink) {
                     applied_any = true;
                 }
             }
@@ -439,6 +460,7 @@ impl RepairEngine {
         rules: &[Grr],
         report: &mut RepairReport,
         max_repairs: usize,
+        sink: &mut dyn FnMut(&AppliedOp),
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
         report.rounds = 1;
@@ -463,7 +485,7 @@ impl RepairEngine {
                 continue;
             }
             last_ops_start = report.ops.len();
-            let Some(touched) = self.apply_one_touched(g, rules, &v, report) else {
+            let Some(touched) = self.apply_one_touched(g, rules, &v, report, sink) else {
                 continue;
             };
             let new_ops = &report.ops[last_ops_start..];
@@ -521,8 +543,9 @@ impl RepairEngine {
         rules: &[Grr],
         v: &Violation,
         report: &mut RepairReport,
+        sink: &mut dyn FnMut(&AppliedOp),
     ) -> bool {
-        self.apply_one_touched(g, rules, v, report).is_some()
+        self.apply_one_touched(g, rules, v, report, sink).is_some()
     }
 
     /// Apply; returns the touched set if the repair changed anything.
@@ -532,6 +555,7 @@ impl RepairEngine {
         rules: &[Grr],
         v: &Violation,
         report: &mut RepairReport,
+        sink: &mut dyn FnMut(&AppliedOp),
     ) -> Option<TouchSet> {
         let applied: Applied = apply_rule(g, &rules[v.rule], &v.m, &self.config.costs)
             .expect("validated rule on revalidated match cannot fail");
@@ -542,6 +566,9 @@ impl RepairEngine {
         report.total_cost += applied.cost;
         report.per_rule[v.rule].repairs_applied += 1;
         report.per_rule[v.rule].cost += applied.cost;
+        for op in &applied.ops {
+            sink(op);
+        }
         report.ops.extend(applied.ops);
         Some(applied.touched)
     }
@@ -854,6 +881,20 @@ mod tests {
         assert_eq!(seq.repairs_applied, par.repairs_applied);
         assert_eq!(g1.num_nodes(), g2.num_nodes());
         assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn sink_sees_every_applied_op_in_order() {
+        for config in [EngineConfig::default(), EngineConfig::naive()] {
+            let mut g = dirty_graph();
+            let mut seen: Vec<AppliedOp> = Vec::new();
+            let report = RepairEngine::new(config).repair_with_sink(&mut g, &rules(), |op| {
+                seen.push(op.clone())
+            });
+            assert!(report.converged);
+            assert_eq!(seen, report.ops, "sink must mirror the op log exactly");
+            assert!(!seen.is_empty());
+        }
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! O(deg), which profiling on the bench workloads shows is dwarfed by match
 //! enumeration.
 
+use crate::dump::SlotDump;
 use crate::error::{GraphError, Result};
 use crate::ids::{AttrKeyId, Direction, EdgeId, LabelId, NodeId};
 use crate::interner::Interner;
+use crate::io::{EdgeDoc, GraphDoc, NodeDoc};
 use crate::value::Value;
 
 /// Read-only view of an edge.
@@ -268,25 +270,23 @@ impl Graph {
         }
     }
 
-    /// Delete a node and all incident edges; returns the removed edge ids.
+    /// Delete a node and all incident edges; returns the removed edge ids
+    /// in ascending id order.
+    ///
+    /// Incident edges are removed in **sorted edge-id order**, not
+    /// adjacency order: adjacency lists are reordered by swap-removes, so
+    /// their order is history-dependent, while the freed-slot order must
+    /// be a function of slot state alone for log replay over a restored
+    /// snapshot ([`Graph::restore_slots`]) to reuse identical ids.
     pub fn remove_node(&mut self, id: NodeId) -> Result<Vec<EdgeId>> {
         if !self.contains_node(id) {
             return Err(GraphError::NodeNotFound(id));
         }
-        let incident: Vec<EdgeId> = self.nodes[id.index()]
-            .out
-            .iter()
-            .chain(self.nodes[id.index()].inc.iter())
-            .copied()
-            .collect();
+        let incident = self.incident_edges_sorted(id);
         let mut removed = Vec::with_capacity(incident.len());
         for e in incident {
-            // Self-loops appear in both lists; remove_edge is idempotent-safe
-            // here because the second occurrence is already dead.
-            if self.contains_edge(e) {
-                self.remove_edge(e)?;
-                removed.push(e);
-            }
+            self.remove_edge(e)?;
+            removed.push(e);
         }
         let label = self.nodes[id.index()].label;
         self.unindex_node(id, label);
@@ -340,6 +340,19 @@ impl Graph {
         }
         self.version += 1;
         Ok(old)
+    }
+
+    /// Incident edge ids, ascending and deduplicated (self-loops once).
+    fn incident_edges_sorted(&self, id: NodeId) -> Vec<EdgeId> {
+        let mut incident: Vec<EdgeId> = self.nodes[id.index()]
+            .out
+            .iter()
+            .chain(self.nodes[id.index()].inc.iter())
+            .copied()
+            .collect();
+        incident.sort_unstable();
+        incident.dedup();
+        incident
     }
 
     #[inline]
@@ -553,18 +566,11 @@ impl Graph {
         self.live_node(merged)?;
         let mut outcome = MergeOutcome::default();
 
-        let incident: Vec<EdgeId> = self.nodes[merged.index()]
-            .out
-            .iter()
-            .chain(self.nodes[merged.index()].inc.iter())
-            .copied()
-            .collect();
-        let mut seen = rustc_hash::FxHashSet::default();
+        // Sorted-id order for the same replay-determinism reason as
+        // [`Graph::remove_node`]: rewired edges allocate fresh slots, so
+        // the processing order must not depend on adjacency history.
+        let incident = self.incident_edges_sorted(merged);
         for e in incident {
-            if !self.contains_edge(e) || seen.contains(&e) {
-                continue;
-            }
-            seen.insert(e);
             let s = &self.edges[e.index()];
             let new_src = if s.src == merged { keep } else { s.src };
             let new_dst = if s.dst == merged { keep } else { s.dst };
@@ -858,6 +864,197 @@ impl Graph {
             ));
         }
         Ok(())
+    }
+
+    // ---- exact slot dumps (durable snapshots) ------------------------------
+
+    /// Exact slot-level image of this graph — see [`SlotDump`].
+    pub fn dump_slots(&self) -> SlotDump {
+        let mut doc = GraphDoc::default();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            doc.nodes.push(NodeDoc {
+                id: i as u32,
+                label: self.labels.resolve(n.label.0).to_owned(),
+                attrs: n
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (self.attr_keys.resolve(k.0).to_owned(), v.clone()))
+                    .collect(),
+            });
+        }
+        let mut edge_ids = Vec::with_capacity(self.n_edges);
+        for (i, e) in self.edges.iter().enumerate() {
+            if !e.alive {
+                continue;
+            }
+            edge_ids.push(i as u32);
+            doc.edges.push(EdgeDoc {
+                src: e.src.0,
+                dst: e.dst.0,
+                label: self.labels.resolve(e.label.0).to_owned(),
+            });
+        }
+        SlotDump {
+            doc,
+            edge_ids,
+            free_nodes: self.free_nodes.iter().map(|n| n.0).collect(),
+            free_edges: self.free_edges.iter().map(|e| e.0).collect(),
+            node_slots: self.nodes.len() as u32,
+            edge_slots: self.edges.len() as u32,
+            version: self.version,
+        }
+    }
+
+    /// Rebuild a graph from a [`SlotDump`], placing every element at its
+    /// recorded slot and restoring the free lists verbatim, so subsequent
+    /// mutations allocate exactly the ids the dumped graph would have.
+    ///
+    /// The dump is fully validated first (every slot accounted for exactly
+    /// once, endpoints live, handles in range); inconsistencies yield
+    /// [`GraphError::Parse`], never a panic — dumps arrive from disk.
+    pub fn restore_slots(dump: &SlotDump) -> Result<Self> {
+        let corrupt = |msg: String| GraphError::Parse(format!("slot dump: {msg}"));
+        let n_slots = dump.node_slots as usize;
+        let e_slots = dump.edge_slots as usize;
+        if dump.doc.nodes.len() + dump.free_nodes.len() != n_slots {
+            return Err(corrupt(format!(
+                "{} live + {} free node slots != {n_slots} total",
+                dump.doc.nodes.len(),
+                dump.free_nodes.len()
+            )));
+        }
+        if dump.doc.edges.len() != dump.edge_ids.len() {
+            return Err(corrupt(format!(
+                "{} edges but {} edge ids",
+                dump.doc.edges.len(),
+                dump.edge_ids.len()
+            )));
+        }
+        if dump.doc.edges.len() + dump.free_edges.len() != e_slots {
+            return Err(corrupt(format!(
+                "{} live + {} free edge slots != {e_slots} total",
+                dump.doc.edges.len(),
+                dump.free_edges.len()
+            )));
+        }
+
+        let mut g = Graph::new();
+        // Dead placeholders; every slot is either resurrected below or
+        // listed free. The placeholder label id is never read while dead.
+        g.nodes = (0..n_slots)
+            .map(|_| NodeSlot {
+                label: LabelId(0),
+                attrs: Vec::new(),
+                out: Vec::new(),
+                inc: Vec::new(),
+                label_pos: 0,
+                sig: 0,
+                alive: false,
+            })
+            .collect();
+        g.edges = (0..e_slots)
+            .map(|_| EdgeSlot {
+                src: NodeId(0),
+                dst: NodeId(0),
+                label: LabelId(0),
+                alive: false,
+            })
+            .collect();
+
+        for nd in &dump.doc.nodes {
+            let i = nd.id as usize;
+            if i >= n_slots {
+                return Err(corrupt(format!("node handle {} out of range", nd.id)));
+            }
+            if g.nodes[i].alive {
+                return Err(corrupt(format!("duplicate node handle {}", nd.id)));
+            }
+            let label = g.label(&nd.label);
+            let mut attrs: Vec<(AttrKeyId, Value)> = nd
+                .attrs
+                .iter()
+                .map(|(k, v)| (g.attr_key(k), v.clone()))
+                .collect();
+            attrs.sort_by_key(|(k, _)| *k);
+            let id = NodeId(nd.id);
+            for (k, v) in &attrs {
+                g.index_attr(id, *k, v.clone());
+            }
+            g.nodes[i].label = label;
+            g.nodes[i].attrs = attrs;
+            g.nodes[i].alive = true;
+            g.index_node(id, label);
+            g.n_nodes += 1;
+        }
+        for &f in &dump.free_nodes {
+            match g.nodes.get(f as usize) {
+                None => return Err(corrupt(format!("free node {f} out of range"))),
+                Some(slot) if slot.alive => {
+                    return Err(corrupt(format!("free node {f} is live")))
+                }
+                Some(_) => g.free_nodes.push(NodeId(f)),
+            }
+        }
+        // live + free == total and no double-live/double-free implies every
+        // slot is accounted for exactly once — unless the free list itself
+        // repeats an id, which the count check alone misses.
+        let mut seen = vec![false; n_slots];
+        for n in &g.free_nodes {
+            if std::mem::replace(&mut seen[n.index()], true) {
+                return Err(corrupt(format!("free node {n} listed twice")));
+            }
+        }
+
+        for (ed, &eid) in dump.doc.edges.iter().zip(&dump.edge_ids) {
+            let i = eid as usize;
+            if i >= e_slots {
+                return Err(corrupt(format!("edge id {eid} out of range")));
+            }
+            if g.edges[i].alive {
+                return Err(corrupt(format!("duplicate edge id {eid}")));
+            }
+            let (src, dst) = (NodeId(ed.src), NodeId(ed.dst));
+            if !g.contains_node(src) || !g.contains_node(dst) {
+                return Err(corrupt(format!("edge {eid} endpoint not live")));
+            }
+            let label = g.label(&ed.label);
+            g.edges[i] = EdgeSlot {
+                src,
+                dst,
+                label,
+                alive: true,
+            };
+            g.nodes[src.index()].out.push(EdgeId(eid));
+            g.nodes[dst.index()].inc.push(EdgeId(eid));
+            g.edge_label_counts[label.index()] += 1;
+            g.n_edges += 1;
+        }
+        for &f in &dump.free_edges {
+            match g.edges.get(f as usize) {
+                None => return Err(corrupt(format!("free edge {f} out of range"))),
+                Some(slot) if slot.alive => {
+                    return Err(corrupt(format!("free edge {f} is live")))
+                }
+                Some(_) => g.free_edges.push(EdgeId(f)),
+            }
+        }
+        let mut seen = vec![false; e_slots];
+        for e in &g.free_edges {
+            if std::mem::replace(&mut seen[e.index()], true) {
+                return Err(corrupt(format!("free edge {e} listed twice")));
+            }
+        }
+
+        let live: Vec<NodeId> = g.nodes().collect();
+        for id in live {
+            g.recompute_sig(id);
+        }
+        g.version = dump.version;
+        debug_assert!(g.check_invariants().is_ok());
+        Ok(g)
     }
 }
 

@@ -128,22 +128,37 @@ impl GraphDoc {
     /// node 1 City
     /// edge 0 livesIn 1
     /// ```
+    ///
+    /// Labels and attribute keys containing whitespace, quotes, `=`, `#`
+    /// or control characters are double-quoted with the same escape set
+    /// as string values (`\"`, `\\`, `\n`, `\t`, `\r`, `\u{…}` for other
+    /// control characters), so every document round-trips through
+    /// [`GraphDoc::from_text`] losslessly.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for n in &self.nodes {
-            out.push_str(&format!("node {} {}", n.id, n.label));
+            out.push_str(&format!("node {} {}", n.id, fmt_token(&n.label)));
             for (k, v) in &n.attrs {
-                out.push_str(&format!(" {k}={}", text_value(v)));
+                out.push_str(&format!(" {}={}", fmt_token(k), text_value(v)));
             }
             out.push('\n');
         }
         for e in &self.edges {
-            out.push_str(&format!("edge {} {} {}\n", e.src, e.label, e.dst));
+            out.push_str(&format!(
+                "edge {} {} {}\n",
+                e.src,
+                fmt_token(&e.label),
+                e.dst
+            ));
         }
         out
     }
 
     /// Parse the plain-text fixture format (see [`GraphDoc::to_text`]).
+    ///
+    /// Malformed lines — unterminated strings, bad escapes, missing
+    /// `key=value` structure — are rejected with a line-numbered
+    /// [`GraphError::Parse`]; nothing mis-parses silently.
     pub fn from_text(s: &str) -> Result<Self> {
         let mut doc = GraphDoc::default();
         for (lineno, raw) in s.lines().enumerate() {
@@ -151,106 +166,233 @@ impl GraphDoc {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |msg: &str| GraphError::Parse(format!("line {}: {msg}", lineno + 1));
-            let tokens = tokenize_line(line)
-                .map_err(|msg| GraphError::Parse(format!("line {}: {msg}", lineno + 1)))?;
-            let mut parts = tokens.into_iter();
-            match parts.next().as_deref() {
-                Some("node") => {
-                    let id: u32 = parts
+            let err = |msg: String| GraphError::Parse(format!("line {}: {msg}", lineno + 1));
+            let tokens = tokenize_line(line).map_err(&err)?;
+            let mut toks = tokens.into_iter();
+            let directive = toks
+                .next()
+                .and_then(|t| t.as_plain().map(str::to_owned))
+                .unwrap_or_default();
+            match directive.as_str() {
+                "node" => {
+                    let id: u32 = toks
                         .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("expected node id"))?;
-                    let label = parts.next().ok_or_else(|| err("expected node label"))?;
+                        .and_then(|t| t.as_plain().and_then(|p| p.parse().ok()))
+                        .ok_or_else(|| err("expected node id".into()))?;
+                    let label = toks
+                        .next()
+                        .and_then(|t| t.into_string())
+                        .ok_or_else(|| err("expected node label".into()))?;
                     let mut attrs = BTreeMap::new();
-                    for tok in parts {
-                        let (k, v) = tok
-                            .split_once('=')
-                            .ok_or_else(|| err("expected key=value"))?;
-                        attrs.insert(k.to_owned(), parse_text_value(v));
+                    for tok in toks {
+                        let (k, v) = tok.into_key_value().map_err(&err)?;
+                        attrs.insert(k, v);
                     }
-                    doc.nodes.push(NodeDoc {
-                        id,
-                        label: label.to_owned(),
-                        attrs,
-                    });
+                    doc.nodes.push(NodeDoc { id, label, attrs });
                 }
-                Some("edge") => {
-                    let src: u32 = parts
+                "edge" => {
+                    let src: u32 = toks
                         .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("expected edge src"))?;
-                    let label = parts.next().ok_or_else(|| err("expected edge label"))?;
-                    let dst: u32 = parts
+                        .and_then(|t| t.as_plain().and_then(|p| p.parse().ok()))
+                        .ok_or_else(|| err("expected edge src".into()))?;
+                    let label = toks
                         .next()
-                        .and_then(|t| t.parse().ok())
-                        .ok_or_else(|| err("expected edge dst"))?;
-                    doc.edges.push(EdgeDoc {
-                        src,
-                        dst,
-                        label: label.to_owned(),
-                    });
+                        .and_then(|t| t.into_string())
+                        .ok_or_else(|| err("expected edge label".into()))?;
+                    let dst: u32 = toks
+                        .next()
+                        .and_then(|t| t.as_plain().and_then(|p| p.parse().ok()))
+                        .ok_or_else(|| err("expected edge dst".into()))?;
+                    doc.edges.push(EdgeDoc { src, dst, label });
                 }
-                Some(other) => return Err(err(&format!("unknown directive {other:?}"))),
-                None => {}
+                other => return Err(err(format!("unknown directive {other:?}"))),
             }
         }
         Ok(doc)
     }
 }
 
-/// Split a fixture line into tokens, treating double-quoted segments
-/// (with `\"` and `\\` escapes) as part of the containing token — so
-/// `name="Ann Lee"` is one token.
-fn tokenize_line(line: &str) -> Result<Vec<String>, String> {
+/// One segment of a fixture token: literal text, or a double-quoted
+/// (already unescaped) string. `name="Ann Lee"` is one token of two
+/// parts: `Lit("name=")` + `Quoted("Ann Lee")`. Keeping the quoting
+/// structure (instead of flattening to a string) is what lets the parser
+/// tell a quoted key or value apart from embedded quote characters.
+#[derive(Clone, Debug, PartialEq)]
+enum Part {
+    Lit(String),
+    Quoted(String),
+}
+
+/// A whitespace-delimited fixture token as a part sequence.
+#[derive(Clone, Debug, PartialEq)]
+struct Token(Vec<Part>);
+
+impl Token {
+    /// The token as unquoted literal text, if that is all it is.
+    fn as_plain(&self) -> Option<&str> {
+        match self.0.as_slice() {
+            [Part::Lit(s)] => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The token as a single string (either one literal or one quoted
+    /// segment) — the shape labels must have.
+    fn into_string(self) -> Option<String> {
+        match self.0.into_iter().collect::<Vec<_>>().as_mut_slice() {
+            [Part::Lit(s)] | [Part::Quoted(s)] => Some(std::mem::take(s)),
+            _ => None,
+        }
+    }
+
+    /// Split an attribute token into key and typed value. Accepted
+    /// shapes: `key=value`, `key="…"`, `"…"=value`, `"…"="…"`; anything
+    /// else is an error.
+    fn into_key_value(self) -> Result<(String, Value), String> {
+        let mut parts = self.0.into_iter();
+        let (key, rest) = match parts.next() {
+            Some(Part::Lit(lit)) => match lit.split_once('=') {
+                Some((k, v)) => (k.to_owned(), v.to_owned()),
+                None => return Err(format!("expected key=value, got {lit:?}")),
+            },
+            Some(Part::Quoted(k)) => match parts.next() {
+                Some(Part::Lit(lit)) if lit.starts_with('=') => (k, lit[1..].to_owned()),
+                _ => return Err(format!("expected '=' after quoted key {k:?}")),
+            },
+            None => return Err("empty attribute token".into()),
+        };
+        if key.is_empty() {
+            return Err("empty attribute key".into());
+        }
+        let value = match (rest.is_empty(), parts.next()) {
+            // key=literal — typed parse.
+            (false, None) => parse_text_value(&rest),
+            // key="…" — exactly one quoted segment, always a string.
+            (true, Some(Part::Quoted(s))) => {
+                if parts.next().is_some() {
+                    return Err(format!("trailing garbage after value of {key:?}"));
+                }
+                Value::Str(s)
+            }
+            _ => {
+                return Err(format!(
+                    "malformed value for {key:?}: expected a literal or one quoted string"
+                ))
+            }
+        };
+        Ok((key, value))
+    }
+}
+
+/// Split a fixture line into [`Token`]s, unescaping double-quoted
+/// segments. Escapes: `\"`, `\\`, `\n`, `\t`, `\r`, `\0`, `\u{HEX}`.
+fn tokenize_line(line: &str) -> Result<Vec<Token>, String> {
     let mut tokens = Vec::new();
-    let mut cur = String::new();
-    let mut chars = line.chars().peekable();
-    let mut in_token = false;
+    let mut parts: Vec<Part> = Vec::new();
+    let mut lit = String::new();
+    let mut chars = line.chars();
+    let flush_lit = |lit: &mut String, parts: &mut Vec<Part>| {
+        if !lit.is_empty() {
+            parts.push(Part::Lit(std::mem::take(lit)));
+        }
+    };
     while let Some(c) = chars.next() {
         match c {
             ' ' | '\t' => {
-                if in_token {
-                    tokens.push(std::mem::take(&mut cur));
-                    in_token = false;
+                flush_lit(&mut lit, &mut parts);
+                if !parts.is_empty() {
+                    tokens.push(Token(std::mem::take(&mut parts)));
                 }
             }
             '"' => {
-                in_token = true;
-                cur.push('"');
+                flush_lit(&mut lit, &mut parts);
+                let mut q = String::new();
                 loop {
                     match chars.next() {
-                        Some('"') => {
-                            cur.push('"');
-                            break;
-                        }
-                        Some('\\') => match chars.next() {
-                            Some('"') => cur.push('"'),
-                            Some('\\') => cur.push('\\'),
-                            Some('n') => cur.push('\n'),
-                            Some('t') => cur.push('\t'),
-                            other => return Err(format!("bad escape {other:?}")),
-                        },
-                        Some(ch) => cur.push(ch),
+                        Some('"') => break,
+                        Some('\\') => q.push(unescape_char(&mut chars)?),
+                        Some(ch) => q.push(ch),
                         None => return Err("unterminated string".into()),
                     }
                 }
+                parts.push(Part::Quoted(q));
             }
-            other => {
-                in_token = true;
-                cur.push(other);
-            }
+            other => lit.push(other),
         }
     }
-    if in_token {
-        tokens.push(cur);
+    flush_lit(&mut lit, &mut parts);
+    if !parts.is_empty() {
+        tokens.push(Token(parts));
     }
     Ok(tokens)
 }
 
+fn unescape_char(chars: &mut std::str::Chars<'_>) -> Result<char, String> {
+    match chars.next() {
+        Some('"') => Ok('"'),
+        Some('\\') => Ok('\\'),
+        Some('n') => Ok('\n'),
+        Some('t') => Ok('\t'),
+        Some('r') => Ok('\r'),
+        Some('0') => Ok('\0'),
+        Some('u') => {
+            if chars.next() != Some('{') {
+                return Err("bad \\u escape: expected '{'".into());
+            }
+            let mut hex = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(h) if h.is_ascii_hexdigit() && hex.len() < 6 => hex.push(h),
+                    other => return Err(format!("bad \\u escape near {other:?}")),
+                }
+            }
+            u32::from_str_radix(&hex, 16)
+                .ok()
+                .and_then(char::from_u32)
+                .ok_or_else(|| format!("bad \\u escape value {hex:?}"))
+        }
+        other => Err(format!("bad escape {other:?}")),
+    }
+}
+
+/// Quote and escape a string for the fixture format.
+fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c if c.is_control() => out.push_str(&format!("\\u{{{:x}}}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a label or attribute key: bare when unambiguous, quoted when it
+/// contains anything the tokenizer or `key=value` split would mangle.
+fn fmt_token(s: &str) -> String {
+    let needs_quoting = s.is_empty()
+        || s.starts_with('#')
+        || s.chars()
+            .any(|c| c.is_whitespace() || c.is_control() || matches!(c, '"' | '\\' | '='));
+    if needs_quoting {
+        quote_string(s)
+    } else {
+        s.to_owned()
+    }
+}
+
 fn text_value(v: &Value) -> String {
     match v {
-        Value::Str(s) => format!("{s:?}"),
+        Value::Str(s) => quote_string(s),
         Value::Int(i) => i.to_string(),
         Value::Float(f) => format!("{f:?}"),
         Value::Bool(b) => b.to_string(),
@@ -258,9 +400,6 @@ fn text_value(v: &Value) -> String {
 }
 
 fn parse_text_value(tok: &str) -> Value {
-    if let Some(stripped) = tok.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
-        return Value::Str(stripped.to_owned());
-    }
     if tok == "true" {
         return Value::Bool(true);
     }
@@ -363,6 +502,68 @@ mod tests {
         let text = doc.to_text();
         let doc2 = GraphDoc::from_text(&text).unwrap();
         assert_eq!(doc2, doc, "{text}");
+    }
+
+    #[test]
+    fn labels_and_keys_with_whitespace_round_trip() {
+        let mut g = Graph::new();
+        let n = g.add_node_named("VIP Person");
+        let m = g.add_node_named("City\nState");
+        let k = g.attr_key("full name");
+        g.set_attr(n, k, Value::from("Ann Lee")).unwrap();
+        let k2 = g.attr_key("a=b");
+        g.set_attr(n, k2, Value::Int(7)).unwrap();
+        g.add_edge_named(n, m, "lives in").unwrap();
+        let doc = g.to_doc();
+        let text = doc.to_text();
+        let doc2 = GraphDoc::from_text(&text).unwrap();
+        assert_eq!(doc2, doc, "{text}");
+    }
+
+    #[test]
+    fn control_chars_and_unicode_escapes_round_trip() {
+        let mut g = Graph::new();
+        let n = g.add_node_named("P");
+        let k = g.attr_key("bio");
+        g.set_attr(n, k, Value::from("tab\t cr\r nul\0 bell\u{7} text"))
+            .unwrap();
+        let doc = g.to_doc();
+        let text = doc.to_text();
+        let doc2 = GraphDoc::from_text(&text).unwrap();
+        assert_eq!(doc2, doc, "{text}");
+    }
+
+    #[test]
+    fn quoted_label_parses_back() {
+        let text = "node 0 \"My Label\" \"weird key\"=\"a b\"\nnode 1 Q\nedge 0 \"rel x\" 1\n";
+        let doc = GraphDoc::from_text(text).unwrap();
+        assert_eq!(doc.nodes[0].label, "My Label");
+        assert_eq!(doc.nodes[0].attrs["weird key"], Value::from("a b"));
+        assert_eq!(doc.edges[0].label, "rel x");
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_not_misparsed() {
+        // A label with a space that is NOT quoted: the trailing word is
+        // not a key=value pair, so the line errors instead of silently
+        // dropping or merging tokens.
+        let e = GraphDoc::from_text("node 0 My Label\n").unwrap_err();
+        assert!(e.to_string().contains("key=value"), "{e}");
+        // Unterminated string.
+        let e = GraphDoc::from_text("node 0 P x=\"oops\n").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        // Bad escape.
+        let e = GraphDoc::from_text("node 0 P x=\"\\q\"\n").unwrap_err();
+        assert!(e.to_string().contains("bad escape"), "{e}");
+        // Garbage after a quoted value.
+        let e = GraphDoc::from_text("node 0 P x=\"a\"b\n").unwrap_err();
+        assert!(e.to_string().contains("x"), "{e}");
+        // Empty key.
+        let e = GraphDoc::from_text("node 0 P =1\n").unwrap_err();
+        assert!(e.to_string().contains("key"), "{e}");
+        // Quoted key without '='.
+        let e = GraphDoc::from_text("node 0 P \"k\" 1\n").unwrap_err();
+        assert!(e.to_string().contains("'='"), "{e}");
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //! - [`edit_distance`] — graph edit distance (cost table + exact small-graph
 //!   solver + lower bound), backing the paper's "best repair" selection.
 //! - [`io`] — portable JSON / plain-text documents.
+//! - [`dump`] — exact slot-level dumps (tombstones and free lists
+//!   included), the document form behind durable-store snapshots.
 //! - [`snapshot`] — frozen, compacted CSR snapshots for scan-heavy
 //!   matching phases.
 //! - [`stats`] — dataset statistics (T1 table).
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod dump;
 pub mod edit_distance;
 pub mod error;
 pub mod graph;
@@ -55,6 +58,7 @@ pub mod snapshot;
 pub mod stats;
 mod value;
 
+pub use dump::SlotDump;
 pub use edit_distance::{ged_lower_bound, graph_edit_distance, EditCosts};
 pub use error::{GraphError, Result};
 pub use graph::{sig_bit, EdgeRef, Graph, MergeOutcome};

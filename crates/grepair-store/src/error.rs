@@ -1,0 +1,121 @@
+//! Error type for the durable store.
+
+use grepair_graph::GraphError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced by opening, mutating or recovering a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A store file is structurally damaged beyond the tolerated torn
+    /// tail: bad magic, mid-log checksum failure, undecodable
+    /// CRC-valid record, sequence gap, or an inconsistent snapshot.
+    Corrupt {
+        /// File the damage was found in.
+        path: PathBuf,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// Replaying the log diverged from the recorded outcome — a record
+    /// allocated a different id than the one journaled at write time.
+    /// Indicates a damaged log or a non-deterministic mutation path;
+    /// the store refuses to open rather than serve a silently wrong
+    /// graph.
+    ReplayDivergence {
+        /// Log sequence number of the diverging record.
+        seq: u64,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// A live mutation was rejected by the graph (precondition failure,
+    /// e.g. a dead endpoint). Nothing was journaled.
+    Graph(GraphError),
+    /// A previous journal append failed, so the in-memory graph may be
+    /// ahead of the log; the store refuses further mutations (anything
+    /// journaled now could reference state the log cannot reproduce).
+    /// Reopen the directory to recover the last durable state.
+    Poisoned,
+    /// The directory does not look like a store.
+    NotAStore(PathBuf),
+    /// `create` was pointed at a directory that already holds a store.
+    AlreadyExists(PathBuf),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store io error: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt store file {}: {detail}", path.display())
+            }
+            StoreError::ReplayDivergence { seq, detail } => {
+                write!(f, "log replay diverged at seq {seq}: {detail}")
+            }
+            StoreError::Graph(e) => write!(f, "graph rejected mutation: {e}"),
+            StoreError::Poisoned => write!(
+                f,
+                "store poisoned by an earlier journal failure; reopen to recover"
+            ),
+            StoreError::NotAStore(p) => {
+                write!(f, "{} is not a grepair store (no segments or snapshots)", p.display())
+            }
+            StoreError::AlreadyExists(p) => {
+                write!(f, "{} already contains a grepair store", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+/// Convenience result alias for store operations.
+pub type Result<T, E = StoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_graph::NodeId;
+
+    #[test]
+    fn display_messages() {
+        assert!(StoreError::NotAStore(PathBuf::from("/x"))
+            .to_string()
+            .contains("not a grepair store"));
+        assert!(StoreError::Corrupt {
+            path: PathBuf::from("/x/wal.seg"),
+            detail: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
+        assert!(StoreError::ReplayDivergence {
+            seq: 7,
+            detail: "expected n1".into()
+        }
+        .to_string()
+        .contains("seq 7"));
+        let g: StoreError = GraphError::NodeNotFound(NodeId(3)).into();
+        assert!(g.to_string().contains("n3"));
+    }
+}

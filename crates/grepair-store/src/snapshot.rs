@@ -1,0 +1,310 @@
+//! Binary snapshot files.
+//!
+//! A snapshot named `snap-<seq:016x>.snap` captures the exact slot state
+//! of the graph ([`SlotDump`]) after applying every log record up to and
+//! including sequence `seq`. Layout:
+//!
+//! ```text
+//! magic "GRSNAP1\n" · version u32 · seq u64 · payload_len u64 · crc u32 · payload
+//! ```
+//!
+//! The CRC-32 covers the payload (the encoded dump). Snapshots are
+//! written to a temp file and atomically renamed into place, so a crash
+//! mid-snapshot leaves at worst a stray `*.tmp` — never a half snapshot
+//! under a valid name. Readers treat any validation failure as
+//! [`StoreError::Corrupt`]; recovery falls back to the next older
+//! snapshot (or genesis) and replays a longer log suffix instead.
+
+use crate::codec::{crc32, ByteReader, ByteWriter, DecodeError};
+use crate::error::{Result, StoreError};
+use crate::record::{decode_value, encode_value};
+use grepair_graph::{EdgeDoc, NodeDoc, SlotDump};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Snapshot file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GRSNAP1\n";
+/// On-disk snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File name of the snapshot taken at log sequence `seq`.
+pub fn snapshot_file_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.snap")
+}
+
+/// Parse a snapshot file name back to its sequence number.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn encode_dump(dump: &SlotDump) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(dump.version);
+    w.u32(dump.node_slots);
+    w.u32(dump.edge_slots);
+    w.u32(dump.doc.nodes.len() as u32);
+    for n in &dump.doc.nodes {
+        w.u32(n.id);
+        w.str(&n.label);
+        w.u32(n.attrs.len() as u32);
+        for (k, v) in &n.attrs {
+            w.str(k);
+            encode_value(&mut w, v);
+        }
+    }
+    w.u32(dump.doc.edges.len() as u32);
+    for (e, id) in dump.doc.edges.iter().zip(&dump.edge_ids) {
+        w.u32(*id);
+        w.u32(e.src);
+        w.u32(e.dst);
+        w.str(&e.label);
+    }
+    w.u32(dump.free_nodes.len() as u32);
+    for f in &dump.free_nodes {
+        w.u32(*f);
+    }
+    w.u32(dump.free_edges.len() as u32);
+    for f in &dump.free_edges {
+        w.u32(*f);
+    }
+    w.into_bytes()
+}
+
+fn decode_dump(bytes: &[u8]) -> Result<SlotDump, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let mut dump = SlotDump {
+        version: r.u64()?,
+        node_slots: r.u32()?,
+        edge_slots: r.u32()?,
+        ..SlotDump::default()
+    };
+    let n_nodes = r.u32()? as usize;
+    if n_nodes > dump.node_slots as usize {
+        return Err(DecodeError(format!(
+            "{n_nodes} nodes exceed {} slots",
+            dump.node_slots
+        )));
+    }
+    for _ in 0..n_nodes {
+        let id = r.u32()?;
+        let label = r.str()?;
+        let n_attrs = r.u32()? as usize;
+        if n_attrs > r.remaining() {
+            return Err(DecodeError(format!("attr count {n_attrs} exceeds payload")));
+        }
+        let mut attrs = std::collections::BTreeMap::new();
+        for _ in 0..n_attrs {
+            let k = r.str()?;
+            let v = decode_value(&mut r)?;
+            attrs.insert(k, v);
+        }
+        dump.doc.nodes.push(NodeDoc { id, label, attrs });
+    }
+    let n_edges = r.u32()? as usize;
+    if n_edges > dump.edge_slots as usize {
+        return Err(DecodeError(format!(
+            "{n_edges} edges exceed {} slots",
+            dump.edge_slots
+        )));
+    }
+    for _ in 0..n_edges {
+        dump.edge_ids.push(r.u32()?);
+        dump.doc.edges.push(EdgeDoc {
+            src: r.u32()?,
+            dst: r.u32()?,
+            label: r.str()?,
+        });
+    }
+    let n_free = r.u32()? as usize;
+    if n_free > dump.node_slots as usize {
+        return Err(DecodeError("free-node list exceeds slot count".into()));
+    }
+    for _ in 0..n_free {
+        dump.free_nodes.push(r.u32()?);
+    }
+    let n_free = r.u32()? as usize;
+    if n_free > dump.edge_slots as usize {
+        return Err(DecodeError("free-edge list exceeds slot count".into()));
+    }
+    for _ in 0..n_free {
+        dump.free_edges.push(r.u32()?);
+    }
+    if r.remaining() != 0 {
+        return Err(DecodeError(format!(
+            "{} trailing bytes after dump",
+            r.remaining()
+        )));
+    }
+    Ok(dump)
+}
+
+/// Write a snapshot of `dump` at sequence `seq` into `dir`, atomically
+/// (temp file + rename + directory-entry durability best effort).
+pub fn write_snapshot(dir: &Path, seq: u64, dump: &SlotDump) -> Result<PathBuf> {
+    let payload = encode_dump(dump);
+    let mut bytes = Vec::with_capacity(payload.len() + 32);
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&seq.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let final_path = dir.join(snapshot_file_name(seq));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    // Make the rename itself durable where the platform allows it.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Read and fully validate a snapshot file; returns `(seq, dump)`.
+pub fn read_snapshot(path: &Path) -> Result<(u64, SlotDump)> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 32 {
+        return Err(corrupt(format!("{} bytes is too short", bytes.len())));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let payload_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    if bytes.len() - 32 != payload_len {
+        return Err(corrupt(format!(
+            "payload length {payload_len} disagrees with file size {}",
+            bytes.len()
+        )));
+    }
+    let payload = &bytes[32..];
+    if crc32(payload) != crc {
+        return Err(corrupt("snapshot checksum mismatch".into()));
+    }
+    let dump = decode_dump(payload).map_err(|e| corrupt(e.to_string()))?;
+    Ok((seq, dump))
+}
+
+/// Sorted `(seq, path)` list of the snapshot files in `dir`, ascending.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_snapshot_name) {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|(s, _)| *s);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_graph::{Graph, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "grepair-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_dump() -> SlotDump {
+        let mut g = Graph::new();
+        let a = g.add_node_named("Person");
+        let b = g.add_node_named("City in space");
+        let c = g.add_node_named("Person");
+        let k = g.attr_key("name");
+        g.set_attr(a, k, Value::from("Ann")).unwrap();
+        g.add_edge_named(a, b, "livesIn").unwrap();
+        let e = g.add_edge_named(c, b, "livesIn").unwrap();
+        g.remove_edge(e).unwrap();
+        g.remove_node(c).unwrap();
+        g.dump_slots()
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let dir = tmpdir("rt");
+        let dump = sample_dump();
+        let path = write_snapshot(&dir, 42, &dump).unwrap();
+        assert_eq!(path.file_name().unwrap().to_str(), Some("snap-000000000000002a.snap"));
+        let (seq, back) = read_snapshot(&path).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back, dump);
+        // And the dump restores into an identical graph.
+        let g = Graph::restore_slots(&back).unwrap();
+        assert_eq!(g.dump_slots(), dump);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_and_any_bitflip_is_rejected() {
+        let dir = tmpdir("fuzz");
+        let dump = sample_dump();
+        let path = write_snapshot(&dir, 1, &dump).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let p = dir.join("probe.snap");
+        // Every truncation fails closed.
+        for cut in 0..full.len() {
+            std::fs::write(&p, &full[..cut]).unwrap();
+            assert!(read_snapshot(&p).is_err(), "cut at {cut}");
+        }
+        // A sample of single-bit flips across the payload fails closed.
+        for target in (32..full.len()).step_by(7) {
+            let mut bytes = full.clone();
+            bytes[target] ^= 0x10;
+            std::fs::write(&p, &bytes).unwrap();
+            assert!(read_snapshot(&p).is_err(), "flip at {target}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn listing_skips_foreign_files() {
+        let dir = tmpdir("list");
+        write_snapshot(&dir, 5, &SlotDump::default()).unwrap();
+        write_snapshot(&dir, 2, &SlotDump::default()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "x").unwrap();
+        std::fs::write(dir.join("snap-zz.snap"), "x").unwrap();
+        let seqs: Vec<u64> = list_snapshots(&dir).unwrap().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(seqs, vec![2, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_dump_round_trips() {
+        let dir = tmpdir("empty");
+        let path = write_snapshot(&dir, 0, &SlotDump::default()).unwrap();
+        let (seq, dump) = read_snapshot(&path).unwrap();
+        assert_eq!(seq, 0);
+        assert_eq!(dump, SlotDump::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

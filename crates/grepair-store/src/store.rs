@@ -1,0 +1,993 @@
+//! The durable store: a [`Graph`] wrapped so that every mutation — and
+//! every engine-applied repair — is journaled before the call returns.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! store/
+//!   wal-<base_seq:016x>.seg    append-only mutation segments
+//!   snap-<seq:016x>.snap       binary snapshots (slot-exact)
+//! ```
+//!
+//! ## Recovery
+//!
+//! `open` = newest loadable snapshot + replay of every record with a
+//! higher sequence number. A snapshot that fails validation falls back
+//! to the next older one (replaying a longer suffix); a torn tail on the
+//! *active* segment is truncated silently and reported in
+//! [`RecoveryStats`]; damage anywhere else refuses to open rather than
+//! serve a graph with a hole in its history.
+//!
+//! ## Compaction
+//!
+//! [`DurableGraph::compact`] snapshots the current state, rotates to a
+//! fresh segment, then retires every older segment and all but the
+//! newest [`StoreConfig::keep_snapshots`] snapshots. Ids never change —
+//! snapshots are slot-exact — so outstanding [`grepair_graph::NodeId`]s
+//! stay valid across compaction.
+
+use crate::error::{Result, StoreError};
+use crate::record::Mutation;
+use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
+use crate::wal::{
+    list_segments, read_segment, SegmentWriter, SEGMENT_HEADER_LEN,
+};
+use grepair_core::{AppliedOp, Grr, RepairEngine, RepairReport};
+use grepair_graph::{EdgeId, Graph, MergeOutcome, NodeId, Value};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`DurableGraph`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// [`DurableGraph::maybe_compact`] compacts once the log carries at
+    /// least this many bytes written after the newest snapshot.
+    pub compact_log_bytes: u64,
+    /// Snapshots retained after compaction (the newest ones). Keeping
+    /// more than one lets recovery survive a latent bad block in the
+    /// newest snapshot at the price of disk space.
+    pub keep_snapshots: usize,
+    /// `fsync` the active segment in [`DurableGraph::commit`] (and at
+    /// the end of [`DurableGraph::repair`]). Disable only for bulk
+    /// loads you are prepared to redo.
+    pub sync_on_commit: bool,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            segment_max_bytes: 8 * 1024 * 1024,
+            compact_log_bytes: 32 * 1024 * 1024,
+            keep_snapshots: 2,
+            sync_on_commit: true,
+        }
+    }
+}
+
+/// What recovery found and did while opening a store.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Sequence of the snapshot recovery started from (0 = genesis).
+    pub snapshot_seq: u64,
+    /// Snapshots that failed validation and were skipped.
+    pub snapshots_skipped: usize,
+    /// Log records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Torn-tail bytes truncated from the active segment.
+    pub torn_tail_bytes: u64,
+    /// Segment files read.
+    pub segments_read: usize,
+    /// Wall-clock time of the whole open.
+    pub wall: Duration,
+}
+
+/// Point-in-time introspection of a store directory.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStatus {
+    /// Segment files on disk.
+    pub segments: usize,
+    /// Total segment bytes on disk.
+    pub segment_bytes: u64,
+    /// Snapshot files on disk.
+    pub snapshots: usize,
+    /// Total snapshot bytes on disk.
+    pub snapshot_bytes: u64,
+    /// Highest journaled sequence number.
+    pub last_seq: u64,
+    /// Sequence covered by the newest snapshot.
+    pub snapshot_seq: u64,
+    /// Record bytes journaled after the newest snapshot.
+    pub log_bytes_since_snapshot: u64,
+    /// Live nodes in the graph.
+    pub live_nodes: usize,
+    /// Live edges in the graph.
+    pub live_edges: usize,
+}
+
+impl std::fmt::Display for StoreStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "|V|={} |E|={} last_seq={} snapshot_seq={}",
+            self.live_nodes, self.live_edges, self.last_seq, self.snapshot_seq
+        )?;
+        writeln!(
+            f,
+            "segments: {} ({} bytes), snapshots: {} ({} bytes)",
+            self.segments, self.segment_bytes, self.snapshots, self.snapshot_bytes
+        )?;
+        write!(
+            f,
+            "log bytes since snapshot: {}",
+            self.log_bytes_since_snapshot
+        )
+    }
+}
+
+/// Outcome of a compaction.
+#[derive(Clone, Debug, Default)]
+pub struct CompactionStats {
+    /// Sequence the new snapshot covers.
+    pub snapshot_seq: u64,
+    /// Segment files deleted.
+    pub segments_retired: usize,
+    /// Snapshot files deleted.
+    pub snapshots_retired: usize,
+    /// Bytes reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+/// A [`Graph`] whose every mutation is journaled to a checksummed WAL,
+/// with snapshot-based compaction and crash recovery.
+///
+/// Mutators mirror the `Graph` API but take labels and attribute keys
+/// **by name** (interner numbering is process-local and therefore never
+/// journaled). Reads go through [`DurableGraph::graph`].
+///
+/// Single-writer: the store performs no cross-process locking — opening
+/// the same directory from two processes concurrently is undefined (an
+/// open item tracked in the roadmap).
+pub struct DurableGraph {
+    dir: PathBuf,
+    config: StoreConfig,
+    graph: Graph,
+    writer: SegmentWriter,
+    last_seq: u64,
+    snapshot_seq: u64,
+    bytes_since_snapshot: u64,
+    last_recovery: RecoveryStats,
+    /// Set when a journal append fails: the in-memory graph may be
+    /// ahead of the log, so any further journaled record could
+    /// reference state replay cannot reproduce. All mutators refuse
+    /// with [`StoreError::Poisoned`]; the on-disk log stays a valid
+    /// replayable prefix and reopening recovers it.
+    poisoned: bool,
+}
+
+/// `true` if the directory holds at least one segment or snapshot.
+fn dir_has_store(dir: &Path) -> Result<bool> {
+    Ok(!list_segments(dir)?.is_empty() || !list_snapshots(dir)?.is_empty())
+}
+
+impl DurableGraph {
+    /// Create a fresh, empty store in `dir` (created if missing; must
+    /// not already contain a store).
+    pub fn create(dir: &Path, config: StoreConfig) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        if dir_has_store(dir)? {
+            return Err(StoreError::AlreadyExists(dir.to_path_buf()));
+        }
+        let writer = SegmentWriter::create(dir, 1)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            graph: Graph::new(),
+            writer,
+            last_seq: 0,
+            snapshot_seq: 0,
+            bytes_since_snapshot: 0,
+            last_recovery: RecoveryStats::default(),
+            poisoned: false,
+        })
+    }
+
+    /// Create a store in `dir` seeded with `graph`, written as the
+    /// genesis snapshot (sequence 0) — the fast path for importing an
+    /// existing dataset.
+    pub fn create_with(dir: &Path, config: StoreConfig, graph: Graph) -> Result<Self> {
+        let mut s = Self::create(dir, config)?;
+        write_snapshot(&s.dir, 0, &graph.dump_slots())?;
+        s.graph = graph;
+        Ok(s)
+    }
+
+    /// Open an existing store, running full recovery (snapshot load +
+    /// log replay + torn-tail truncation).
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
+        let start = Instant::now();
+        if !dir.is_dir() {
+            return Err(StoreError::NotAStore(dir.to_path_buf()));
+        }
+        // Propagate real listing failures (permissions, fd exhaustion):
+        // mislabelling them NotAStore invites the user to re-init over a
+        // perfectly valid store.
+        if !dir_has_store(dir)? {
+            return Err(StoreError::NotAStore(dir.to_path_buf()));
+        }
+        let mut stats = RecoveryStats::default();
+
+        // Newest loadable snapshot wins; damaged ones are skipped.
+        let mut graph = Graph::new();
+        let mut snap_seq = 0u64;
+        let snapshots = list_snapshots(dir)?;
+        for (seq, path) in snapshots.iter().rev() {
+            match read_snapshot(path).and_then(|(s, dump)| {
+                Graph::restore_slots(&dump)
+                    .map(|g| (s, g))
+                    .map_err(|e| StoreError::Corrupt {
+                        path: path.clone(),
+                        detail: e.to_string(),
+                    })
+            }) {
+                Ok((s, g)) => {
+                    debug_assert_eq!(s, *seq);
+                    graph = g;
+                    snap_seq = s;
+                    break;
+                }
+                Err(_) => stats.snapshots_skipped += 1,
+            }
+        }
+        stats.snapshot_seq = snap_seq;
+
+        // Replay every record newer than the snapshot, in order.
+        let segments = list_segments(dir)?;
+        let mut bytes_since_snapshot = 0u64;
+        let mut next_seq = snap_seq + 1;
+        let mut active: Option<(PathBuf, u64, u64)> = None; // path, base, valid_len
+        for (i, (base, path)) in segments.iter().enumerate() {
+            let is_last = i + 1 == segments.len();
+            // A segment is entirely covered by the snapshot if the next
+            // segment starts at or below the first needed sequence.
+            if !is_last {
+                let next_base = segments[i + 1].0;
+                if next_base <= next_seq {
+                    continue;
+                }
+            }
+            let contents = read_segment(path, Some(*base))?;
+            stats.segments_read += 1;
+            if contents.is_torn() {
+                if !is_last {
+                    return Err(StoreError::Corrupt {
+                        path: path.clone(),
+                        detail: format!(
+                            "{} torn bytes in a non-active segment",
+                            contents.torn_bytes
+                        ),
+                    });
+                }
+                stats.torn_tail_bytes = contents.torn_bytes;
+            }
+            for rec in &contents.records {
+                if rec.seq < next_seq {
+                    continue; // covered by the snapshot
+                }
+                if rec.seq != next_seq {
+                    return Err(StoreError::Corrupt {
+                        path: path.clone(),
+                        detail: format!(
+                            "sequence gap: expected {next_seq}, found {}",
+                            rec.seq
+                        ),
+                    });
+                }
+                rec.mutation.apply(&mut graph).map_err(|e| match e {
+                    StoreError::ReplayDivergence { detail, .. } => {
+                        StoreError::ReplayDivergence {
+                            seq: rec.seq,
+                            detail,
+                        }
+                    }
+                    StoreError::Graph(g) => StoreError::ReplayDivergence {
+                        seq: rec.seq,
+                        detail: format!("graph rejected journaled op: {g}"),
+                    },
+                    other => other,
+                })?;
+                stats.records_replayed += 1;
+                bytes_since_snapshot += rec.frame_len;
+                next_seq += 1;
+            }
+            if is_last {
+                active = Some((path.clone(), *base, contents.valid_len));
+            }
+        }
+        let last_seq = next_seq - 1;
+
+        // Reopen (or recreate) the active segment for appending,
+        // dropping any torn tail so new records follow valid ones.
+        let writer = match active {
+            Some((path, base, valid_len)) if valid_len >= SEGMENT_HEADER_LEN => {
+                SegmentWriter::open_end(&path, base, valid_len)?
+            }
+            Some((path, base, _)) => {
+                // Header itself was torn — rewrite the segment fresh.
+                std::fs::remove_file(&path)?;
+                SegmentWriter::create(dir, base)?
+            }
+            None => SegmentWriter::create(dir, last_seq + 1)?,
+        };
+
+        stats.wall = start.elapsed();
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            config,
+            graph,
+            writer,
+            last_seq,
+            snapshot_seq: snap_seq,
+            bytes_since_snapshot,
+            last_recovery: stats,
+            poisoned: false,
+        })
+    }
+
+    /// Open `dir` if it holds a store, otherwise create one.
+    pub fn open_or_create(dir: &Path, config: StoreConfig) -> Result<Self> {
+        if dir.is_dir() && dir_has_store(dir)? {
+            Self::open(dir, config)
+        } else {
+            Self::create(dir, config)
+        }
+    }
+
+    /// The wrapped graph (all reads go through here).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume the store and keep just the graph (read-only workflows
+    /// that open, inspect and exit).
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Highest journaled sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// What the most recent [`DurableGraph::open`] found and did.
+    pub fn last_recovery(&self) -> &RecoveryStats {
+        &self.last_recovery
+    }
+
+    /// Scan the directory and report current store shape.
+    pub fn status(&self) -> Result<StoreStatus> {
+        let mut st = StoreStatus {
+            last_seq: self.last_seq,
+            snapshot_seq: self.snapshot_seq,
+            log_bytes_since_snapshot: self.bytes_since_snapshot,
+            live_nodes: self.graph.num_nodes(),
+            live_edges: self.graph.num_edges(),
+            ..StoreStatus::default()
+        };
+        for (_, path) in list_segments(&self.dir)? {
+            st.segments += 1;
+            st.segment_bytes += std::fs::metadata(&path)?.len();
+        }
+        for (_, path) in list_snapshots(&self.dir)? {
+            st.snapshots += 1;
+            st.snapshot_bytes += std::fs::metadata(&path)?.len();
+        }
+        Ok(st)
+    }
+
+    // ---- journaling core ---------------------------------------------------
+
+    /// Whether a journal failure has poisoned this instance (see
+    /// [`StoreError::Poisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    fn ensure_writable(&self) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        Ok(())
+    }
+
+    fn append(&mut self, m: &Mutation) -> Result<()> {
+        let seq = self.last_seq + 1;
+        match append_with_rotation(
+            &mut self.writer,
+            &self.dir,
+            self.config.segment_max_bytes,
+            seq,
+            m,
+        ) {
+            Ok(written) => {
+                self.last_seq = seq;
+                self.bytes_since_snapshot += written;
+                Ok(())
+            }
+            Err(e) => {
+                // The graph mutation this record describes has already
+                // been applied in memory; without the record the log can
+                // no longer reproduce the in-memory state.
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// `fsync` the active segment — everything journaled so far is
+    /// durable once this returns.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.config.sync_on_commit {
+            self.writer.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Journal an engine-applied repair operation. The operation must
+    /// already have been applied to [`DurableGraph::graph`] (that is
+    /// what [`RepairEngine::repair_with_sink`]'s sink guarantees).
+    pub fn journal_applied(&mut self, op: &AppliedOp) -> Result<()> {
+        self.ensure_writable()?;
+        self.append(&Mutation::from_applied(op))
+    }
+
+    // ---- mutators ----------------------------------------------------------
+
+    /// Insert a node; journals and returns the allocated id.
+    pub fn add_node(&mut self, label: &str) -> Result<NodeId> {
+        self.add_node_with_attrs(label, &[])
+    }
+
+    /// Insert a node with attributes (applied in the given order).
+    pub fn add_node_with_attrs(
+        &mut self,
+        label: &str,
+        attrs: &[(String, Value)],
+    ) -> Result<NodeId> {
+        self.ensure_writable()?;
+        let l = self.graph.label(label);
+        let node = self.graph.add_node(l);
+        for (k, v) in attrs {
+            let kk = self.graph.attr_key(k);
+            self.graph.set_attr(node, kk, v.clone())?;
+        }
+        self.append(&Mutation::AddNode {
+            node,
+            label: label.to_owned(),
+            attrs: attrs.to_vec(),
+        })?;
+        Ok(node)
+    }
+
+    /// Delete a node and its incident edges.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<Vec<EdgeId>> {
+        self.ensure_writable()?;
+        let removed = self.graph.remove_node(node)?;
+        self.append(&Mutation::RemoveNode { node })?;
+        Ok(removed)
+    }
+
+    /// Insert an edge; journals and returns the allocated id.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str) -> Result<EdgeId> {
+        self.ensure_writable()?;
+        let l = self.graph.label(label);
+        let edge = self.graph.add_edge(src, dst, l)?;
+        self.append(&Mutation::AddEdge {
+            edge,
+            src,
+            dst,
+            label: label.to_owned(),
+        })?;
+        Ok(edge)
+    }
+
+    /// Delete an edge.
+    pub fn remove_edge(&mut self, edge: EdgeId) -> Result<()> {
+        self.ensure_writable()?;
+        self.graph.remove_edge(edge)?;
+        self.append(&Mutation::RemoveEdge { edge })?;
+        Ok(())
+    }
+
+    /// Replace a node's label; returns the previous label's name.
+    pub fn set_node_label(&mut self, node: NodeId, label: &str) -> Result<String> {
+        self.ensure_writable()?;
+        let l = self.graph.label(label);
+        let old = self.graph.set_node_label(node, l)?;
+        let old = self.graph.label_name(old).to_owned();
+        self.append(&Mutation::SetNodeLabel {
+            node,
+            label: label.to_owned(),
+        })?;
+        Ok(old)
+    }
+
+    /// Replace an edge's label; returns the previous label's name.
+    pub fn set_edge_label(&mut self, edge: EdgeId, label: &str) -> Result<String> {
+        self.ensure_writable()?;
+        let l = self.graph.label(label);
+        let old = self.graph.set_edge_label(edge, l)?;
+        let old = self.graph.label_name(old).to_owned();
+        self.append(&Mutation::SetEdgeLabel {
+            edge,
+            label: label.to_owned(),
+        })?;
+        Ok(old)
+    }
+
+    /// Set an attribute; returns the previous value, if any.
+    pub fn set_attr(&mut self, node: NodeId, key: &str, value: Value) -> Result<Option<Value>> {
+        self.ensure_writable()?;
+        let k = self.graph.attr_key(key);
+        let old = self.graph.set_attr(node, k, value.clone())?;
+        self.append(&Mutation::SetAttr {
+            node,
+            key: key.to_owned(),
+            value,
+        })?;
+        Ok(old)
+    }
+
+    /// Remove an attribute; returns the removed value, if any.
+    pub fn remove_attr(&mut self, node: NodeId, key: &str) -> Result<Option<Value>> {
+        self.ensure_writable()?;
+        let k = self.graph.attr_key(key);
+        let old = self.graph.remove_attr(node, k)?;
+        self.append(&Mutation::RemoveAttr {
+            node,
+            key: key.to_owned(),
+        })?;
+        Ok(old)
+    }
+
+    /// Merge `merged` into `keep` (see [`Graph::merge_nodes`]).
+    pub fn merge_nodes(
+        &mut self,
+        keep: NodeId,
+        merged: NodeId,
+        dedup_parallel: bool,
+    ) -> Result<MergeOutcome> {
+        self.ensure_writable()?;
+        let outcome = self.graph.merge_nodes(keep, merged, dedup_parallel)?;
+        self.append(&Mutation::MergeNodes {
+            keep,
+            merged,
+            dedup_parallel,
+        })?;
+        Ok(outcome)
+    }
+
+    // ---- repairs -----------------------------------------------------------
+
+    /// Run a repair to fixpoint with every applied operation journaled
+    /// as it lands, then commit (fsync). On return the repaired state is
+    /// durable; a crash mid-run recovers a prefix of the repair ops — a
+    /// consistent graph, never a torn one.
+    ///
+    /// If an append fails mid-run the engine may still apply further
+    /// repairs in memory before the run winds down; the store is then
+    /// [poisoned](StoreError::Poisoned) — it refuses all further
+    /// mutations so the drifted in-memory state can never contaminate
+    /// the journal. Reopen the directory to recover the last durable
+    /// state.
+    pub fn repair(&mut self, engine: &RepairEngine, rules: &[Grr]) -> Result<RepairReport> {
+        self.ensure_writable()?;
+        let DurableGraph {
+            graph,
+            writer,
+            dir,
+            config,
+            last_seq,
+            bytes_since_snapshot,
+            ..
+        } = self;
+        let mut io_err: Option<StoreError> = None;
+        let report = engine.repair_with_sink(graph, rules, |op| {
+            if io_err.is_some() {
+                return;
+            }
+            let seq = *last_seq + 1;
+            match append_with_rotation(
+                writer,
+                dir,
+                config.segment_max_bytes,
+                seq,
+                &Mutation::from_applied(op),
+            ) {
+                Ok(written) => {
+                    *last_seq = seq;
+                    *bytes_since_snapshot += written;
+                }
+                Err(e) => io_err = Some(e),
+            }
+        });
+        if let Some(e) = io_err {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.commit()?;
+        Ok(report)
+    }
+
+    // ---- compaction --------------------------------------------------------
+
+    /// Snapshot the current state, rotate the log, and retire segments
+    /// and snapshots that recovery no longer needs.
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        // A poisoned store must not snapshot: the in-memory graph may
+        // hold unjournaled mutations, and persisting them would launder
+        // the drift into a recovery point.
+        self.ensure_writable()?;
+        // Everything the snapshot will cover must be durable first: if
+        // the snapshot landed but its covered records did not, a crash
+        // would recover *ahead* of the log.
+        self.writer.sync()?;
+        write_snapshot(&self.dir, self.last_seq, &self.graph.dump_slots())?;
+        let mut stats = CompactionStats {
+            snapshot_seq: self.last_seq,
+            ..CompactionStats::default()
+        };
+
+        // Rotate so the active segment holds only post-snapshot records —
+        // unless it is already a fresh, empty segment at the right base
+        // (fresh store, or back-to-back compactions).
+        if !(self.writer.is_empty() && self.writer.base_seq() == self.last_seq + 1) {
+            self.writer = SegmentWriter::create(&self.dir, self.last_seq + 1)?;
+        }
+
+        // Retire snapshots beyond the retention window first; the oldest
+        // *kept* snapshot then bounds which segments are still needed —
+        // recovery must be able to fall back to it and replay forward,
+        // so segments covering (oldest_kept, now] stay.
+        let snapshots = list_snapshots(&self.dir)?;
+        let keep = self.config.keep_snapshots.max(1);
+        let cutoff = snapshots.len().saturating_sub(keep);
+        for (_, path) in &snapshots[..cutoff] {
+            stats.bytes_reclaimed += std::fs::metadata(path)?.len();
+            std::fs::remove_file(path)?;
+            stats.snapshots_retired += 1;
+        }
+        let oldest_kept = snapshots[cutoff].0;
+
+        // A segment covers [base, next_base); it is retirable once the
+        // oldest kept snapshot covers all of it. The active segment has
+        // no successor and is never retired.
+        let segments = list_segments(&self.dir)?;
+        for (i, (_, path)) in segments.iter().enumerate() {
+            match segments.get(i + 1) {
+                Some((next_base, _)) if *next_base <= oldest_kept + 1 => {
+                    stats.bytes_reclaimed += std::fs::metadata(path)?.len();
+                    std::fs::remove_file(path)?;
+                    stats.segments_retired += 1;
+                }
+                _ => break,
+            }
+        }
+        self.snapshot_seq = self.last_seq;
+        self.bytes_since_snapshot = 0;
+        Ok(stats)
+    }
+
+    /// Compact if the post-snapshot log exceeds
+    /// [`StoreConfig::compact_log_bytes`].
+    pub fn maybe_compact(&mut self) -> Result<Option<CompactionStats>> {
+        if self.bytes_since_snapshot >= self.config.compact_log_bytes {
+            return self.compact().map(Some);
+        }
+        Ok(None)
+    }
+}
+
+/// Append one record, rotating to a fresh segment first if the active
+/// one is over budget. Free function so [`DurableGraph::repair`]'s sink
+/// can call it with split borrows.
+fn append_with_rotation(
+    writer: &mut SegmentWriter,
+    dir: &Path,
+    segment_max_bytes: u64,
+    seq: u64,
+    m: &Mutation,
+) -> Result<u64> {
+    if writer.len() >= segment_max_bytes && !writer.is_empty() {
+        writer.sync()?;
+        *writer = SegmentWriter::create(dir, seq)?;
+    }
+    writer.append(seq, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "grepair-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            segment_max_bytes: 256, // force frequent rotation in tests
+            compact_log_bytes: 1024,
+            keep_snapshots: 2,
+            sync_on_commit: true,
+        }
+    }
+
+    fn populate(s: &mut DurableGraph, persons: usize) -> Vec<NodeId> {
+        let city = s.add_node("City").unwrap();
+        let mut out = Vec::new();
+        for i in 0..persons {
+            let n = s
+                .add_node_with_attrs(
+                    "Person",
+                    &[("name".to_owned(), Value::from(format!("p{i}")))],
+                )
+                .unwrap();
+            s.add_edge(n, city, "livesIn").unwrap();
+            out.push(n);
+        }
+        out
+    }
+
+    #[test]
+    fn create_open_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        let persons = populate(&mut s, 10);
+        s.remove_node(persons[3]).unwrap();
+        s.commit().unwrap();
+        let dump = s.graph().dump_slots();
+        let last_seq = s.last_seq();
+        drop(s);
+
+        let s = DurableGraph::open(&dir, small_config()).unwrap();
+        assert_eq!(s.graph().dump_slots(), dump);
+        assert_eq!(s.last_seq(), last_seq);
+        assert_eq!(s.last_recovery().records_replayed, last_seq);
+        assert_eq!(s.last_recovery().torn_tail_bytes, 0);
+        s.graph().check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments() {
+        let dir = tmpdir("rotate");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        populate(&mut s, 30);
+        s.commit().unwrap();
+        let status = s.status().unwrap();
+        assert!(status.segments > 1, "expected rotation: {status:?}");
+        let dump = s.graph().dump_slots();
+        drop(s);
+        let s = DurableGraph::open(&dir, small_config()).unwrap();
+        assert_eq!(s.graph().dump_slots(), dump);
+        assert!(s.last_recovery().segments_read > 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_retires_segments_and_preserves_state() {
+        let dir = tmpdir("compact");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        let persons = populate(&mut s, 30);
+        let before = s.status().unwrap();
+        assert!(before.segments > 1);
+        let cstats = s.compact().unwrap();
+        assert!(cstats.segments_retired >= before.segments);
+        assert_eq!(cstats.snapshot_seq, s.last_seq());
+        let after = s.status().unwrap();
+        assert_eq!(after.segments, 1, "only the fresh active segment remains");
+        assert_eq!(after.log_bytes_since_snapshot, 0);
+
+        // Ids remain stable across compaction, and post-compaction
+        // mutations land in the new segment.
+        s.set_attr(persons[0], "name", Value::from("renamed")).unwrap();
+        s.commit().unwrap();
+        let dump = s.graph().dump_slots();
+        drop(s);
+        let s = DurableGraph::open(&dir, small_config()).unwrap();
+        assert_eq!(s.graph().dump_slots(), dump);
+        assert_eq!(s.last_recovery().snapshot_seq, cstats.snapshot_seq);
+        assert_eq!(s.last_recovery().records_replayed, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maybe_compact_honors_threshold() {
+        let dir = tmpdir("maybe");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        assert!(s.maybe_compact().unwrap().is_none());
+        populate(&mut s, 40); // well past 1024 log bytes
+        assert!(s.maybe_compact().unwrap().is_some());
+        assert!(s.maybe_compact().unwrap().is_none(), "freshly compacted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmpdir("torn");
+        let mut s = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+        populate(&mut s, 5);
+        s.commit().unwrap();
+        let dump = s.graph().dump_slots();
+        let last_seq = s.last_seq();
+        drop(s);
+        // Simulate a crash mid-append: garbage at the tail of the
+        // (single) active segment.
+        let (_, seg) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[0xAA; 13]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let mut s = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.last_recovery().torn_tail_bytes, 13);
+        assert_eq!(s.graph().dump_slots(), dump);
+        assert_eq!(s.last_seq(), last_seq);
+        // New appends go after the truncated tail and survive reopen.
+        s.add_node("Late").unwrap();
+        s.commit().unwrap();
+        drop(s);
+        let s = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.last_seq(), last_seq + 1);
+        assert_eq!(s.last_recovery().torn_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_one() {
+        let dir = tmpdir("snapfall");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        populate(&mut s, 10);
+        s.compact().unwrap(); // snapshot A
+        s.add_node("Extra").unwrap();
+        s.compact().unwrap(); // snapshot B (A retained: keep_snapshots=2)
+        s.add_node("Post").unwrap();
+        s.commit().unwrap();
+        let dump = s.graph().dump_slots();
+        drop(s);
+
+        // Trash the newest snapshot's payload.
+        let (_, newest) = list_snapshots(&dir).unwrap().pop().unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() - 3;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let s = DurableGraph::open(&dir, small_config()).unwrap();
+        assert_eq!(s.last_recovery().snapshots_skipped, 1);
+        assert_eq!(s.graph().dump_slots(), dump, "older snapshot + log replay");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_store_and_open_refuses_empty_dir() {
+        let dir = tmpdir("guards");
+        let s = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+        drop(s);
+        assert!(matches!(
+            DurableGraph::create(&dir, StoreConfig::default()),
+            Err(StoreError::AlreadyExists(_))
+        ));
+        let empty = tmpdir("guards-empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(matches!(
+            DurableGraph::open(&empty, StoreConfig::default()),
+            Err(StoreError::NotAStore(_))
+        ));
+        // open_or_create covers both.
+        assert!(DurableGraph::open_or_create(&dir, StoreConfig::default()).is_ok());
+        assert!(DurableGraph::open_or_create(&empty, StoreConfig::default()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&empty).ok();
+    }
+
+    #[test]
+    fn create_with_seeds_genesis_snapshot() {
+        let dir = tmpdir("seeded");
+        let mut g = Graph::new();
+        let a = g.add_node_named("P");
+        let b = g.add_node_named("Q");
+        g.add_edge_named(a, b, "r").unwrap();
+        let dump = g.dump_slots();
+        let s = DurableGraph::create_with(&dir, StoreConfig::default(), g).unwrap();
+        assert_eq!(s.graph().dump_slots(), dump);
+        drop(s);
+        let s = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.graph().dump_slots(), dump);
+        assert_eq!(s.last_recovery().records_replayed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutators_validate_before_journaling() {
+        let dir = tmpdir("validate");
+        let mut s = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+        let n = s.add_node("P").unwrap();
+        let seq = s.last_seq();
+        // Rejected ops journal nothing.
+        assert!(s.remove_node(NodeId(99)).is_err());
+        assert!(s.add_edge(n, NodeId(99), "r").is_err());
+        assert!(s.merge_nodes(n, n, true).is_err());
+        assert!(s.set_attr(NodeId(99), "k", Value::Int(1)).is_err());
+        assert_eq!(s.last_seq(), seq, "failed mutations must not journal");
+        drop(s);
+        let s = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.last_seq(), seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_store_refuses_mutation_but_recovers_on_reopen() {
+        let dir = tmpdir("poison");
+        let mut s = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+        let n = s.add_node("P").unwrap();
+        s.commit().unwrap();
+        let durable = s.graph().dump_slots();
+        let seq = s.last_seq();
+
+        // Simulate a journal failure having happened (the flag is what
+        // every append error sets).
+        s.poisoned = true;
+        assert!(s.is_poisoned());
+        assert!(matches!(s.add_node("Q"), Err(StoreError::Poisoned)));
+        assert!(matches!(s.remove_node(n), Err(StoreError::Poisoned)));
+        assert!(matches!(
+            s.set_attr(n, "k", Value::Int(1)),
+            Err(StoreError::Poisoned)
+        ));
+        assert!(matches!(s.compact(), Err(StoreError::Poisoned)));
+        assert!(matches!(
+            s.repair(&grepair_core::RepairEngine::default(), &[]),
+            Err(StoreError::Poisoned)
+        ));
+        // Reads and fsync of the valid prefix stay available.
+        assert_eq!(s.graph().num_nodes(), 1);
+        s.commit().unwrap();
+        assert_eq!(s.last_seq(), seq, "nothing journaled while poisoned");
+        drop(s);
+
+        // Reopen recovers the last durable state, unpoisoned.
+        let mut s = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert!(!s.is_poisoned());
+        assert_eq!(s.graph().dump_slots(), durable);
+        s.add_node("Q").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn status_reports_shape() {
+        let dir = tmpdir("status");
+        let mut s = DurableGraph::create(&dir, small_config()).unwrap();
+        populate(&mut s, 8);
+        let st = s.status().unwrap();
+        assert_eq!(st.live_nodes, 9);
+        assert_eq!(st.live_edges, 8);
+        assert_eq!(st.last_seq, s.last_seq());
+        assert!(st.log_bytes_since_snapshot > 0);
+        assert!(st.segment_bytes > 0);
+        let text = st.to_string();
+        assert!(text.contains("|V|=9"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,510 @@
+//! Append-only, checksummed WAL segments.
+//!
+//! A store's log is a sequence of segment files named
+//! `wal-<base_seq:016x>.seg`. Each segment starts with a fixed header
+//! (magic, format version, base sequence number — which must agree with
+//! the file name) followed by framed records:
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────────────────────────┐
+//! │ len u32 │ crc u32 │ payload (len bytes)        │
+//! └─────────┴─────────┴────────────────────────────┘
+//! payload = seq u64 · Mutation (see `record`)
+//! ```
+//!
+//! The CRC-32 covers the payload only; `len` is implicitly validated by
+//! the CRC (a corrupt length either exceeds the file — torn — or
+//! misframes the payload and fails the checksum). Reading stops at the
+//! first frame that is incomplete or fails its checksum; the byte offset
+//! of that frame is the segment's *valid length*. On the active (last)
+//! segment this is the crash-torn tail and is truncated away on open;
+//! anywhere else it is corruption and refuses recovery. A torn tail is
+//! only accepted when nothing decodable follows it: if a valid frame
+//! exists anywhere past the first invalid one, the damage is mid-log
+//! (truncating would drop committed records) and reading fails closed
+//! with [`StoreError::Corrupt`].
+
+use crate::codec::{crc32, ByteReader, ByteWriter};
+use crate::error::{Result, StoreError};
+use crate::record::Mutation;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"GRWAL1\n\0";
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed segment header size: magic + version + base_seq.
+pub const SEGMENT_HEADER_LEN: u64 = 8 + 4 + 8;
+/// Upper bound on a single record's payload, to keep a corrupt length
+/// field from driving a giant allocation.
+pub const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// File name of the segment whose first record has sequence `base_seq`.
+pub fn segment_file_name(base_seq: u64) -> String {
+    format!("wal-{base_seq:016x}.seg")
+}
+
+/// Parse a segment file name back to its base sequence number.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Append handle on one segment file.
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    base_seq: u64,
+    len: u64,
+}
+
+impl SegmentWriter {
+    /// Create a fresh segment (fails if the file exists).
+    pub fn create(dir: &Path, base_seq: u64) -> Result<Self> {
+        let path = dir.join(segment_file_name(base_seq));
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        bytes.extend_from_slice(&SEGMENT_MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&base_seq.to_le_bytes());
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        // Persist the directory entry too: without this, a power cut can
+        // erase the whole (acknowledged) segment on journaling file
+        // systems — the file's data was synced but its name was not.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(Self {
+            file,
+            path,
+            base_seq,
+            len: SEGMENT_HEADER_LEN,
+        })
+    }
+
+    /// Reopen an existing segment for appending, first truncating it to
+    /// `valid_len` (dropping a crash-torn tail, if any).
+    pub fn open_end(path: &Path, base_seq: u64, valid_len: u64) -> Result<Self> {
+        let file = OpenOptions::new().write(true).read(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut s = Self {
+            file,
+            path: path.to_path_buf(),
+            base_seq,
+            len: valid_len,
+        };
+        use std::io::Seek;
+        s.file.seek(std::io::SeekFrom::End(0))?;
+        Ok(s)
+    }
+
+    /// Append one framed record; returns the frame size in bytes.
+    ///
+    /// A payload over [`MAX_RECORD_LEN`] is rejected *before* any bytes
+    /// hit the file: the reader treats oversized lengths as torn, so an
+    /// accepted-but-unreadable record would be silently truncated away
+    /// (with everything after it) on the next recovery.
+    pub fn append(&mut self, seq: u64, m: &Mutation) -> Result<u64> {
+        let mut w = ByteWriter::new();
+        w.u64(seq);
+        m.encode(&mut w);
+        let payload = w.into_bytes();
+        if payload.len() > MAX_RECORD_LEN as usize {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "record payload of {} bytes exceeds the {MAX_RECORD_LEN}-byte limit",
+                    payload.len()
+                ),
+            )));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Flush to stable storage.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Current file length in bytes (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the segment holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == SEGMENT_HEADER_LEN
+    }
+
+    /// First sequence number this segment may hold.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// The segment's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One decoded record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// Log sequence number.
+    pub seq: u64,
+    /// The mutation.
+    pub mutation: Mutation,
+    /// On-disk frame size in bytes.
+    pub frame_len: u64,
+}
+
+/// Everything recoverable from one segment file.
+#[derive(Debug)]
+pub struct SegmentContents {
+    /// Base sequence from the header.
+    pub base_seq: u64,
+    /// Records in order, up to the first invalid frame.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the first invalid frame (file length if clean).
+    pub valid_len: u64,
+    /// Bytes past `valid_len` — the torn tail.
+    pub torn_bytes: u64,
+}
+
+impl SegmentContents {
+    /// Whether the file ended with a torn (incomplete or checksum-failed)
+    /// frame.
+    pub fn is_torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// Read a segment, stopping cleanly at the first invalid frame.
+///
+/// Returns [`StoreError::Corrupt`] only for header-level damage (bad
+/// magic, unsupported version, base mismatch with the file name) or for
+/// a CRC-*valid* record that fails to decode — both mean the file is not
+/// what we wrote, not that a write was interrupted. A decode error for
+/// `expected_base` of `None` skips the name cross-check.
+pub fn read_segment(path: &Path, expected_base: Option<u64>) -> Result<SegmentContents> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        detail,
+    };
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        // A crash can tear even the header of a freshly rotated segment;
+        // that is a torn file with zero records, not corruption.
+        return Ok(SegmentContents {
+            base_seq: expected_base.unwrap_or(0),
+            records: Vec::new(),
+            valid_len: 0,
+            torn_bytes: bytes.len() as u64,
+        });
+    }
+    if bytes[..8] != SEGMENT_MAGIC {
+        return Err(corrupt("bad segment magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!("unsupported segment version {version}")));
+    }
+    let base_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    if let Some(expect) = expected_base {
+        if expect != base_seq {
+            return Err(corrupt(format!(
+                "header base seq {base_seq} disagrees with file name ({expect})"
+            )));
+        }
+    }
+
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if bytes.len() - pos < 8 {
+            break; // incomplete frame header: torn
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN || bytes.len() - pos - 8 < len as usize {
+            break; // frame longer than the file: torn
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != crc {
+            break; // checksum failure: torn
+        }
+        let mut r = ByteReader::new(payload);
+        let seq = r
+            .u64()
+            .map_err(|e| corrupt(format!("checksummed record too short: {e}")))?;
+        let mutation = Mutation::decode(&mut r)
+            .map_err(|e| corrupt(format!("record seq {seq} undecodable: {e}")))?;
+        if r.remaining() != 0 {
+            return Err(corrupt(format!(
+                "record seq {seq} has {} trailing payload bytes",
+                r.remaining()
+            )));
+        }
+        records.push(WalRecord {
+            seq,
+            mutation,
+            frame_len: 8 + len as u64,
+        });
+        pos += 8 + len as usize;
+    }
+    // Torn-vs-corrupt: a crash tears the *tail* — nothing meaningful can
+    // follow the partial frame. If a byte-complete, checksum-valid,
+    // decodable frame exists anywhere past the first invalid one, the
+    // damage is mid-log (bad block, bit rot) and committed records would
+    // be silently dropped by truncation; fail closed instead.
+    if pos < bytes.len() && contains_valid_frame(&bytes[pos + 1..]) {
+        return Err(corrupt(format!(
+            "invalid frame at offset {pos} with valid frames after it (mid-segment corruption)"
+        )));
+    }
+    Ok(SegmentContents {
+        base_seq,
+        records,
+        valid_len: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Whether any byte offset in `tail` starts a complete, CRC-valid,
+/// decodable record frame. Linear scan — the region after a genuine
+/// torn tail is at most one partial frame, so this is cheap in the
+/// common case and only grows with actual mid-log damage.
+fn contains_valid_frame(tail: &[u8]) -> bool {
+    if tail.len() < 8 {
+        return false;
+    }
+    for o in 0..tail.len() - 8 {
+        let len = u32::from_le_bytes(tail[o..o + 4].try_into().unwrap()) as usize;
+        if len > MAX_RECORD_LEN as usize || tail.len() - o - 8 < len {
+            continue;
+        }
+        let crc = u32::from_le_bytes(tail[o + 4..o + 8].try_into().unwrap());
+        let payload = &tail[o + 8..o + 8 + len];
+        if crc32(payload) != crc {
+            continue;
+        }
+        let mut r = ByteReader::new(payload);
+        if r.u64().is_ok() && Mutation::decode(&mut r).is_ok() && r.remaining() == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+/// Sorted `(base_seq, path)` list of the segment files in `dir`.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(base) = name.to_str().and_then(parse_segment_name) {
+            out.push((base, entry.path()));
+        }
+    }
+    out.sort_by_key(|(b, _)| *b);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grepair_graph::NodeId;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "grepair-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mutations(n: usize) -> Vec<Mutation> {
+        (0..n)
+            .map(|i| Mutation::AddNode {
+                node: NodeId(i as u32),
+                label: format!("L{i}"),
+                attrs: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tmpdir("rt");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        for (i, m) in mutations(10).iter().enumerate() {
+            w.append(1 + i as u64, m).unwrap();
+        }
+        w.sync().unwrap();
+        let c = read_segment(w.path(), Some(1)).unwrap();
+        assert_eq!(c.base_seq, 1);
+        assert_eq!(c.records.len(), 10);
+        assert!(!c.is_torn());
+        assert_eq!(c.valid_len, w.len());
+        assert_eq!(c.records[3].seq, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_yields_a_record_prefix() {
+        let dir = tmpdir("trunc");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        let ms = mutations(6);
+        let mut frame_ends = vec![SEGMENT_HEADER_LEN];
+        for (i, m) in ms.iter().enumerate() {
+            w.append(1 + i as u64, m).unwrap();
+            frame_ends.push(w.len());
+        }
+        w.sync().unwrap();
+        let full = std::fs::read(w.path()).unwrap();
+        for cut in SEGMENT_HEADER_LEN as usize..=full.len() {
+            let p = dir.join("cut.seg");
+            std::fs::write(&p, &full[..cut]).unwrap();
+            let c = read_segment(&p, Some(1)).unwrap();
+            // Longest record prefix that fits entirely below the cut.
+            let expect = frame_ends.iter().filter(|&&e| e <= cut as u64).count() - 1;
+            assert_eq!(c.records.len(), expect, "cut at {cut}");
+            assert_eq!(c.is_torn(), frame_ends[expect] != cut as u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_payload_is_detected() {
+        let dir = tmpdir("flip");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        for (i, m) in mutations(3).iter().enumerate() {
+            w.append(1 + i as u64, m).unwrap();
+        }
+        let mut bytes = std::fs::read(w.path()).unwrap();
+        // Flip one bit inside the LAST record's payload: nothing valid
+        // follows, so this reads as a torn tail.
+        let target = bytes.len() - 5;
+        bytes[target] ^= 0x40;
+        let p = dir.join("flipped.seg");
+        std::fs::write(&p, &bytes).unwrap();
+        let c = read_segment(&p, Some(1)).unwrap();
+        assert!(c.is_torn());
+        assert!(c.records.len() < 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mid_segment_corruption_fails_closed() {
+        let dir = tmpdir("midflip");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        let mut frame_starts = Vec::new();
+        for (i, m) in mutations(4).iter().enumerate() {
+            frame_starts.push(w.len());
+            w.append(1 + i as u64, m).unwrap();
+        }
+        let mut bytes = std::fs::read(w.path()).unwrap();
+        // Damage the SECOND record's payload: valid committed frames
+        // follow, so truncation would silently drop them — must refuse.
+        let target = frame_starts[1] as usize + 10;
+        bytes[target] ^= 0x01;
+        let p = dir.join("midflipped.seg");
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_segment(&p, Some(1)).unwrap_err();
+        assert!(
+            matches!(&err, StoreError::Corrupt { detail, .. } if detail.contains("mid-segment")),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn header_damage_is_corrupt_not_torn() {
+        let dir = tmpdir("hdr");
+        let mut w = SegmentWriter::create(&dir, 7).unwrap();
+        w.append(7, &mutations(1)[0]).unwrap();
+        let mut bytes = std::fs::read(w.path()).unwrap();
+        bytes[0] ^= 0xFF;
+        let p = dir.join(segment_file_name(7));
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(matches!(
+            read_segment(&p, Some(7)),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // Name/header base mismatch.
+        let fresh = SegmentWriter::create(&dir, 9).unwrap();
+        assert!(matches!(
+            read_segment(fresh.path(), Some(10)),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sub_header_file_is_torn_with_no_records() {
+        let dir = tmpdir("stub");
+        let p = dir.join(segment_file_name(3));
+        std::fs::write(&p, b"GRW").unwrap();
+        let c = read_segment(&p, Some(3)).unwrap();
+        assert!(c.records.is_empty());
+        assert!(c.is_torn());
+        assert_eq!(c.valid_len, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_end_truncates_torn_tail_and_appends() {
+        let dir = tmpdir("reopen");
+        let mut w = SegmentWriter::create(&dir, 1).unwrap();
+        for (i, m) in mutations(4).iter().enumerate() {
+            w.append(1 + i as u64, m).unwrap();
+        }
+        let path = w.path().to_path_buf();
+        drop(w);
+        // Simulate a crash mid-append.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x55; 7]);
+        std::fs::write(&path, &bytes).unwrap();
+        let c = read_segment(&path, Some(1)).unwrap();
+        assert!(c.is_torn());
+        let mut w = SegmentWriter::open_end(&path, 1, c.valid_len).unwrap();
+        w.append(5, &mutations(1)[0]).unwrap();
+        w.sync().unwrap();
+        let c = read_segment(&path, Some(1)).unwrap();
+        assert!(!c.is_torn());
+        assert_eq!(c.records.len(), 5);
+        assert_eq!(c.records.last().unwrap().seq, 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(parse_segment_name(&segment_file_name(0)), Some(0));
+        assert_eq!(
+            parse_segment_name(&segment_file_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_segment_name("wal-zz.seg"), None);
+        assert_eq!(parse_segment_name("snap-0000000000000001.snap"), None);
+    }
+}
