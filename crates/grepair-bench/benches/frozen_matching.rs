@@ -17,7 +17,6 @@ use grepair_core::RuleSet;
 use grepair_gen::gold_kg_rules;
 use grepair_graph::{FrozenGraph, Graph};
 use grepair_match::Matcher;
-use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
     std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
@@ -71,42 +70,30 @@ fn bench_frozen_matching(c: &mut Criterion) {
     group.finish();
 }
 
-/// Median-of-N wall time for `f`, after one untimed warm-up call.
-fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
-    std::hint::black_box(f());
-    let mut times: Vec<Duration> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 fn speedup_summary() {
     let g = dirty_kg_fixture(fixture_persons());
     let rules = gold_kg_rules();
     let samples = if smoke() { 1 } else { 9 };
 
     let frozen = FrozenGraph::freeze(&g);
-    let live = time(samples, || scan_live(&g, &rules));
-    let warm = time(samples, || scan_frozen(&frozen, &rules));
-    let freeze = time(samples, || FrozenGraph::freeze(&g));
-    let cold = time(samples, || scan_frozen(&FrozenGraph::freeze(&g), &rules));
+    let live = criterion::median_time(samples, || scan_live(&g, &rules));
+    let warm = criterion::median_time(samples, || scan_frozen(&frozen, &rules));
+    let freeze = criterion::median_time(samples, || FrozenGraph::freeze(&g));
+    let cold = criterion::median_time(samples, || scan_frozen(&FrozenGraph::freeze(&g), &rules));
 
     // Matching over the snapshot must find exactly what the live scan
     // finds — a bench that silently diverged would be measuring nothing.
     assert_eq!(scan_live(&g, &rules), scan_frozen(&frozen, &rules));
 
+    let warm_speedup = live.as_secs_f64() / warm.as_secs_f64().max(1e-12);
+    let cold_speedup = live.as_secs_f64() / cold.as_secs_f64().max(1e-12);
     println!(
-        "\nfrozen-vs-live summary ({} persons): live {live:?} / frozen {warm:?} = {:.2}x \
-         (freeze pass {freeze:?}; freeze+scan {cold:?} = {:.2}x)",
+        "\nfrozen-vs-live summary ({} persons): live {live:?} / frozen {warm:?} = {warm_speedup:.2}x \
+         (freeze pass {freeze:?}; freeze+scan {cold:?} = {cold_speedup:.2}x)",
         fixture_persons(),
-        live.as_secs_f64() / warm.as_secs_f64().max(1e-12),
-        live.as_secs_f64() / cold.as_secs_f64().max(1e-12),
     );
+    criterion::record_metric("speedup_frozen_warm", warm_speedup);
+    criterion::record_metric("speedup_frozen_cold", cold_speedup);
 }
 
 criterion_group!(benches, bench_frozen_matching);
@@ -114,4 +101,5 @@ criterion_group!(benches, bench_frozen_matching);
 fn main() {
     benches();
     speedup_summary();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
 }

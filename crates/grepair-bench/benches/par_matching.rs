@@ -12,7 +12,6 @@ use grepair_bench::dirty_kg_fixture;
 use grepair_core::{RepairEngine, RuleSet};
 use grepair_gen::gold_kg_rules;
 use grepair_match::Matcher;
-use std::time::{Duration, Instant};
 
 fn bench_par_matching(c: &mut Criterion) {
     let g = dirty_kg_fixture(10_000);
@@ -62,31 +61,18 @@ fn bench_par_matching(c: &mut Criterion) {
     group.finish();
 }
 
-/// Median-of-N wall time for `f`.
-fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
-    let mut times: Vec<Duration> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 fn speedup_summary() {
     let g = dirty_kg_fixture(10_000);
     let rules: RuleSet = gold_kg_rules();
     let m = Matcher::new(&g);
-    let serial = time(9, || {
+    let serial = criterion::median_time(9, || {
         rules
             .rules
             .iter()
             .map(|r| m.find_all(&r.pattern).len())
             .sum::<usize>()
     });
-    let parallel = time(9, || {
+    let parallel = criterion::median_time(9, || {
         rules
             .rules
             .iter()
@@ -94,10 +80,12 @@ fn speedup_summary() {
             .sum::<usize>()
     });
     let threads = rayon_threads();
+    let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12);
     println!(
-        "\nspeedup summary ({threads} worker thread(s)): serial {serial:?} / parallel {parallel:?} = {:.2}x",
-        serial.as_secs_f64() / parallel.as_secs_f64().max(1e-12)
+        "\nspeedup summary ({threads} worker thread(s)): serial {serial:?} / parallel {parallel:?} = {speedup:.2}x"
     );
+    criterion::record_metric("speedup_parallel", speedup);
+    criterion::record_metric("worker_threads", threads as f64);
 }
 
 fn rayon_threads() -> usize {
@@ -111,4 +99,5 @@ criterion_group!(benches, bench_par_matching);
 fn main() {
     benches();
     speedup_summary();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
 }

@@ -13,7 +13,6 @@ use grepair_core::{RepairEngine, RuleSet};
 use grepair_gen::gold_kg_rules;
 use grepair_store::{DurableGraph, StoreConfig};
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
 
 fn smoke() -> bool {
     std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
@@ -148,20 +147,6 @@ fn bench_store_recovery(c: &mut Criterion) {
     std::fs::remove_dir_all(&compacted).ok();
 }
 
-/// Median-of-N wall time for `f`, after one untimed warm-up call.
-fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
-    std::hint::black_box(f());
-    let mut times: Vec<Duration> = (0..samples)
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
 fn summary(dir: &PathBuf, crashed: &PathBuf, compacted: &PathBuf, records: u64) {
     let samples = if smoke() { 1 } else { 7 };
     let open = |d: &PathBuf| {
@@ -173,12 +158,12 @@ fn summary(dir: &PathBuf, crashed: &PathBuf, compacted: &PathBuf, records: u64) 
     assert_eq!(open(crashed).0, nodes);
     assert_eq!(open(compacted).0, nodes);
 
-    let replay = time(samples, || open(dir));
-    let crash = time(samples, || {
+    let replay = criterion::median_time(samples, || open(dir));
+    let crash = criterion::median_time(samples, || {
         tear_tail(crashed);
         open(crashed)
     });
-    let snap = time(samples, || open(compacted));
+    let snap = criterion::median_time(samples, || open(compacted));
     let throughput = records as f64 / replay.as_secs_f64().max(1e-12);
     println!(
         "\nstore-recovery summary ({} persons, {nodes} live nodes, {records} log records):\n\
@@ -194,4 +179,5 @@ criterion_group!(benches, bench_store_recovery);
 
 fn main() {
     benches();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
 }

@@ -24,3 +24,24 @@ pub fn dirty_kg_fixture(persons: usize) -> Graph {
 pub fn clean_kg_fixture(persons: usize) -> Graph {
     generate_kg(&KgConfig::with_persons(persons)).0
 }
+
+/// Rule DSL for an attribute cascade: `stage{i}` fires when `a{i}` is
+/// set and `a{i+1}` is missing, setting `a{i+1}` — each repair enables
+/// exactly the next stage. The canonical repeated-round fixture for
+/// plan-cache and dirty-rule-scheduling measurements (the engine's unit
+/// tests pin the same shape).
+pub fn cascade_rules_dsl(stages: usize) -> String {
+    use std::fmt::Write as _;
+    let mut src = String::new();
+    for i in 0..stages {
+        writeln!(
+            src,
+            "rule stage{i} [incompleteness]
+             match (x:T) where has(x.a{i}), missing(x.a{next})
+             repair set x.a{next} = true",
+            next = i + 1
+        )
+        .unwrap();
+    }
+    src
+}

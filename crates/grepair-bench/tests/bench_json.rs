@@ -1,0 +1,122 @@
+//! Validate the machine-readable bench results committed at the repo
+//! root: every `BENCH_*.json` must parse and carry the schema the perf
+//! trajectory tooling depends on (`bench`, `smoke`, `results[]` with
+//! `id` + `median_ns` + `iters_per_sec`, `metrics{}`). The serde derive
+//! rejects missing fields, so parsing into [`BenchJson`] *is* the schema
+//! check.
+//!
+//! CI additionally sets `GREPAIR_REQUIRE_BENCH=<name>[,<name>...]` after
+//! smoke-running those benches, turning "file absent" into a failure for
+//! exactly the benches it just ran.
+
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+#[derive(Debug, Deserialize)]
+struct BenchJson {
+    bench: String,
+    #[allow(dead_code)]
+    smoke: bool,
+    results: Vec<ResultRow>,
+    metrics: BTreeMap<String, f64>,
+}
+
+#[derive(Debug, Deserialize)]
+struct ResultRow {
+    id: String,
+    median_ns: f64,
+    iters_per_sec: f64,
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/grepair-bench")
+        .to_path_buf()
+}
+
+fn validate(name: &str, text: &str) {
+    let parsed: BenchJson =
+        serde_json::from_str(text).unwrap_or_else(|e| panic!("{name}: schema violation: {e}"));
+    assert_eq!(
+        format!("BENCH_{}.json", parsed.bench),
+        name,
+        "{name}: \"bench\" must match the file name"
+    );
+    assert!(
+        !parsed.results.is_empty(),
+        "{name}: results must not be empty (latencies are the point)"
+    );
+    for r in &parsed.results {
+        assert!(!r.id.is_empty(), "{name}: empty result id");
+        assert!(
+            r.median_ns.is_finite() && r.median_ns >= 0.0,
+            "{name}: {}: median_ns = {}",
+            r.id,
+            r.median_ns
+        );
+        assert!(
+            r.iters_per_sec.is_finite() && r.iters_per_sec >= 0.0,
+            "{name}: {}: iters_per_sec = {}",
+            r.id,
+            r.iters_per_sec
+        );
+    }
+    for (k, v) in &parsed.metrics {
+        assert!(v.is_finite(), "{name}: metric {k} = {v}");
+    }
+}
+
+#[test]
+fn committed_bench_json_files_parse_with_required_keys() {
+    let root = repo_root();
+    let mut seen = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read repo root") {
+        let entry = entry.expect("dir entry");
+        let file_name = entry.file_name();
+        let Some(name) = file_name.to_str() else { continue };
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path()).expect("read bench json");
+        validate(name, &text);
+        seen.push(
+            name.trim_start_matches("BENCH_")
+                .trim_end_matches(".json")
+                .to_owned(),
+        );
+    }
+    if let Ok(required) = std::env::var("GREPAIR_REQUIRE_BENCH") {
+        for want in required.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            assert!(
+                seen.iter().any(|s| s == want),
+                "required BENCH_{want}.json missing at repo root (found: {seen:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn validator_rejects_malformed_results() {
+    let ok = r#"{"bench":"x","smoke":true,"results":[{"id":"a","median_ns":1.0,"iters_per_sec":2.0}],"metrics":{}}"#;
+    validate("BENCH_x.json", ok);
+    for bad in [
+        // No "bench".
+        r#"{"smoke":true,"results":[{"id":"a","median_ns":1.0,"iters_per_sec":2.0}],"metrics":{}}"#,
+        // Empty results.
+        r#"{"bench":"x","smoke":true,"results":[],"metrics":{}}"#,
+        // Row missing a latency key.
+        r#"{"bench":"x","smoke":true,"results":[{"id":"a","median_ns":1.0}],"metrics":{}}"#,
+        // Name mismatch.
+        r#"{"bench":"y","smoke":true,"results":[{"id":"a","median_ns":1.0,"iters_per_sec":2.0}],"metrics":{}}"#,
+        // Not JSON at all.
+        r#"not json"#,
+    ] {
+        assert!(
+            std::panic::catch_unwind(|| validate("BENCH_x.json", bad)).is_err(),
+            "must reject: {bad}"
+        );
+    }
+}

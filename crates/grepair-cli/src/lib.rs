@@ -225,6 +225,7 @@ commands:
   gen social    --accounts N [--seed S] -o OUT
   stats         GRAPH
   check         -r RULES (-g GRAPH | --store DIR) [--frozen]
+  explain       -r RULES (-g GRAPH | --store DIR)
   repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
   repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R]
   analyze       -r RULES
@@ -239,6 +240,11 @@ Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
 .grr DSL or .json. --frozen runs full scans over a compacted CSR snapshot
 of the graph (faster on large graphs, identical results; --naive enables
 it by default).
+
+`explain` prints, per rule, the join plan the cost-based planner chooses
+against the given graph's cardinality statistics: variable order, the
+expected candidate access path per step (label-index / extend /
+attr-join / scan), the cardinality estimate, and the accumulated cost.
 
 A store (--store/-d DIR) is a durable graph: every mutation and every
 applied repair is journaled to a checksummed write-ahead log with
@@ -257,6 +263,7 @@ pub fn dispatch(tokens: &[String]) -> CliResult {
         "gen" => cmd_gen(rest),
         "stats" => cmd_stats(rest),
         "check" => cmd_check(rest),
+        "explain" => cmd_explain(rest),
         "repair" => cmd_repair(rest),
         "analyze" => cmd_analyze(rest),
         "mine" => cmd_mine(rest),
@@ -405,6 +412,66 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         writeln!(out, "{:<40} {:>6}", r.name, n).unwrap();
     }
     writeln!(out, "{:<40} {:>6}", "TOTAL", total).unwrap();
+    Ok(out)
+}
+
+fn cmd_explain(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("explain: missing -r RULES"))?,
+    )?;
+    let mut out = String::new();
+    let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
+        (Some(path), None) => load_graph(path)?,
+        (None, Some(dir)) => {
+            let store = open_store(dir)?;
+            writeln!(out, "{}", recovery_summary(&store)).unwrap();
+            store.into_graph()
+        }
+        _ => {
+            return Err(CliError::usage(
+                "explain: need exactly one of -g GRAPH or --store DIR",
+            ))
+        }
+    };
+    let planner = grepair_match::Planner::new();
+    planner.refresh_stats(&g);
+    let stats = planner.stats().expect("stats just refreshed");
+    writeln!(
+        out,
+        "statistics: |V|={} |E|={} (version {})",
+        stats.nodes, stats.edges, stats.version
+    )
+    .unwrap();
+    let matcher =
+        grepair_match::Matcher::with_planner(&g, grepair_match::MatchConfig::default(), &planner);
+    for r in &rules.rules {
+        let ex = matcher.explain(&r.pattern);
+        writeln!(out, "\nrule {}:", r.name).unwrap();
+        if !ex.satisfiable {
+            writeln!(
+                out,
+                "  unmatchable: a required label or edge label is absent from this graph"
+            )
+            .unwrap();
+            continue;
+        }
+        for (i, s) in ex.steps.iter().enumerate() {
+            let label = s.label.as_deref().unwrap_or("*");
+            writeln!(
+                out,
+                "  {}. {:<20} {:<12} est {:.2}",
+                i + 1,
+                format!("{}:{label}", s.var),
+                s.access.to_string(),
+                s.estimate
+            )
+            .unwrap();
+        }
+        writeln!(out, "  estimated cost: {:.1}", ex.estimated_cost).unwrap();
+    }
+    out.truncate(out.trim_end().len());
     Ok(out)
 }
 
@@ -783,6 +850,46 @@ mod tests {
             std::fs::read_to_string(&out_live).unwrap(),
             std::fs::read_to_string(&out_frozen).unwrap()
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_prints_plans_with_estimates() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-explain.json");
+        let rules = dir.join("rules-explain.grr");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "200", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        let out = dispatch(&toks(&[
+            "explain", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("statistics: |V|="), "{out}");
+        assert!(out.contains("rule add_citizenship"), "{out}");
+        assert!(out.contains("estimated cost"), "{out}");
+        assert!(
+            out.contains("label-index") || out.contains("scan"),
+            "{out}"
+        );
+        assert!(out.contains("extend"), "{out}");
+        // A rule whose labels are absent from the graph is called out.
+        let ghost = dir.join("ghost.grr");
+        std::fs::write(
+            &ghost,
+            "rule ghost [conflict]\nmatch (x:Ghost)-[haunts]->(y:Ghost)\nrepair delete edge (x)-[haunts]->(y)",
+        )
+        .unwrap();
+        let out = dispatch(&toks(&[
+            "explain", "-r", ghost.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("unmatchable"), "{out}");
+        // Missing graph source is a usage error.
+        assert!(dispatch(&toks(&["explain", "-r", rules.to_str().unwrap()])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -45,7 +45,7 @@ use crate::apply::{apply_rule, revalidate, Applied, AppliedOp};
 use crate::cost::estimate_cost;
 use crate::rule::Grr;
 use grepair_graph::{EditCosts, FrozenGraph, Graph, NodeId};
-use grepair_match::{GraphView, Match, MatchConfig, Matcher, TouchSet};
+use grepair_match::{GraphView, Match, MatchConfig, Matcher, Planner, TouchSet};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -143,6 +143,11 @@ pub struct RuleStats {
     pub repairs_applied: usize,
     /// Total edit cost of this rule's repairs.
     pub cost: f64,
+    /// Full scans that included this rule. Under the naive engine's
+    /// dirty-rule scheduling this stays below `RepairReport::rounds` for
+    /// rules untouched by the cascade; the incremental engine scans every
+    /// rule exactly once (the seed).
+    pub scans: usize,
 }
 
 /// Result of a repair run.
@@ -163,6 +168,11 @@ pub struct RepairReport {
     pub converged: bool,
     /// Residual violations (only counted when `verify_fixpoint`).
     pub violations_remaining: usize,
+    /// Patterns actually compiled during the run (plan-cache misses).
+    pub pattern_compiles: u64,
+    /// Pattern compiles avoided by the plan cache — fixpoint rounds and
+    /// `find_touching`'s per-anchor compiles hitting cached plans.
+    pub plan_cache_hits: u64,
     /// Wall-clock duration.
     #[serde(skip)]
     pub wall: Duration,
@@ -301,17 +311,32 @@ impl RepairEngine {
             self.config.max_repairs
         };
 
+        // One planner per run: cardinality statistics steer join orders,
+        // the plan cache carries compiled patterns across fixpoint
+        // rounds, and its counters land in the report. With
+        // `connected_order` off (the naive ablation) the cost model never
+        // reads statistics, so skip the O(V+E) compute — the baseline
+        // must not pay for machinery it cannot use.
+        let planner = Planner::new();
+        if self.wants_stats() {
+            planner.refresh_stats(g);
+        }
+
         match self.config.mode {
-            EngineMode::Naive => self.run_naive(g, rules, &mut report, max_repairs, &mut sink),
+            EngineMode::Naive => {
+                self.run_naive(g, rules, &mut report, max_repairs, &mut sink, &planner)
+            }
             EngineMode::Incremental => {
-                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink)
+                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, &planner)
             }
         }
 
         if self.config.verify_fixpoint {
-            report.violations_remaining = self.count_violations(g, rules);
+            report.violations_remaining = self.count_violations_with(g, rules, &planner);
             report.converged = report.violations_remaining == 0;
         }
+        report.pattern_compiles = planner.compile_count();
+        report.plan_cache_hits = planner.cache_hit_count();
         report.wall = start.elapsed();
         report
     }
@@ -331,14 +356,15 @@ impl RepairEngine {
     #[cfg(feature = "parallel")]
     pub fn par_match_sweep(&self, g: &Graph, rules: &crate::ruleset::RuleSet) -> Vec<Vec<Match>> {
         let matcher = Matcher::with_config(g, self.config.match_config);
-        Self::parallel_scan(&matcher, &rules.rules)
+        let refs: Vec<&Grr> = rules.rules.iter().collect();
+        Self::parallel_scan(&matcher, &refs)
     }
 
     /// Rule-level parallel sweep; with the `parallel` feature each rule
     /// additionally fans out over root candidates.
     fn parallel_scan<G: GraphView + Sync>(
         matcher: &Matcher<'_, G>,
-        rules: &[Grr],
+        rules: &[&Grr],
     ) -> Vec<Vec<Match>> {
         #[cfg(feature = "parallel")]
         return rules
@@ -357,7 +383,7 @@ impl RepairEngine {
     fn scan_matches<G: GraphView + Sync>(
         &self,
         matcher: &Matcher<'_, G>,
-        rules: &[Grr],
+        rules: &[&Grr],
     ) -> Vec<Vec<Match>> {
         if self.config.parallel {
             Self::parallel_scan(matcher, rules)
@@ -366,13 +392,34 @@ impl RepairEngine {
         }
     }
 
+    /// Whether this configuration's plans can consume cardinality
+    /// statistics at all (the cost model only runs under
+    /// `connected_order`).
+    fn wants_stats(&self) -> bool {
+        self.config.match_config.connected_order
+    }
+
     /// Count current violations without repairing.
     pub fn count_violations(&self, g: &Graph, rules: &[Grr]) -> usize {
+        let planner = Planner::new();
+        if self.wants_stats() {
+            planner.refresh_stats(g);
+        }
+        self.count_violations_with(g, rules, &planner)
+    }
+
+    fn count_violations_with(&self, g: &Graph, rules: &[Grr], planner: &Planner) -> usize {
         if self.config.freeze_scans {
             let frozen = FrozenGraph::freeze(g);
-            self.count_with(&Matcher::with_config(&frozen, self.config.match_config), rules)
+            self.count_with(
+                &Matcher::with_planner(&frozen, self.config.match_config, planner),
+                rules,
+            )
         } else {
-            self.count_with(&Matcher::with_config(g, self.config.match_config), rules)
+            self.count_with(
+                &Matcher::with_planner(g, self.config.match_config, planner),
+                rules,
+            )
         }
     }
 
@@ -385,21 +432,40 @@ impl RepairEngine {
     }
 
     /// Full scan: all violations of all rules, with cost estimates.
+    fn full_scan(&self, g: &Graph, rules: &[Grr], planner: &Planner) -> Vec<Violation> {
+        self.full_scan_filtered(g, rules, None, planner)
+    }
+
+    /// Full scan restricted to the rules marked in `dirty` (`None` = all
+    /// rules) — the naive engine's label-keyed worklist skips rules whose
+    /// match sets provably cannot have changed since their last scan.
     ///
     /// With [`EngineConfig::freeze_scans`] the matching itself runs over a
     /// freshly frozen CSR snapshot; cost estimation always reads the live
     /// graph (identical data — the snapshot is taken at the same version).
-    fn full_scan(&self, g: &Graph, rules: &[Grr]) -> Vec<Violation> {
+    fn full_scan_filtered(
+        &self,
+        g: &Graph,
+        rules: &[Grr],
+        dirty: Option<&[bool]>,
+        planner: &Planner,
+    ) -> Vec<Violation> {
+        let selected: Vec<usize> = match dirty {
+            None => (0..rules.len()).collect(),
+            Some(d) => (0..rules.len()).filter(|&i| d[i]).collect(),
+        };
+        let subset: Vec<&Grr> = selected.iter().map(|&i| &rules[i]).collect();
         let per_rule: Vec<Vec<Match>> = if self.config.freeze_scans {
             let frozen = FrozenGraph::freeze(g);
-            let matcher = Matcher::with_config(&frozen, self.config.match_config);
-            self.scan_matches(&matcher, rules)
+            let matcher = Matcher::with_planner(&frozen, self.config.match_config, planner);
+            self.scan_matches(&matcher, &subset)
         } else {
-            let matcher = Matcher::with_config(g, self.config.match_config);
-            self.scan_matches(&matcher, rules)
+            let matcher = Matcher::with_planner(g, self.config.match_config, planner);
+            self.scan_matches(&matcher, &subset)
         };
         let mut out = Vec::new();
-        for (ri, ms) in per_rule.into_iter().enumerate() {
+        for (k, ms) in per_rule.into_iter().enumerate() {
+            let ri = selected[k];
             for m in ms {
                 let cost = estimate_cost(g, &rules[ri], &m, &self.config.costs);
                 out.push(Violation {
@@ -420,11 +486,35 @@ impl RepairEngine {
         report: &mut RepairReport,
         max_repairs: usize,
         sink: &mut dyn FnMut(&AppliedOp),
+        planner: &Planner,
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
+        // Label-keyed dirty-rule worklist. A rule is rescanned in round
+        // k+1 only if (a) some round-k operation could have *enabled* a
+        // new match at the label level ([`ops_can_enable`] — the same
+        // sound over-approximation the incremental trigger filter uses),
+        // or (b) one of its own repairs left its match still valid
+        // (partial fixes like deleting one of several parallel witness
+        // edges, and ineffective noop rules). Every other rule's match
+        // set is provably unchanged: its round-k matches were all
+        // attempted and eliminated, and nothing could have created new
+        // ones.
+        let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
+        let mut dirty = vec![true; rules.len()];
         for _round in 0..self.config.max_rounds {
             report.rounds += 1;
-            let mut violations = self.full_scan(g, rules);
+            // Repairs drift the distributions; re-snapshot statistics
+            // once the drift is large enough to matter. Small drifts keep
+            // the statistics epoch — and with it every cached plan.
+            if self.wants_stats() {
+                planner.refresh_if_drifted(g);
+            }
+            for (ri, d) in dirty.iter().enumerate() {
+                if *d {
+                    report.per_rule[ri].scans += 1;
+                }
+            }
+            let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
             if violations.is_empty() {
                 return;
             }
@@ -433,6 +523,8 @@ impl RepairEngine {
             }
             // Cheapest-first within the round (best-repair arbitration).
             violations.sort_by(|a, b| a.cmp_key().cmp(&b.cmp_key()));
+            let round_ops_start = report.ops.len();
+            let mut next_dirty = vec![false; rules.len()];
             let mut applied_any = false;
             for mut v in violations {
                 if report.repairs_applied >= max_repairs {
@@ -447,8 +539,24 @@ impl RepairEngine {
                 if self.apply_one(g, rules, &v, report, sink) {
                     applied_any = true;
                 }
+                // Persisting match after its own repair: the rule must be
+                // rescanned even if no operation label-triggers it. `v` is
+                // owned and dead after this, so revalidate in place.
+                if revalidate(g, &rules[v.rule].pattern, &mut v.m) {
+                    next_dirty[v.rule] = true;
+                }
             }
             if !applied_any {
+                return;
+            }
+            let round_ops = &report.ops[round_ops_start..];
+            for (ri, pre) in preconditions.iter().enumerate() {
+                if !next_dirty[ri] && ops_can_enable(round_ops, pre) {
+                    next_dirty[ri] = true;
+                }
+            }
+            dirty = next_dirty;
+            if !dirty.iter().any(|&d| d) {
                 return;
             }
         }
@@ -461,6 +569,7 @@ impl RepairEngine {
         report: &mut RepairReport,
         max_repairs: usize,
         sink: &mut dyn FnMut(&AppliedOp),
+        planner: &Planner,
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
         report.rounds = 1;
@@ -469,7 +578,10 @@ impl RepairEngine {
         // could have *enabled* are re-matched — the rule-dependency
         // pruning that keeps per-repair work independent of |Σ|.
         let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
-        let mut queue: BinaryHeap<Violation> = self.full_scan(g, rules).into();
+        for s in report.per_rule.iter_mut() {
+            s.scans = 1;
+        }
+        let mut queue: BinaryHeap<Violation> = self.full_scan(g, rules, planner).into();
         for v in queue.iter() {
             report.per_rule[v.rule].matches_found += 1;
         }
@@ -504,8 +616,10 @@ impl RepairEngine {
                 });
             }
             // Delta-driven discovery: only trigger-affected rules, only
-            // matches anchored in the delta.
-            let matcher = Matcher::with_config(g, self.config.match_config);
+            // matches anchored in the delta. The planner's cache serves
+            // the per-anchor plans — compiled once per (pattern, anchor),
+            // not once per repair.
+            let matcher = Matcher::with_planner(g, self.config.match_config, planner);
             for (ri, rule) in rules.iter().enumerate() {
                 if !ops_can_enable(new_ops, &preconditions[ri]) {
                     continue;
@@ -949,6 +1063,138 @@ mod tests {
                 s.name
             );
         }
+    }
+
+    /// The attribute-cascade rule source shared by the scheduling and
+    /// plan-cache tests (the planner bench runs the same shape via
+    /// `grepair_bench::cascade_rules_dsl`).
+    fn cascade_src(stages: usize) -> String {
+        let mut src = String::new();
+        for i in 0..stages {
+            src.push_str(&format!(
+                "rule stage{i} [incompleteness]
+                 match (x:T) where has(x.a{i}), missing(x.a{next})
+                 repair set x.a{next} = true\n",
+                next = i + 1
+            ));
+        }
+        src
+    }
+
+    /// `n` T-nodes carrying only `a0` — the cascade's starting line.
+    fn cascade_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let a0 = g.attr_key("a0");
+        for _ in 0..n {
+            let node = g.add_node_named("T");
+            g.set_attr(node, a0, Value::Bool(true)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn naive_dirty_scheduling_skips_clean_rules() {
+        // The attribute cascade dirties only the stage rules; the 20
+        // unrelated rules must be scanned exactly once (round 1) even
+        // though the naive engine runs many rounds.
+        let mut src = cascade_src(4);
+        for i in 0..20 {
+            src.push_str(&format!(
+                "rule unrelated{i} [conflict]
+                 match (x:Q)-[rel{i}]->(y:Q)
+                 where x.other{i} == 1
+                 repair delete edge (x)-[rel{i}]->(y)\n"
+            ));
+        }
+        let rules = parse_rules(&src).unwrap();
+        let mut g = cascade_graph(20);
+        let report = RepairEngine::new(EngineConfig::naive()).repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 4 * 20);
+        assert!(report.rounds > 1);
+        for s in report.per_rule.iter().filter(|s| s.name.starts_with("unrelated")) {
+            assert_eq!(s.scans, 1, "{} must only see the initial scan", s.name);
+            assert_eq!(s.matches_found, 0);
+        }
+        // The cascade stages themselves are rescanned across rounds.
+        assert!(report.per_rule[1].scans > 1, "stage1 must be rescanned");
+    }
+
+    #[test]
+    fn naive_dirty_scheduling_rescans_partial_fixes() {
+        // Deleting one of several parallel duplicate edges leaves the
+        // match valid: the rule must stay dirty until every duplicate is
+        // gone, even though DeleteEdge never label-enables the pattern.
+        let mut g = Graph::new();
+        let a = g.add_node_named("P");
+        let b = g.add_node_named("P");
+        for _ in 0..3 {
+            g.add_edge_named(a, b, "dup").unwrap();
+        }
+        let rules = parse_rules(
+            "rule drop_dup [redundancy]
+             match (x:P)-[dup]->(y:P)
+             repair delete edge (x)-[dup]->(y)",
+        )
+        .unwrap();
+        let report = RepairEngine::new(EngineConfig::naive()).repair(&mut g, &rules);
+        assert!(report.converged, "residual: {}", report.violations_remaining);
+        assert_eq!(report.repairs_applied, 3);
+        assert_eq!(g.num_edges(), 0);
+        assert!(report.per_rule[0].scans >= 3);
+    }
+
+    #[test]
+    fn plan_cache_avoids_per_repair_compiles_incremental() {
+        // Attribute cascade: every repair triggers a `find_touching` of
+        // the next stage, but the (pattern, anchor) plan is compiled once
+        // and then served from the cache — SetAttr ops never drift the
+        // node/edge counts, so the statistics epoch stays put.
+        let rules = parse_rules(&cascade_src(4)).unwrap();
+        let mut g = cascade_graph(20);
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 80);
+        assert!(report.pattern_compiles > 0);
+        assert!(
+            report.plan_cache_hits > report.pattern_compiles,
+            "80 repairs × re-matching must mostly hit the cache (compiles {}, hits {})",
+            report.pattern_compiles,
+            report.plan_cache_hits
+        );
+    }
+
+    #[test]
+    fn plan_cache_carries_naive_rounds() {
+        // Repeated naive rounds over a stable vocabulary: one compile,
+        // then every later round's scan reuses the plan. The graph is big
+        // enough that deleting one edge per round stays inside the
+        // statistics drift tolerance.
+        let mut g = Graph::new();
+        let nodes: Vec<_> = (0..200).map(|_| g.add_node_named("P")).collect();
+        for w in nodes.windows(2) {
+            g.add_edge_named(w[0], w[1], "knows").unwrap();
+        }
+        for _ in 0..3 {
+            g.add_edge_named(nodes[0], nodes[1], "dup").unwrap();
+        }
+        let rules = parse_rules(
+            "rule drop_dup [redundancy]
+             match (x:P)-[dup]->(y:P)
+             repair delete edge (x)-[dup]->(y)",
+        )
+        .unwrap();
+        let report =
+            RepairEngine::new(EngineConfig::naive_with_indexes()).repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 3);
+        assert!(report.rounds >= 3, "one duplicate per round");
+        assert!(
+            report.plan_cache_hits >= report.rounds as u64 - 1,
+            "later rounds must reuse the round-1 plan (compiles {}, hits {})",
+            report.pattern_compiles,
+            report.plan_cache_hits
+        );
     }
 
     #[test]

@@ -255,6 +255,22 @@ impl Graph {
             .unwrap_or(0)
     }
 
+    /// Per-key summary of the attribute value index: `key → (distinct
+    /// values, total entries)`. One pass over the index buckets —
+    /// `O(distinct (key, value) pairs)`, not `O(|V|)` — this is the raw
+    /// input behind [`crate::CardinalityStats`]'s equality-join
+    /// selectivity (`entries / distinct ≈ expected bucket size`).
+    pub fn attr_bucket_stats(&self) -> rustc_hash::FxHashMap<AttrKeyId, (u64, u64)> {
+        let mut out: rustc_hash::FxHashMap<AttrKeyId, (u64, u64)> =
+            rustc_hash::FxHashMap::default();
+        for ((key, _), bucket) in &self.attr_index {
+            let e = out.entry(*key).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += bucket.len() as u64;
+        }
+        out
+    }
+
     fn index_node(&mut self, id: NodeId, label: LabelId) {
         let bucket = &mut self.label_index[label.index()];
         self.nodes[id.index()].label_pos = bucket.len() as u32;

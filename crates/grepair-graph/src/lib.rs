@@ -66,5 +66,5 @@ pub use ids::{AttrKeyId, Direction, EdgeId, LabelId, NodeId};
 pub use interner::Interner;
 pub use io::{EdgeDoc, GraphDoc, NodeDoc};
 pub use snapshot::{CsrEntry, FrozenGraph};
-pub use stats::GraphStats;
+pub use stats::{CardinalityStats, GraphStats};
 pub use value::Value;

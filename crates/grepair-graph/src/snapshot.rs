@@ -245,6 +245,18 @@ impl FrozenGraph {
         self.attr_key_interner.get(name).map(AttrKeyId)
     }
 
+    /// Size of the freeze-time label vocabulary. Interners are
+    /// append-only, so equal sizes mean identical vocabularies — the
+    /// property plan caches key on.
+    pub fn num_labels(&self) -> usize {
+        self.label_interner.len()
+    }
+
+    /// Size of the freeze-time attribute-key vocabulary.
+    pub fn num_attr_keys(&self) -> usize {
+        self.attr_key_interner.len()
+    }
+
     // ---- basic queries ----------------------------------------------------
 
     /// Number of nodes in the snapshot.

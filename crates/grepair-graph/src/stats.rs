@@ -1,7 +1,10 @@
-//! Summary statistics over a graph, used for the T1 dataset table and for
-//! selectivity sanity checks in the experiment harness.
+//! Summary statistics over a graph, used for the T1 dataset table, for
+//! selectivity sanity checks in the experiment harness, and — via
+//! [`CardinalityStats`] — for the matcher's cost-based join planner.
 
 use crate::graph::Graph;
+use crate::ids::{AttrKeyId, Direction, LabelId};
+use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -78,6 +81,148 @@ impl fmt::Display for GraphStats {
     }
 }
 
+/// Cardinality statistics backing the matcher's cost-based join planner.
+///
+/// Everything a selectivity estimate needs, computed in one pass over the
+/// live graph and stamped with [`Graph::version`] so callers can detect
+/// staleness:
+///
+/// - **triple counts** — live edges per `(edge-label, src-label,
+///   dst-label)`, plus the `(edge, src, *)` / `(edge, *, dst)` / `(edge,
+///   *, *)` marginals, which turn into extension fan-out estimates
+///   (`triples / |src-label|`);
+/// - **attribute buckets** — per attr key, distinct values and total
+///   entries in the value index; `entries / distinct` estimates the
+///   candidate set of an equality join;
+/// - **degree summaries** — total out/in degree per node label, the
+///   fallback fan-out for pattern edges with no label requirement.
+///
+/// Estimates only steer *plan order*; they are never consulted for match
+/// correctness, so stale statistics degrade performance, not results.
+#[derive(Clone, Debug, Default)]
+pub struct CardinalityStats {
+    /// [`Graph::version`] at compute time.
+    pub version: u64,
+    /// Live node count at compute time.
+    pub nodes: u64,
+    /// Live edge count at compute time.
+    pub edges: u64,
+    /// Node label → live node count.
+    label_nodes: FxHashMap<u32, u64>,
+    /// (edge label, src label, dst label) → live edge count.
+    triples: FxHashMap<(u32, u32, u32), u64>,
+    /// (edge label, src label) → live edge count (dst marginalized).
+    edge_src: FxHashMap<(u32, u32), u64>,
+    /// (edge label, dst label) → live edge count (src marginalized).
+    edge_dst: FxHashMap<(u32, u32), u64>,
+    /// Edge label → live edge count.
+    edge_total: FxHashMap<u32, u64>,
+    /// Node label → total out-degree of its nodes.
+    out_deg: FxHashMap<u32, u64>,
+    /// Node label → total in-degree of its nodes.
+    in_deg: FxHashMap<u32, u64>,
+    /// Attr key → (distinct values, total entries) in the value index.
+    attr_buckets: FxHashMap<u32, (u64, u64)>,
+}
+
+impl CardinalityStats {
+    /// Compute statistics in one pass over live nodes and edges.
+    pub fn compute(g: &Graph) -> Self {
+        let mut s = CardinalityStats {
+            version: g.version(),
+            nodes: g.num_nodes() as u64,
+            edges: g.num_edges() as u64,
+            attr_buckets: g
+                .attr_bucket_stats()
+                .into_iter()
+                .map(|(k, v)| (k.0, v))
+                .collect(),
+            ..CardinalityStats::default()
+        };
+        for n in g.nodes() {
+            let l = g.node_label(n).expect("live node has a label");
+            *s.label_nodes.entry(l.0).or_insert(0) += 1;
+        }
+        for e in g.edges() {
+            let er = g.edge(e).expect("live edge");
+            let sl = g.node_label(er.src).expect("live endpoint");
+            let dl = g.node_label(er.dst).expect("live endpoint");
+            let el = er.label;
+            *s.triples.entry((el.0, sl.0, dl.0)).or_insert(0) += 1;
+            *s.edge_src.entry((el.0, sl.0)).or_insert(0) += 1;
+            *s.edge_dst.entry((el.0, dl.0)).or_insert(0) += 1;
+            *s.edge_total.entry(el.0).or_insert(0) += 1;
+            *s.out_deg.entry(sl.0).or_insert(0) += 1;
+            *s.in_deg.entry(dl.0).or_insert(0) += 1;
+        }
+        s
+    }
+
+    /// Live nodes carrying `label` (`None` = all nodes).
+    pub fn label_count(&self, label: Option<LabelId>) -> u64 {
+        match label {
+            None => self.nodes,
+            Some(l) => self.label_nodes.get(&l.0).copied().unwrap_or(0),
+        }
+    }
+
+    /// Live edges matching the (possibly partially specified) triple.
+    pub fn triple_count(
+        &self,
+        edge: LabelId,
+        src: Option<LabelId>,
+        dst: Option<LabelId>,
+    ) -> u64 {
+        match (src, dst) {
+            (Some(s), Some(d)) => self.triples.get(&(edge.0, s.0, d.0)).copied().unwrap_or(0),
+            (Some(s), None) => self.edge_src.get(&(edge.0, s.0)).copied().unwrap_or(0),
+            (None, Some(d)) => self.edge_dst.get(&(edge.0, d.0)).copied().unwrap_or(0),
+            (None, None) => self.edge_total.get(&edge.0).copied().unwrap_or(0),
+        }
+    }
+
+    /// Expected number of `dir`-oriented neighbors a node with label
+    /// `from` contributes along an edge with label `edge` toward a node
+    /// with label `to` — the planner's extension fan-out. `None` labels
+    /// marginalize; an unlabelled edge falls back to the label's average
+    /// degree in that direction.
+    pub fn extension_fanout(
+        &self,
+        edge: Option<LabelId>,
+        from: Option<LabelId>,
+        to: Option<LabelId>,
+        dir: Direction,
+    ) -> f64 {
+        let denom = self.label_count(from).max(1) as f64;
+        let numer = match edge {
+            Some(el) => match dir {
+                Direction::Out => self.triple_count(el, from, to),
+                Direction::In => self.triple_count(el, to, from),
+            },
+            None => {
+                let deg = match (dir, from) {
+                    (Direction::Out, Some(l)) => {
+                        self.out_deg.get(&l.0).copied().unwrap_or(0)
+                    }
+                    (Direction::In, Some(l)) => self.in_deg.get(&l.0).copied().unwrap_or(0),
+                    (_, None) => self.edges,
+                };
+                return deg as f64 / denom;
+            }
+        };
+        numer as f64 / denom
+    }
+
+    /// Expected size of one equality bucket of attribute `key`
+    /// (`total entries / distinct values`); 0 when the key is unindexed.
+    pub fn avg_bucket(&self, key: AttrKeyId) -> f64 {
+        match self.attr_buckets.get(&key.0) {
+            Some(&(distinct, entries)) if distinct > 0 => entries as f64 / distinct as f64,
+            _ => 0.0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +254,62 @@ mod tests {
         // a has degree 2 → bucket 1; b, c have degree 1 → bucket 0.
         assert_eq!(s.degree_hist, vec![2, 1]);
         assert!(s.to_string().contains("|V|=3"));
+    }
+
+    #[test]
+    fn cardinality_stats_count_triples_degrees_and_buckets() {
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let c = g.label("C");
+        let lives = g.label("lives");
+        let knows = g.label("knows");
+        let a = g.add_node(p);
+        let b = g.add_node(p);
+        let c1 = g.add_node(c);
+        g.add_edge(a, c1, lives).unwrap();
+        g.add_edge(b, c1, lives).unwrap();
+        g.add_edge(a, b, knows).unwrap();
+        let ssn = g.attr_key("ssn");
+        g.set_attr(a, ssn, crate::Value::Int(1)).unwrap();
+        g.set_attr(b, ssn, crate::Value::Int(1)).unwrap();
+        g.set_attr(c1, ssn, crate::Value::Int(2)).unwrap();
+
+        let s = CardinalityStats::compute(&g);
+        assert_eq!(s.version, g.version());
+        assert_eq!((s.nodes, s.edges), (3, 3));
+        assert_eq!(s.label_count(Some(p)), 2);
+        assert_eq!(s.label_count(None), 3);
+        assert_eq!(s.triple_count(lives, Some(p), Some(c)), 2);
+        assert_eq!(s.triple_count(lives, Some(p), None), 2);
+        assert_eq!(s.triple_count(lives, None, Some(c)), 2);
+        assert_eq!(s.triple_count(lives, None, None), 2);
+        assert_eq!(s.triple_count(knows, Some(p), Some(c)), 0);
+        // Out fan-out of a P along lives toward C: 2 edges / 2 P nodes.
+        assert!((s.extension_fanout(Some(lives), Some(p), Some(c), Direction::Out) - 1.0).abs() < 1e-9);
+        // In fan-out of a C along lives from P: 2 edges / 1 C node.
+        assert!((s.extension_fanout(Some(lives), Some(c), Some(p), Direction::In) - 2.0).abs() < 1e-9);
+        // Unlabelled edge falls back to average degree: P nodes have
+        // 3 out-edges total over 2 nodes.
+        assert!((s.extension_fanout(None, Some(p), None, Direction::Out) - 1.5).abs() < 1e-9);
+        // ssn has 2 distinct values over 3 entries.
+        assert!((s.avg_bucket(ssn) - 1.5).abs() < 1e-9);
+        assert_eq!(s.avg_bucket(AttrKeyId(99)), 0.0);
+    }
+
+    #[test]
+    fn attr_bucket_stats_track_index() {
+        let mut g = Graph::new();
+        let a = g.add_node_named("P");
+        let b = g.add_node_named("P");
+        let k = g.attr_key("k");
+        g.set_attr(a, k, crate::Value::Int(1)).unwrap();
+        g.set_attr(b, k, crate::Value::Int(2)).unwrap();
+        assert_eq!(g.attr_bucket_stats().get(&k), Some(&(2, 2)));
+        g.set_attr(b, k, crate::Value::Int(1)).unwrap();
+        assert_eq!(g.attr_bucket_stats().get(&k), Some(&(1, 2)));
+        g.remove_node(a).unwrap();
+        g.remove_node(b).unwrap();
+        assert!(g.attr_bucket_stats().is_empty());
     }
 
     #[test]

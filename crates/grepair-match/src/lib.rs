@@ -40,8 +40,12 @@
 pub mod matcher;
 pub mod oracle;
 pub mod pattern;
+pub mod plan;
 pub mod view;
 
-pub use matcher::{Match, MatchConfig, Matcher, TouchSet};
+pub use matcher::{
+    ExplainStep, Match, MatchConfig, Matcher, PlanAccess, PlanExplanation, PlanStep, TouchSet,
+};
 pub use pattern::{CmpOp, Constraint, Pattern, PatternBuilder, PatternEdge, PatternNode, Rhs, Var};
+pub use plan::Planner;
 pub use view::GraphView;

@@ -21,11 +21,16 @@
 //! it enumerates exactly the matches whose image intersects a given node
 //! set, without duplicates.
 
-use crate::pattern::{CmpOp, Constraint, Pattern, Rhs};
+use crate::pattern::{CmpOp, Constraint, Pattern, Rhs, Var};
+use crate::plan::Planner;
 use crate::view::GraphView;
-use grepair_graph::{sig_bit, AttrKeyId, Direction, EdgeId, Graph, LabelId, NodeId, Value};
+use grepair_graph::{
+    sig_bit, AttrKeyId, CardinalityStats, Direction, EdgeId, Graph, LabelId, NodeId, Value,
+};
 use rustc_hash::FxHashSet;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 
 /// Matcher feature toggles (all on by default; `naive()` turns all off).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -142,10 +147,88 @@ struct CEdge {
     label: LabelReq,
 }
 
+/// How one plan step obtains its candidate nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanAccess {
+    /// Candidates restricted to the incremental touch set.
+    Anchor,
+    /// Initial candidates from the per-label node index.
+    LabelIndex,
+    /// Initial candidates from a full node scan.
+    Scan,
+    /// Candidates extended along a positive edge from a bound neighbor's
+    /// adjacency list.
+    Extension,
+    /// Candidates retrieved from the (key, value) index via an equality
+    /// join against a bound variable.
+    AttrJoin,
+}
+
+impl fmt::Display for PlanAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanAccess::Anchor => "anchor",
+            PlanAccess::LabelIndex => "label-index",
+            PlanAccess::Scan => "scan",
+            PlanAccess::Extension => "extend",
+            PlanAccess::AttrJoin => "attr-join",
+        })
+    }
+}
+
+/// One step of a compiled plan, for `explain`-style introspection. The
+/// access path recorded here is the *planner's expectation*; the search
+/// still chooses the cheapest available access dynamically per binding.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// Pattern variable bound at this step.
+    pub var: usize,
+    /// Expected candidate access path.
+    pub access: PlanAccess,
+    /// Estimated candidates (first step) or per-partial-match fan-out
+    /// multiplier (later steps, statistics-based plans). Without
+    /// statistics, later steps carry candidate-count upper bounds.
+    pub estimate: f64,
+}
+
+/// One rendered step of [`Matcher::explain`] output.
+#[derive(Clone, Debug)]
+pub struct ExplainStep {
+    /// Pattern variable name.
+    pub var: String,
+    /// Required node label, if any.
+    pub label: Option<String>,
+    /// Expected candidate access path.
+    pub access: PlanAccess,
+    /// Estimated candidates (first step) / fan-out multiplier (later
+    /// steps, statistics-based plans).
+    pub estimate: f64,
+}
+
+/// The plan a [`Matcher`] would run for a pattern — see
+/// [`Matcher::explain`].
+#[derive(Clone, Debug)]
+pub struct PlanExplanation {
+    /// `false` when the pattern cannot match this graph at all (e.g. a
+    /// required label is not in the vocabulary); `steps` is then empty.
+    pub satisfiable: bool,
+    /// Plan steps in execution order.
+    pub steps: Vec<ExplainStep>,
+    /// Accumulated cost estimate: expected number of accept-loop
+    /// executions (sum of running partial-match counts). Only meaningful
+    /// relative to other plans, and only sharp when statistics back it.
+    pub estimated_cost: f64,
+    /// Version of the [`CardinalityStats`] snapshot the estimates came
+    /// from; `None` when no statistics were available (upper-bound
+    /// estimates).
+    pub stats_version: Option<u64>,
+}
+
 /// A pattern compiled against a specific graph's interners + an execution
 /// plan. Rebuilt whenever the graph's label vocabulary could have changed
-/// (cheap: proportional to pattern size).
-struct Compiled {
+/// (cheap: proportional to pattern size); the [`Planner`]'s plan cache
+/// avoids even that for repeated matching over a stable vocabulary.
+pub(crate) struct Compiled {
     labels: Vec<LabelReq>,
     edges: Vec<CEdge>,
     neg_edges: Vec<CEdge>,
@@ -171,6 +254,8 @@ struct Compiled {
     /// Vars that must bind OUTSIDE the touch set (dedup in incremental
     /// mode): all vars with index < anchor var.
     forbid_touched: Vec<bool>,
+    /// Per-step planner expectations (indexed like `plan`), for `explain`.
+    steps: Vec<PlanStep>,
 }
 
 /// Pattern matcher over a single [`GraphView`] — the live [`Graph`] by
@@ -180,6 +265,7 @@ struct Compiled {
 pub struct Matcher<'g, G: GraphView + ?Sized = Graph> {
     g: &'g G,
     cfg: MatchConfig,
+    planner: Option<&'g Planner>,
 }
 
 impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
@@ -188,12 +274,34 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         Self {
             g,
             cfg: MatchConfig::default(),
+            planner: None,
         }
     }
 
     /// Matcher with explicit configuration.
     pub fn with_config(g: &'g G, cfg: MatchConfig) -> Self {
-        Self { g, cfg }
+        Self {
+            g,
+            cfg,
+            planner: None,
+        }
+    }
+
+    /// Matcher backed by a [`Planner`]: join orders come from the
+    /// planner's cardinality statistics (when refreshed), compiled plans
+    /// are cached across calls, and search-state allocations are pooled.
+    /// Matching *results* are identical with or without a planner — only
+    /// plan order and cost change.
+    ///
+    /// The planner must be dedicated to this graph's lineage (the graph
+    /// across mutations, plus snapshots frozen from it) — never shared
+    /// between unrelated graphs; see [`crate::plan`].
+    pub fn with_planner(g: &'g G, cfg: MatchConfig, planner: &'g Planner) -> Self {
+        Self {
+            g,
+            cfg,
+            planner: Some(planner),
+        }
     }
 
     /// The underlying graph view.
@@ -201,11 +309,48 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         self.g
     }
 
+    /// The matcher configuration packed into a cache-key byte.
+    pub(crate) fn config_bits(&self) -> u8 {
+        (self.cfg.use_label_index as u8)
+            | (self.cfg.use_signature as u8) << 1
+            | (self.cfg.use_degree_filter as u8) << 2
+            | (self.cfg.connected_order as u8) << 3
+            | (self.cfg.use_attr_index as u8) << 4
+    }
+
+    /// Compile via the planner's cache when one is attached.
+    fn compiled(
+        &self,
+        pattern: &Pattern,
+        anchor: Option<usize>,
+        touched: &TouchSet,
+    ) -> Option<Arc<Compiled>> {
+        match self.planner {
+            Some(p) => p.compiled(self, pattern, anchor, touched),
+            None => self.compile(pattern, anchor, touched).map(Arc::new),
+        }
+    }
+
+    fn acquire_state(&self, n_vars: usize, n_edges: usize) -> SearchState {
+        let mut st = self
+            .planner
+            .and_then(|p| p.pool_pop())
+            .unwrap_or_default();
+        st.reset(n_vars, n_edges);
+        st
+    }
+
+    fn release_state(&self, st: SearchState) {
+        if let Some(p) = self.planner {
+            p.pool_push(st);
+        }
+    }
+
     /// All matches of `pattern`.
     pub fn find_all(&self, pattern: &Pattern) -> Vec<Match> {
         let mut out = Vec::new();
-        self.for_each(pattern, |m| {
-            out.push(m);
+        self.for_each_state(pattern, &mut |st| {
+            out.push(st.to_match());
             true
         });
         out
@@ -228,19 +373,18 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         use rayon::prelude::*;
         debug_assert!(pattern.validate().is_ok());
         let empty = TouchSet::default();
-        let Some(comp) = self.compile(pattern, None, &empty) else {
+        let Some(comp) = self.compiled(pattern, None, &empty) else {
             return Vec::new();
         };
         if comp.plan.is_empty() {
             return self.find_all(pattern);
         }
-        let fresh = || SearchState {
-            assignment: vec![NodeId(u32::MAX); comp.plan.len()],
-            used: FxHashSet::default(),
-            witness: vec![EdgeId(u32::MAX); comp.edges.len()],
-            stopped: false,
+        let roots = {
+            let probe = self.acquire_state(comp.plan.len(), comp.edges.len());
+            let roots = self.candidates(&comp, &probe, 0, &empty);
+            self.release_state(probe);
+            roots
         };
-        let roots = self.candidates(&comp, &fresh(), 0, &empty);
         // Oversplit relative to the worker count so uneven subtree sizes
         // balance; each chunk reuses one backtracking state across its
         // roots, so a single-threaded run does the same work as
@@ -254,12 +398,13 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         let per_chunk: Vec<Vec<Match>> = chunks
             .into_par_iter()
             .map(|chunk| {
-                let mut st = fresh();
+                let mut st = self.acquire_state(comp.plan.len(), comp.edges.len());
                 let mut out = Vec::new();
-                self.run_roots(comp, &mut st, chunk, &mut |m| {
-                    out.push(m);
+                self.run_roots(comp, &mut st, chunk, &mut |st| {
+                    out.push(st.to_match());
                     true
                 }, empty);
+                self.release_state(st);
                 out
             })
             .collect();
@@ -279,15 +424,23 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         out
     }
 
-    /// Whether at least one match exists.
+    /// Whether at least one match exists. Allocation-free: no [`Match`]
+    /// is materialized for the probe.
     pub fn exists(&self, pattern: &Pattern) -> bool {
-        !self.find_limited(pattern, 1).is_empty()
+        let mut found = false;
+        self.for_each_state(pattern, &mut |_| {
+            found = true;
+            false
+        });
+        found
     }
 
-    /// Number of matches.
+    /// Number of matches. Count-only emission path: the search never
+    /// materializes a [`Match`] (no assignment/witness clones), it only
+    /// bumps the counter at each complete assignment.
     pub fn count(&self, pattern: &Pattern) -> usize {
         let mut n = 0usize;
-        self.for_each(pattern, |_| {
+        self.for_each_state(pattern, &mut |_| {
             n += 1;
             true
         });
@@ -296,11 +449,18 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
 
     /// Enumerate matches, stopping when `f` returns `false`.
     pub fn for_each(&self, pattern: &Pattern, mut f: impl FnMut(Match) -> bool) {
+        self.for_each_state(pattern, &mut |st| f(st.to_match()));
+    }
+
+    /// Internal enumeration over borrowed search states: callers that
+    /// only count or probe never pay for `Match` allocations.
+    fn for_each_state(&self, pattern: &Pattern, f: &mut dyn FnMut(&SearchState) -> bool) {
         debug_assert!(pattern.validate().is_ok());
-        let Some(comp) = self.compile(pattern, None, &FxHashSet::default()) else {
+        let empty = TouchSet::default();
+        let Some(comp) = self.compiled(pattern, None, &empty) else {
             return;
         };
-        self.run(&comp, &mut f, &FxHashSet::default());
+        self.run(&comp, f, &empty);
     }
 
     /// Enumerate matches whose image intersects `touched`, without
@@ -308,6 +468,10 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
     /// every affected node (endpoints of added/removed/relabelled edges,
     /// relabelled nodes, attr-changed nodes, merge survivors) is in
     /// `touched`.
+    ///
+    /// With a [`Planner`] attached, the per-anchor compiles — one per
+    /// pattern variable per call, the dominant compile cost of the
+    /// incremental engine — come from the plan cache.
     pub fn find_touching(&self, pattern: &Pattern, touched: &TouchSet) -> Vec<Match> {
         debug_assert!(pattern.validate().is_ok());
         let mut out = Vec::new();
@@ -315,13 +479,13 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             return out;
         }
         for anchor in 0..pattern.num_vars() {
-            let Some(comp) = self.compile(pattern, Some(anchor), touched) else {
+            let Some(comp) = self.compiled(pattern, Some(anchor), touched) else {
                 continue;
             };
             self.run(
                 &comp,
-                &mut |m| {
-                    out.push(m);
+                &mut |st| {
+                    out.push(st.to_match());
                     true
                 },
                 touched,
@@ -330,9 +494,54 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         out
     }
 
+    /// Explain the plan this matcher would run for `pattern`: variable
+    /// order, expected access path and cardinality estimate per step, and
+    /// an accumulated cost estimate (expected accept-loop executions).
+    ///
+    /// Estimates come from the attached [`Planner`]'s statistics when
+    /// present (check [`PlanExplanation::stats_version`]); without
+    /// statistics they are candidate-count upper bounds.
+    pub fn explain(&self, pattern: &Pattern) -> PlanExplanation {
+        let stats_version = self
+            .planner
+            .and_then(|p| p.stats())
+            .map(|s| s.version);
+        let empty = TouchSet::default();
+        let Some(comp) = self.compiled(pattern, None, &empty) else {
+            return PlanExplanation {
+                satisfiable: false,
+                steps: Vec::new(),
+                estimated_cost: 0.0,
+                stats_version,
+            };
+        };
+        let mut rows = 1.0f64;
+        let mut total = 0.0f64;
+        let steps = comp
+            .steps
+            .iter()
+            .map(|s| {
+                rows *= s.estimate.max(0.0);
+                total += rows;
+                ExplainStep {
+                    var: pattern.var_name(Var(s.var as u8)).to_owned(),
+                    label: pattern.nodes[s.var].label.clone(),
+                    access: s.access,
+                    estimate: s.estimate,
+                }
+            })
+            .collect();
+        PlanExplanation {
+            satisfiable: true,
+            steps,
+            estimated_cost: total,
+            stats_version,
+        }
+    }
+
     // ---- compilation -----------------------------------------------------
 
-    fn compile(
+    pub(crate) fn compile(
         &self,
         pattern: &Pattern,
         anchor_var: Option<usize>,
@@ -454,59 +663,16 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             }
         }
 
-        // Plan: candidate-count estimates.
-        let estimate = |v: usize| -> usize {
-            let base = match labels[v] {
-                LabelReq::Any => g.num_nodes(),
-                LabelReq::Is(l) => g.count_nodes_with_label(l),
-                LabelReq::Unsatisfiable => 0,
-            };
-            if anchor_var == Some(v) {
-                base.min(touched.len())
-            } else {
-                base
+        // Plan: join order. With planner statistics, a cost model over
+        // estimated extension fan-outs; otherwise the greedy
+        // candidate-count order.
+        let stats = self.planner.and_then(|p| p.stats());
+        let (plan, steps) = match stats.as_deref() {
+            Some(stats) if self.cfg.connected_order => {
+                self.order_plan_cost(n, &labels, &edges, &constraints, anchor_var, touched, stats)
             }
+            _ => self.order_plan_greedy(n, &labels, &edges, anchor_var, touched),
         };
-        let mut plan: Vec<usize> = Vec::with_capacity(n);
-        let mut placed = vec![false; n];
-        if let Some(a) = anchor_var {
-            plan.push(a);
-            placed[a] = true;
-        }
-        let mut adj = vec![Vec::new(); n];
-        for e in &edges {
-            adj[e.src].push(e.dst);
-            adj[e.dst].push(e.src);
-        }
-        while plan.len() < n {
-            let connected = |v: usize| adj[v].iter().any(|&u| placed[u]);
-            let mut best: Option<usize> = None;
-            #[allow(clippy::needless_range_loop)]
-            for v in 0..n {
-                if placed[v] {
-                    continue;
-                }
-                let better = match best {
-                    None => true,
-                    Some(b) if !self.cfg.connected_order => {
-                        // Declaration order in naive mode.
-                        let _ = b;
-                        false
-                    }
-                    Some(b) if plan.is_empty() => estimate(v) < estimate(b),
-                    Some(b) => {
-                        let (cv, cb) = (connected(v), connected(b));
-                        cv & !cb || (cv == cb && estimate(v) < estimate(b))
-                    }
-                };
-                if better {
-                    best = Some(v);
-                }
-            }
-            let v = best.expect("some unplaced var remains");
-            plan.push(v);
-            placed[v] = true;
-        }
         let mut pos = vec![0usize; n];
         for (i, &v) in plan.iter().enumerate() {
             pos[v] = i;
@@ -551,26 +717,273 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             con_checks,
             anchor_var,
             forbid_touched,
+            steps,
         })
+    }
+
+    /// The pre-statistics join order: anchor first, then greedily by
+    /// live candidate count with a hard preference for variables adjacent
+    /// to the matched prefix (declaration order when `connected_order` is
+    /// off). Kept verbatim as the planner-less baseline — the F5 ablation
+    /// and the `planner` bench compare against exactly this.
+    fn order_plan_greedy(
+        &self,
+        n: usize,
+        labels: &[LabelReq],
+        edges: &[CEdge],
+        anchor_var: Option<usize>,
+        touched: &TouchSet,
+    ) -> (Vec<usize>, Vec<PlanStep>) {
+        let g = self.g;
+        let estimate = |v: usize| -> usize {
+            let base = match labels[v] {
+                LabelReq::Any => g.num_nodes(),
+                LabelReq::Is(l) => g.count_nodes_with_label(l),
+                LabelReq::Unsatisfiable => 0,
+            };
+            if anchor_var == Some(v) {
+                base.min(touched.len())
+            } else {
+                base
+            }
+        };
+        let root_access = |v: usize| match (self.cfg.use_label_index, labels[v]) {
+            (true, LabelReq::Is(_)) => PlanAccess::LabelIndex,
+            _ => PlanAccess::Scan,
+        };
+        let mut plan: Vec<usize> = Vec::with_capacity(n);
+        let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        if let Some(a) = anchor_var {
+            plan.push(a);
+            placed[a] = true;
+            steps.push(PlanStep {
+                var: a,
+                access: PlanAccess::Anchor,
+                estimate: estimate(a) as f64,
+            });
+        }
+        let mut adj = vec![Vec::new(); n];
+        for e in edges {
+            adj[e.src].push(e.dst);
+            adj[e.dst].push(e.src);
+        }
+        while plan.len() < n {
+            let connected = |v: usize| adj[v].iter().any(|&u| placed[u]);
+            let mut best: Option<usize> = None;
+            #[allow(clippy::needless_range_loop)]
+            for v in 0..n {
+                if placed[v] {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) if !self.cfg.connected_order => {
+                        // Declaration order in naive mode.
+                        let _ = b;
+                        false
+                    }
+                    Some(b) if plan.is_empty() => estimate(v) < estimate(b),
+                    Some(b) => {
+                        let (cv, cb) = (connected(v), connected(b));
+                        cv & !cb || (cv == cb && estimate(v) < estimate(b))
+                    }
+                };
+                if better {
+                    best = Some(v);
+                }
+            }
+            let v = best.expect("some unplaced var remains");
+            let access = if plan.is_empty() {
+                root_access(v)
+            } else if connected(v) {
+                PlanAccess::Extension
+            } else {
+                root_access(v)
+            };
+            plan.push(v);
+            placed[v] = true;
+            steps.push(PlanStep {
+                var: v,
+                access,
+                estimate: estimate(v) as f64,
+            });
+        }
+        (plan, steps)
+    }
+
+    /// Statistics-driven join order. Each step binds the unplaced
+    /// variable with the smallest expected *frontier multiplier*:
+    ///
+    /// - adjacent to the matched prefix → minimum extension fan-out over
+    ///   the connecting edges, `triples(edge, src-label, dst-label) /
+    ///   |bound-side label|`;
+    /// - reachable through a bound equality join → expected value-index
+    ///   bucket size for the candidate key;
+    /// - otherwise (cartesian step) → the label's candidate count.
+    ///
+    /// The root additionally discounts its candidate count by its most
+    /// selective one-step extension (capped at 1), so a large label whose
+    /// incident edge kills the frontier beats a small label that fans
+    /// out. Ties break on variable index; every input is a deterministic
+    /// function of (pattern, statistics snapshot), so plans are stable
+    /// and cacheable.
+    #[allow(clippy::too_many_arguments)]
+    fn order_plan_cost(
+        &self,
+        n: usize,
+        labels: &[LabelReq],
+        edges: &[CEdge],
+        constraints: &[CC],
+        anchor_var: Option<usize>,
+        touched: &TouchSet,
+        stats: &CardinalityStats,
+    ) -> (Vec<usize>, Vec<PlanStep>) {
+        let lbl = |v: usize| match labels[v] {
+            LabelReq::Is(l) => Some(l),
+            _ => None,
+        };
+        let label_count = |v: usize| match labels[v] {
+            LabelReq::Unsatisfiable => 0.0,
+            _ => stats.label_count(lbl(v)) as f64,
+        };
+        let root_access = |v: usize| match (self.cfg.use_label_index, labels[v]) {
+            (true, LabelReq::Is(_)) => PlanAccess::LabelIndex,
+            _ => PlanAccess::Scan,
+        };
+        // Cheapest extension fan-out for binding v given the placed set.
+        let ext = |v: usize, placed: &[bool]| -> Option<f64> {
+            let mut best: Option<f64> = None;
+            for e in edges {
+                let (bound, dir) = if e.src == v && e.dst != v && placed[e.dst] {
+                    // v --e--> bound: candidates from bound's in-edges.
+                    (e.dst, Direction::In)
+                } else if e.dst == v && e.src != v && placed[e.src] {
+                    (e.src, Direction::Out)
+                } else {
+                    continue;
+                };
+                let el = match e.label {
+                    LabelReq::Is(l) => Some(l),
+                    _ => None,
+                };
+                let f = stats.extension_fanout(el, lbl(bound), lbl(v), dir);
+                best = Some(best.map_or(f, |b: f64| b.min(f)));
+            }
+            best
+        };
+        // Expected bucket size when v is reachable via a bound equality
+        // join over the value index.
+        let attr_join = |v: usize, placed: &[bool]| -> Option<f64> {
+            if !self.cfg.use_attr_index {
+                return None;
+            }
+            for c in constraints {
+                let CC::Cmp {
+                    var,
+                    key,
+                    op: CmpOp::Eq,
+                    rhs: CRhs::Attr(other, other_key),
+                } = c
+                else {
+                    continue;
+                };
+                let cand_key = if *var == v && *other != v && placed[*other] {
+                    *key
+                } else if *other == v && *var != v && placed[*var] {
+                    *other_key
+                } else {
+                    continue;
+                };
+                return Some(match cand_key {
+                    KeyReq::Is(k) => stats.avg_bucket(k),
+                    KeyReq::Unknown => 0.0,
+                });
+            }
+            None
+        };
+
+        let mut plan: Vec<usize> = Vec::with_capacity(n);
+        let mut steps: Vec<PlanStep> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        if let Some(a) = anchor_var {
+            plan.push(a);
+            placed[a] = true;
+            steps.push(PlanStep {
+                var: a,
+                access: PlanAccess::Anchor,
+                estimate: label_count(a).min(touched.len() as f64),
+            });
+        }
+        while plan.len() < n {
+            // (comparison cost, displayed estimate, access, var)
+            let mut best: Option<(f64, f64, PlanAccess, usize)> = None;
+            for v in 0..n {
+                if placed[v] {
+                    continue;
+                }
+                let (cost, shown, access) = if plan.is_empty() {
+                    let mut look = 1.0f64;
+                    for e in edges {
+                        let (other, dir) = if e.src == v && e.dst != v {
+                            (e.dst, Direction::Out)
+                        } else if e.dst == v && e.src != v {
+                            (e.src, Direction::In)
+                        } else {
+                            continue;
+                        };
+                        let el = match e.label {
+                            LabelReq::Is(l) => Some(l),
+                            _ => None,
+                        };
+                        let f = stats.extension_fanout(el, lbl(v), lbl(other), dir);
+                        look = look.min(f.min(1.0));
+                    }
+                    (label_count(v) * look, label_count(v), root_access(v))
+                } else if let Some(f) = ext(v, &placed) {
+                    (f, f, PlanAccess::Extension)
+                } else if let Some(f) = attr_join(v, &placed) {
+                    (f, f, PlanAccess::AttrJoin)
+                } else {
+                    (label_count(v), label_count(v), root_access(v))
+                };
+                let better = match &best {
+                    None => true,
+                    Some((bc, ..)) => cost.total_cmp(bc) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    best = Some((cost, shown, access, v));
+                }
+            }
+            let (_, shown, access, v) = best.expect("some unplaced var remains");
+            plan.push(v);
+            placed[v] = true;
+            steps.push(PlanStep {
+                var: v,
+                access,
+                estimate: shown,
+            });
+        }
+        (plan, steps)
     }
 
     // ---- search ------------------------------------------------------------
 
-    fn run(&self, comp: &Compiled, emit: &mut dyn FnMut(Match) -> bool, touched: &TouchSet) {
-        let n = comp.plan.len();
-        let mut st = SearchState {
-            assignment: vec![NodeId(u32::MAX); n],
-            used: FxHashSet::default(),
-            witness: vec![EdgeId(u32::MAX); comp.edges.len()],
-            stopped: false,
-        };
+    fn run(
+        &self,
+        comp: &Compiled,
+        emit: &mut dyn FnMut(&SearchState) -> bool,
+        touched: &TouchSet,
+    ) {
+        let mut st = self.acquire_state(comp.plan.len(), comp.edges.len());
         if comp.plan.is_empty() {
             // Zero-variable pattern: `step` emits the single empty match.
             self.step(comp, &mut st, 0, emit, touched);
-            return;
+        } else {
+            let roots = self.candidates(comp, &st, 0, touched);
+            self.run_roots(comp, &mut st, &roots, emit, touched);
         }
-        let roots = self.candidates(comp, &st, 0, touched);
-        self.run_roots(comp, &mut st, &roots, emit, touched);
+        self.release_state(st);
     }
 
     /// The depth-0 binding loop over an explicit root-candidate list —
@@ -582,7 +995,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         comp: &Compiled,
         st: &mut SearchState,
         roots: &[NodeId],
-        emit: &mut dyn FnMut(Match) -> bool,
+        emit: &mut dyn FnMut(&SearchState) -> bool,
         touched: &TouchSet,
     ) {
         let v0 = comp.plan[0];
@@ -606,18 +1019,14 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         comp: &Compiled,
         st: &mut SearchState,
         depth: usize,
-        emit: &mut dyn FnMut(Match) -> bool,
+        emit: &mut dyn FnMut(&SearchState) -> bool,
         touched: &TouchSet,
     ) {
         if st.stopped {
             return;
         }
         if depth == comp.plan.len() {
-            let m = Match {
-                nodes: st.assignment.clone(),
-                edges: st.witness.clone(),
-            };
-            if !emit(m) {
+            if !emit(st) {
                 st.stopped = true;
             }
             return;
@@ -845,11 +1254,35 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
     }
 }
 
-struct SearchState {
+/// Backtracking state of one search. Pooled by the [`Planner`] so
+/// repeated matching reuses the assignment/witness buffers and the
+/// `used` set's table across calls.
+#[derive(Default)]
+pub(crate) struct SearchState {
     assignment: Vec<NodeId>,
     used: FxHashSet<NodeId>,
     witness: Vec<EdgeId>,
     stopped: bool,
+}
+
+impl SearchState {
+    /// Ready the buffers for a fresh search of the given shape.
+    fn reset(&mut self, n_vars: usize, n_edges: usize) {
+        self.assignment.clear();
+        self.assignment.resize(n_vars, NodeId(u32::MAX));
+        self.witness.clear();
+        self.witness.resize(n_edges, EdgeId(u32::MAX));
+        self.used.clear();
+        self.stopped = false;
+    }
+
+    /// Materialize the completed assignment as an owned [`Match`].
+    fn to_match(&self) -> Match {
+        Match {
+            nodes: self.assignment.clone(),
+            edges: self.witness.clone(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -224,6 +224,68 @@ impl Pattern {
         &self.nodes[v.index()].name
     }
 
+    /// Structural fingerprint: a 64-bit hash over every match-relevant
+    /// field (labels, edges, negative edges, constraints — variable
+    /// *names* excluded, they don't affect matching). Plan caches use it
+    /// as the pattern component of their key, so patterns that match
+    /// identically share cached plans even across distinct allocations.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        let hash_opt = |h: &mut rustc_hash::FxHasher, s: &Option<String>| match s {
+            None => 0u8.hash(h),
+            Some(s) => {
+                1u8.hash(h);
+                s.hash(h);
+            }
+        };
+        self.nodes.len().hash(&mut h);
+        for n in &self.nodes {
+            hash_opt(&mut h, &n.label);
+        }
+        for (tag, edges) in [(1u8, &self.edges), (2u8, &self.neg_edges)] {
+            tag.hash(&mut h);
+            edges.len().hash(&mut h);
+            for e in edges {
+                e.src.hash(&mut h);
+                e.dst.hash(&mut h);
+                hash_opt(&mut h, &e.label);
+            }
+        }
+        self.constraints.len().hash(&mut h);
+        for c in &self.constraints {
+            match c {
+                Constraint::HasAttr(v, k) => {
+                    (3u8, v, k).hash(&mut h);
+                }
+                Constraint::MissingAttr(v, k) => {
+                    (4u8, v, k).hash(&mut h);
+                }
+                Constraint::Cmp { var, key, op, rhs } => {
+                    (5u8, var, key, *op as u8).hash(&mut h);
+                    match rhs {
+                        Rhs::Const(v) => {
+                            6u8.hash(&mut h);
+                            v.hash(&mut h);
+                        }
+                        Rhs::Attr(o, k2) => {
+                            (7u8, o, k2).hash(&mut h);
+                        }
+                    }
+                }
+                Constraint::NoOutEdge(v, l) => {
+                    (8u8, v).hash(&mut h);
+                    hash_opt(&mut h, l);
+                }
+                Constraint::NoInEdge(v, l) => {
+                    (9u8, v).hash(&mut h);
+                    hash_opt(&mut h, l);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Whether the positive part (nodes + positive edges) is connected.
     ///
     /// Disconnected patterns are legal but match as a cartesian product of

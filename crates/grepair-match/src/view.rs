@@ -27,6 +27,11 @@ pub trait GraphView {
     fn try_label(&self, name: &str) -> Option<LabelId>;
     /// Look up an attribute key by name, without interning.
     fn try_attr_key(&self, name: &str) -> Option<AttrKeyId>;
+    /// Size of the label vocabulary. Interners are append-only, so equal
+    /// sizes mean identical vocabularies — what plan caches key on.
+    fn num_labels(&self) -> usize;
+    /// Size of the attribute-key vocabulary.
+    fn num_attr_keys(&self) -> usize;
     /// Number of live nodes.
     fn num_nodes(&self) -> usize;
     /// All live node ids, ascending.
@@ -73,6 +78,14 @@ impl GraphView for Graph {
 
     fn try_attr_key(&self, name: &str) -> Option<AttrKeyId> {
         Graph::try_attr_key(self, name)
+    }
+
+    fn num_labels(&self) -> usize {
+        self.labels().len()
+    }
+
+    fn num_attr_keys(&self) -> usize {
+        self.attr_keys().len()
     }
 
     fn num_nodes(&self) -> usize {
@@ -186,6 +199,14 @@ impl GraphView for FrozenGraph {
 
     fn try_attr_key(&self, name: &str) -> Option<AttrKeyId> {
         FrozenGraph::try_attr_key(self, name)
+    }
+
+    fn num_labels(&self) -> usize {
+        FrozenGraph::num_labels(self)
+    }
+
+    fn num_attr_keys(&self) -> usize {
+        FrozenGraph::num_attr_keys(self)
     }
 
     fn num_nodes(&self) -> usize {

@@ -2,7 +2,7 @@
 //! oracle on random graphs and patterns, under every configuration.
 
 use grepair_graph::{FrozenGraph, Graph, NodeId, Value};
-use grepair_match::{oracle, Match, MatchConfig, Matcher, Pattern, TouchSet};
+use grepair_match::{oracle, Match, MatchConfig, Matcher, Pattern, Planner, TouchSet};
 use proptest::prelude::*;
 
 const NODE_LABELS: [&str; 3] = ["P", "Q", "R"];
@@ -262,6 +262,103 @@ proptest! {
         let live_seq = Matcher::new(&g).find_all(&p);
         let frozen_par = Matcher::new(&frozen).par_find_all(&p);
         prop_assert_eq!(&frozen_par, &live_seq);
+    }
+
+    /// Statistics-driven (cost-based) plans enumerate exactly the match
+    /// set of the declaration-order naive plan — the F5 ablation
+    /// extended to the planner: join order is a pure performance choice.
+    /// Also pins the count-only emission path and plan-cache stability
+    /// (repeated runs return byte-identical sequences).
+    #[test]
+    fn cost_based_plans_agree_with_declaration_order(rg in graph_strategy(), rp in pattern_strategy()) {
+        let g = build_graph(&rg);
+        let p = build_pattern(&rp);
+        let naive = node_sets(&Matcher::with_config(&g, MatchConfig::naive()).find_all(&p));
+
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        let cost = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let first = cost.find_all(&p);
+        prop_assert_eq!(node_sets(&first), naive);
+        prop_assert_eq!(cost.count(&p), first.len());
+        prop_assert_eq!(cost.exists(&p), !first.is_empty());
+        prop_assert_eq!(&cost.find_all(&p), &first, "cached plan must replay identically");
+
+        // Frozen view under the same planner: identical sequence too.
+        let frozen = FrozenGraph::freeze(&g);
+        let frozen_cost = Matcher::with_planner(&frozen, MatchConfig::default(), &planner);
+        prop_assert_eq!(&frozen_cost.find_all(&p), &first);
+    }
+
+    /// `find_touching` through the planner's per-anchor plan cache
+    /// returns exactly the planner-less matcher's result.
+    #[test]
+    fn planner_find_touching_matches_plain(
+        rg in graph_strategy(),
+        rp in pattern_strategy(),
+        mask in any::<u64>(),
+    ) {
+        let g = build_graph(&rg);
+        let p = build_pattern(&rp);
+        let subset: TouchSet = g
+            .nodes()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 64)) != 0)
+            .map(|(_, n)| n)
+            .collect();
+        let plain = Matcher::new(&g).find_touching(&p, &subset);
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        let cached = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        // Twice: the second call is served from the per-anchor cache.
+        prop_assert_eq!(node_sets(&cached.find_touching(&p, &subset)), node_sets(&plain));
+        prop_assert_eq!(node_sets(&cached.find_touching(&p, &subset)), node_sets(&plain));
+    }
+
+    /// Stats invalidation: mutate → version bump → refreshed statistics →
+    /// plans recompiled against fresh estimates, still oracle-exact.
+    #[test]
+    fn stats_refresh_after_mutation_stays_exact(
+        rg in graph_strategy(),
+        rp in pattern_strategy(),
+        kill_mask in any::<u8>(),
+    ) {
+        let mut g = build_graph(&rg);
+        let p = build_pattern(&rp);
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        let v0 = planner.stats().unwrap().version;
+        let compiles_before = {
+            let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+            m.find_all(&p);
+            planner.compile_count()
+        };
+
+        // Mutate: delete some nodes (version bumps on each mutation).
+        let victims: Vec<NodeId> = g
+            .nodes()
+            .enumerate()
+            .filter(|(i, _)| kill_mask & (1 << (i % 8)) != 0 && i % 2 == 0)
+            .map(|(_, n)| n)
+            .collect();
+        let mutated = !victims.is_empty();
+        for v in victims {
+            g.remove_node(v).unwrap();
+        }
+        if mutated {
+            prop_assert!(planner.refresh_stats(&g), "version bump must force recompute");
+            prop_assert!(planner.stats().unwrap().version > v0);
+        }
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let got = node_sets(&m.find_all(&p));
+        let expected = node_sets(&oracle::brute_force_matches(&g, &p));
+        prop_assert_eq!(got, expected);
+        if mutated {
+            prop_assert!(
+                planner.compile_count() > compiles_before,
+                "fresh statistics epoch must compile a fresh plan"
+            );
+        }
     }
 
     /// Witness edges are always live, correctly labelled, and connect the

@@ -6,9 +6,120 @@
 //! speedup ratios the benches exist to demonstrate), not rigorous
 //! statistics.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Median per-iteration times of every benchmark run so far, in
+/// registration order; drained by [`write_results_json`].
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Free-form scalar metrics (speedups, counters) recorded by bench
+/// summaries via [`record_metric`].
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Record a named scalar (a speedup ratio, a counter) so it lands in the
+/// bench's `BENCH_<name>.json` alongside the timing results. Non-finite
+/// values are dropped with a warning — JSON has no NaN/inf token, and a
+/// bad ratio must not corrupt the whole results file.
+pub fn record_metric(id: impl Into<String>, value: f64) {
+    let id = id.into();
+    if !value.is_finite() {
+        eprintln!("warning: dropping non-finite metric {id} = {value}");
+        return;
+    }
+    METRICS.lock().unwrap().push((id, value));
+}
+
+/// Median-of-`samples` wall time of `f`, after one untimed warm-up call
+/// — the shared summary-timing helper for benches that report speedup
+/// ratios outside criterion groups.
+pub fn median_time<R>(samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    black_box(f());
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write every recorded benchmark result (and metric) as
+/// `BENCH_<name>.json` at the workspace root — but only in smoke mode
+/// (`GREPAIR_BENCH_SMOKE` set), where runtimes are small enough that the
+/// numbers are a perf *trajectory* marker, not a rigorous measurement.
+///
+/// [`criterion_main!`] calls this automatically with the bench target's
+/// crate name; benches with a hand-written `main` call it themselves.
+/// The schema is stable and checked by `grepair-bench`'s `bench_json`
+/// test: `bench`, `smoke`, `results[]` (`id`, `median_ns`,
+/// `iters_per_sec`), `metrics{}`.
+pub fn write_results_json(bench_name: &str) {
+    if std::env::var_os("GREPAIR_BENCH_SMOKE").is_none() {
+        return;
+    }
+    // Benches run with CARGO_MANIFEST_DIR = the bench package dir; the
+    // workspace root is two levels up (crates/<pkg>/). Fall back to the
+    // current directory outside cargo.
+    let root = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            let p = std::path::PathBuf::from(d);
+            p.ancestors().nth(2).map(|a| a.to_path_buf()).unwrap_or(p)
+        })
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let results = RESULTS.lock().unwrap();
+    let metrics = METRICS.lock().unwrap();
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"bench\": \"{}\",\n  \"smoke\": true,\n  \"results\": [",
+        json_escape(bench_name)
+    ));
+    for (i, (id, median_ns)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let per_sec = if *median_ns > 0.0 {
+            1e9 / median_ns
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "\n    {{\"id\": \"{}\", \"median_ns\": {median_ns:.1}, \"iters_per_sec\": {per_sec:.3}}}",
+            json_escape(id)
+        ));
+    }
+    json.push_str("\n  ],\n  \"metrics\": {");
+    for (i, (id, value)) in metrics.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\n    \"{}\": {value:.6}", json_escape(id)));
+    }
+    json.push_str("\n  }\n}\n");
+    let path = root.join(format!("BENCH_{bench_name}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("\nwrote {}", path.display());
+    }
+}
 
 /// Top-level harness handle.
 pub struct Criterion {
@@ -225,6 +336,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         .get(bencher.samples.len() / 2)
         .copied()
         .unwrap_or(Duration::ZERO);
+    RESULTS
+        .lock()
+        .unwrap()
+        .push((label.to_owned(), median.as_nanos() as f64));
     println!("  {label:<50} {:>12} /iter ({iters} iters x {sample_size} samples)", fmt_duration(median));
 }
 
@@ -252,12 +367,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `main` running the given groups.
+/// Emit `main` running the given groups, then (in smoke mode) writing
+/// the machine-readable `BENCH_<target>.json` summary.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_results_json(env!("CARGO_CRATE_NAME"));
         }
     };
 }
