@@ -23,7 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 use grepair_core::{
-    analyze, parse_rules, rule_to_dsl, EngineConfig, RepairEngine, RuleSet,
+    analyze, parse_rules, rule_to_dsl, EngineConfig, Planner, RepairEngine, RuleSet,
 };
 use grepair_gen::{
     generate_kg, generate_social, inject_kg_noise, KgConfig, NoiseConfig, SocialConfig,
@@ -228,6 +228,7 @@ commands:
   explain       -r RULES (-g GRAPH | --store DIR)
   repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
   repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R]
+  watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N]
   analyze       -r RULES
   mine          -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
   fmt           -r RULES
@@ -244,7 +245,15 @@ it by default).
 `explain` prints, per rule, the join plan the cost-based planner chooses
 against the given graph's cardinality statistics: variable order, the
 expected candidate access path per step (label-index / extend /
-attr-join / scan), the cardinality estimate, and the accumulated cost.
+attr-join / scan), the cardinality estimate, and the accumulated cost —
+plus the statistics epoch, whether they were maintained on the write
+path or recomputed, drift since the last refresh, and plan-cache
+compile/hit counters.
+
+`watch` runs N repair passes (default 2) through one long-lived
+planner, printing per-run plan-cache counters — run 2 onwards should
+show cache hits and zero compiles. With --store the store's own
+always-warm planner is used and every pass commits durably.
 
 A store (--store/-d DIR) is a durable graph: every mutation and every
 applied repair is journaled to a checksummed write-ahead log with
@@ -265,6 +274,7 @@ pub fn dispatch(tokens: &[String]) -> CliResult {
         "check" => cmd_check(rest),
         "explain" => cmd_explain(rest),
         "repair" => cmd_repair(rest),
+        "watch" => cmd_watch(rest),
         "analyze" => cmd_analyze(rest),
         "mine" => cmd_mine(rest),
         "fmt" => cmd_fmt(rest),
@@ -397,12 +407,19 @@ fn cmd_check(tokens: &[String]) -> CliResult {
             ))
         }
     };
+    // One warm planner for the whole check: statistics-driven join
+    // orders (adopted free when the graph maintains them — store-backed
+    // graphs do), plans compiled once even when several rules share a
+    // pattern shape.
+    let planner = Planner::new();
+    planner.refresh_stats(&g);
+    let cfg = grepair_match::MatchConfig::default();
     let counts: Vec<usize> = if args.has("frozen") {
         let frozen = grepair_graph::FrozenGraph::freeze(&g);
-        let matcher = grepair_match::Matcher::new(&frozen);
+        let matcher = grepair_match::Matcher::with_planner(&frozen, cfg, &planner);
         rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
     } else {
-        let matcher = grepair_match::Matcher::new(&g);
+        let matcher = grepair_match::Matcher::with_planner(&g, cfg, &planner);
         rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
     };
     let mut out = header;
@@ -435,13 +452,21 @@ fn cmd_explain(tokens: &[String]) -> CliResult {
             ))
         }
     };
-    let planner = grepair_match::Planner::new();
+    let planner = Planner::new();
     planner.refresh_stats(&g);
     let stats = planner.stats().expect("stats just refreshed");
+    let source = planner
+        .stats_source()
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "none".to_owned());
     writeln!(
         out,
-        "statistics: |V|={} |E|={} (version {})",
-        stats.nodes, stats.edges, stats.version
+        "statistics: |V|={} |E|={} (version {}, epoch {}, {source}, drift {:.1}%)",
+        stats.nodes,
+        stats.edges,
+        stats.version,
+        planner.stats_epoch(),
+        planner.drift(&g).unwrap_or(0.0) * 100.0
     )
     .unwrap();
     let matcher =
@@ -470,6 +495,76 @@ fn cmd_explain(tokens: &[String]) -> CliResult {
             .unwrap();
         }
         writeln!(out, "  estimated cost: {:.1}", ex.estimated_cost).unwrap();
+    }
+    writeln!(
+        out,
+        "\nplan cache: {} compiled, {} hits, {} adaptive re-plans",
+        planner.compile_count(),
+        planner.cache_hit_count(),
+        planner.replan_count()
+    )
+    .unwrap();
+    out.truncate(out.trim_end().len());
+    Ok(out)
+}
+
+fn cmd_watch(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules = load_rules(
+        args.get(&["r", "rules"])
+            .ok_or_else(|| CliError::usage("watch: missing -r RULES"))?,
+    )?;
+    let runs = args.get_usize(&["runs"], 2)?.max(1);
+    let engine = RepairEngine::new(EngineConfig::default());
+    let mut out = String::new();
+    let print_run = |out: &mut String, i: usize, report: &grepair_core::RepairReport| {
+        writeln!(
+            out,
+            "run {}: {} repairs, residual {}, {} plans compiled, {} cache hits{}",
+            i + 1,
+            report.repairs_applied,
+            report.violations_remaining,
+            report.pattern_compiles,
+            report.plan_cache_hits,
+            if report.plan_replans > 0 {
+                format!(", {} re-plans", report.plan_replans)
+            } else {
+                String::new()
+            }
+        )
+        .unwrap();
+    };
+    match (args.get(&["g", "graph"]), args.get(&["store"])) {
+        (Some(path), None) => {
+            let mut g = load_graph(path)?;
+            // The whole point of the watch loop: one planner outlives
+            // every run, so run 2+ plans entirely from cache.
+            let planner = Planner::new();
+            for i in 0..runs {
+                let report = engine.repair_with_planner(&mut g, &rules.rules, &planner);
+                print_run(&mut out, i, &report);
+            }
+            if let Some(out_path) = args.get(&["o", "out"]) {
+                save_graph(&g, out_path)?;
+                writeln!(out, "wrote repaired graph to {out_path}").unwrap();
+            }
+        }
+        (None, Some(dir)) => {
+            let mut store = open_store(dir)?;
+            writeln!(out, "{}", recovery_summary(&store)).unwrap();
+            for i in 0..runs {
+                let report = store
+                    .repair(&engine, &rules.rules)
+                    .map_err(|e| CliError::io(format!("durable repair failed: {e}")))?;
+                print_run(&mut out, i, &report);
+            }
+            writeln!(out, "last seq {}", store.last_seq()).unwrap();
+        }
+        _ => {
+            return Err(CliError::usage(
+                "watch: need exactly one of -g GRAPH or --store DIR",
+            ))
+        }
     }
     out.truncate(out.trim_end().len());
     Ok(out)
@@ -869,6 +964,10 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("statistics: |V|="), "{out}");
+        assert!(out.contains("epoch 1"), "{out}");
+        assert!(out.contains("recomputed"), "{out}");
+        assert!(out.contains("drift 0.0%"), "{out}");
+        assert!(out.contains("plan cache:"), "{out}");
         assert!(out.contains("rule add_citizenship"), "{out}");
         assert!(out.contains("estimated cost"), "{out}");
         assert!(
@@ -890,6 +989,53 @@ mod tests {
         assert!(out.contains("unmatchable"), "{out}");
         // Missing graph source is a usage error.
         assert!(dispatch(&toks(&["explain", "-r", rules.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_reuses_one_planner_across_runs() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-watch.json");
+        let rules = dir.join("rules-watch.grr");
+        let store_dir = dir.join("watch.store");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "150", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+
+        // File-backed watch: run 1 compiles, run 2 runs from cache.
+        let out = dispatch(&toks(&[
+            "watch", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "--runs", "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("run 1:"), "{out}");
+        assert!(out.contains("run 2: 0 repairs"), "{out}");
+        let run2 = out.lines().find(|l| l.starts_with("run 2:")).unwrap();
+        assert!(run2.contains("0 plans compiled"), "{out}");
+        assert!(!run2.contains(" 0 cache hits"), "{out}");
+
+        // Store-backed watch goes through the store's own warm planner.
+        dispatch(&toks(&[
+            "store", "init", "-d", store_dir.to_str().unwrap(),
+            "--from", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dispatch(&toks(&[
+            "watch", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("run 2: 0 repairs"), "{out}");
+        assert!(out
+            .lines()
+            .find(|l| l.starts_with("run 2:"))
+            .unwrap()
+            .contains("0 plans compiled"), "{out}");
+
+        // Graph source must be exactly one of -g / --store.
+        assert!(dispatch(&toks(&["watch", "-r", rules.to_str().unwrap()])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

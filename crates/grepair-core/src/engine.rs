@@ -169,10 +169,17 @@ pub struct RepairReport {
     /// Residual violations (only counted when `verify_fixpoint`).
     pub violations_remaining: usize,
     /// Patterns actually compiled during the run (plan-cache misses).
+    /// With a caller-owned [`Planner`] these counters are per-run
+    /// deltas, so a reused planner shows its warm cache as
+    /// `plan_cache_hits > 0` with `pattern_compiles == 0`.
     pub pattern_compiles: u64,
     /// Pattern compiles avoided by the plan cache — fixpoint rounds and
     /// `find_touching`'s per-anchor compiles hitting cached plans.
     pub plan_cache_hits: u64,
+    /// Adaptive re-plans triggered during the run (a scan's observed
+    /// frontier blew past its estimate and the matcher re-planned with
+    /// patched statistics).
+    pub plan_replans: u64,
     /// Wall-clock duration.
     #[serde(skip)]
     pub wall: Duration,
@@ -292,6 +299,44 @@ impl RepairEngine {
         &self,
         g: &mut Graph,
         rules: &[Grr],
+        sink: impl FnMut(&AppliedOp),
+    ) -> RepairReport {
+        let planner = Planner::new();
+        self.repair_with_planner_and_sink(g, rules, &planner, sink)
+    }
+
+    /// Repair with a **caller-owned, long-lived [`Planner`]** — the
+    /// always-warm entry point. The planner carries its statistics
+    /// snapshot, compiled-plan cache and pooled search buffers across
+    /// repair runs, so a watch loop or a store's repair hook pays
+    /// pattern compilation once and then runs every later repair
+    /// entirely from cache (visible as
+    /// [`RepairReport::plan_cache_hits`] with zero
+    /// [`RepairReport::pattern_compiles`]).
+    ///
+    /// The planner must be dedicated to `g`'s lineage — see
+    /// [`grepair_match::plan`]. Statistics are refreshed through
+    /// [`Planner::refresh_if_drifted`]: within the drift tolerance the
+    /// warmed plans survive; beyond it the refresh adopts the graph's
+    /// write-path–maintained statistics when [`Graph::maintain_stats`]
+    /// is on, or recomputes otherwise.
+    pub fn repair_with_planner(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        planner: &Planner,
+    ) -> RepairReport {
+        self.repair_with_planner_and_sink(g, rules, planner, |_| {})
+    }
+
+    /// [`RepairEngine::repair_with_planner`] + the op sink of
+    /// [`RepairEngine::repair_with_sink`] — the full-control entry point
+    /// durable stores use.
+    pub fn repair_with_planner_and_sink(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        planner: &Planner,
         mut sink: impl FnMut(&AppliedOp),
     ) -> RepairReport {
         let start = Instant::now();
@@ -311,32 +356,39 @@ impl RepairEngine {
             self.config.max_repairs
         };
 
-        // One planner per run: cardinality statistics steer join orders,
-        // the plan cache carries compiled patterns across fixpoint
-        // rounds, and its counters land in the report. With
-        // `connected_order` off (the naive ablation) the cost model never
-        // reads statistics, so skip the O(V+E) compute — the baseline
-        // must not pay for machinery it cannot use.
-        let planner = Planner::new();
+        // Planner counters are cumulative for the planner's lifetime;
+        // the report captures this run's deltas so a reused planner
+        // shows warm-cache behaviour per run.
+        let compiles0 = planner.compile_count();
+        let hits0 = planner.cache_hit_count();
+        let replans0 = planner.replan_count();
+
+        // Cardinality statistics steer join orders and the plan cache
+        // carries compiled patterns across fixpoint rounds (and, for a
+        // caller-owned planner, across runs). With `connected_order` off
+        // (the naive ablation) the cost model never reads statistics, so
+        // skip the refresh — the baseline must not pay for machinery it
+        // cannot use.
         if self.wants_stats() {
-            planner.refresh_stats(g);
+            planner.refresh_if_drifted(g);
         }
 
         match self.config.mode {
             EngineMode::Naive => {
-                self.run_naive(g, rules, &mut report, max_repairs, &mut sink, &planner)
+                self.run_naive(g, rules, &mut report, max_repairs, &mut sink, planner)
             }
             EngineMode::Incremental => {
-                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, &planner)
+                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, planner)
             }
         }
 
         if self.config.verify_fixpoint {
-            report.violations_remaining = self.count_violations_with(g, rules, &planner);
+            report.violations_remaining = self.count_violations_with(g, rules, planner);
             report.converged = report.violations_remaining == 0;
         }
-        report.pattern_compiles = planner.compile_count();
-        report.plan_cache_hits = planner.cache_hit_count();
+        report.pattern_compiles = planner.compile_count() - compiles0;
+        report.plan_cache_hits = planner.cache_hit_count() - hits0;
+        report.plan_replans = planner.replan_count() - replans0;
         report.wall = start.elapsed();
         report
     }
@@ -1195,6 +1247,51 @@ mod tests {
             report.pattern_compiles,
             report.plan_cache_hits
         );
+    }
+
+    #[test]
+    fn caller_owned_planner_carries_plans_across_runs() {
+        // One long-lived planner over repeated repair runs: the second
+        // run's scans must be served entirely from the warmed plan
+        // cache, and the report counters must be per-run deltas rather
+        // than planner-lifetime totals.
+        let rules = parse_rules(&cascade_src(3)).unwrap();
+        let mut g = cascade_graph(10);
+        g.maintain_stats(true);
+        let engine = RepairEngine::default();
+        let planner = Planner::new();
+        let r1 = engine.repair_with_planner(&mut g, &rules, &planner);
+        assert!(r1.converged);
+        assert_eq!(r1.repairs_applied, 30);
+        assert!(r1.pattern_compiles > 0);
+
+        let r2 = engine.repair_with_planner(&mut g, &rules, &planner);
+        assert!(r2.converged);
+        assert_eq!(r2.repairs_applied, 0, "already at fixpoint");
+        assert_eq!(
+            r2.pattern_compiles, 0,
+            "every run-2 plan must come from the warmed cache"
+        );
+        assert!(r2.plan_cache_hits > 0);
+        assert!(
+            r2.plan_cache_hits < r1.plan_cache_hits + r1.pattern_compiles,
+            "counters must be per-run deltas, not lifetime totals"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn maintained_graph_repairs_identically_to_unmaintained() {
+        let rules = rules();
+        let mut plain = dirty_graph();
+        let mut maintained = dirty_graph();
+        maintained.maintain_stats(true);
+        let r1 = RepairEngine::default().repair(&mut plain, &rules);
+        let r2 = RepairEngine::default().repair(&mut maintained, &rules);
+        assert!(r1.converged && r2.converged);
+        assert_eq!(r1.repairs_applied, r2.repairs_applied);
+        assert_eq!(plain.to_doc(), maintained.to_doc(), "fixpoints must match");
+        maintained.check_invariants().unwrap();
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub use apply::{apply_rule, revalidate, Applied, AppliedOp};
 pub use cost::{estimate_cost, op_cost};
 pub use dsl::{parse_rule, parse_rules, ParseError};
 pub use engine::{EngineConfig, EngineMode, RepairEngine, RepairReport, RuleStats};
+// Re-exported so downstream crates (the store's repair hook, the CLI)
+// can hold a long-lived planner without depending on grepair-match
+// directly.
+pub use grepair_match::{Planner, StatsSource};
 pub use printer::{rule_to_dsl, ruleset_to_dsl};
 pub use watch::{LiveViolation, Watcher};
 pub use rule::{Action, Category, Grr, PatternEdgeRef, RuleError, Target, ValueSource};

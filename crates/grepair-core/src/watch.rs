@@ -13,7 +13,7 @@ use crate::apply::{apply_rule, revalidate};
 use crate::cost::estimate_cost;
 use crate::rule::Grr;
 use grepair_graph::{EditCosts, Graph, NodeId};
-use grepair_match::{Match, Matcher, TouchSet};
+use grepair_match::{Match, MatchConfig, Matcher, Planner, TouchSet};
 use rustc_hash::FxHashMap;
 
 /// A currently outstanding violation.
@@ -30,11 +30,20 @@ pub struct LiveViolation {
 /// The watcher does not hold the graph; callers pass it to each call and
 /// are responsible for reporting every touched node. Stale entries are
 /// pruned lazily via revalidation.
+///
+/// The watcher *does* own a long-lived [`Planner`]: every update and
+/// repair pass matches through one warm plan cache, so the steady-state
+/// cost of watching is delta re-matching alone — no per-call pattern
+/// compilation, no statistics recompute (statistics refresh through the
+/// drift gate, adopting the graph's maintained snapshot when
+/// [`Graph::maintain_stats`] is on).
 pub struct Watcher {
     rules: Vec<Grr>,
     /// Key: (rule, nodes) → violation. Deduplicates across updates.
     live: FxHashMap<(usize, Vec<NodeId>), LiveViolation>,
     costs: EditCosts,
+    /// Warm planning state carried across every update/repair call.
+    planner: Planner,
 }
 
 impl Watcher {
@@ -44,8 +53,10 @@ impl Watcher {
             rules,
             live: FxHashMap::default(),
             costs: EditCosts::default(),
+            planner: Planner::new(),
         };
-        let matcher = Matcher::new(g);
+        w.planner.refresh_stats(g);
+        let matcher = Matcher::with_planner(g, MatchConfig::default(), &w.planner);
         for (ri, rule) in w.rules.iter().enumerate() {
             for m in matcher.find_all(&rule.pattern) {
                 w.live.insert((ri, m.nodes.clone()), LiveViolation { rule: ri, m });
@@ -57,6 +68,12 @@ impl Watcher {
     /// The rules being watched.
     pub fn rules(&self) -> &[Grr] {
         &self.rules
+    }
+
+    /// The watcher's long-lived planner (plan-cache and statistics
+    /// introspection).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// Current number of outstanding violations (after pruning stale
@@ -84,7 +101,8 @@ impl Watcher {
     /// Report externally touched nodes; discovers new violations in their
     /// neighborhood. Returns how many new violations appeared.
     pub fn update(&mut self, g: &Graph, touched: &TouchSet) -> usize {
-        let matcher = Matcher::new(g);
+        self.planner.refresh_if_drifted(g);
+        let matcher = Matcher::with_planner(g, MatchConfig::default(), &self.planner);
         let mut added = 0usize;
         for (ri, rule) in self.rules.iter().enumerate() {
             for m in matcher.find_touching(&rule.pattern, touched) {
@@ -105,6 +123,7 @@ impl Watcher {
         let mut applied_total = 0usize;
         // Bounded loop mirroring the engine's churn discipline.
         for _ in 0..64 {
+            self.planner.refresh_if_drifted(g);
             self.prune(g);
             if self.live.is_empty() {
                 break;
@@ -222,6 +241,53 @@ mod tests {
 
         let applied = w.repair_all(&mut g);
         assert_eq!(applied, 2, "citizenship insert + self-knows delete");
+        assert_eq!(w.violation_count(&g), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn watcher_planner_stays_warm_across_updates() {
+        // Big enough that a handful of edits stays inside the planner's
+        // drift tolerance — the cache must survive the whole session.
+        let mut g = Graph::new();
+        let city = g.add_node_named("City");
+        let country = g.add_node_named("Country");
+        g.add_edge_named(city, country, "inCountry").unwrap();
+        for _ in 0..100 {
+            let p = g.add_node_named("Person");
+            g.add_edge_named(p, city, "livesIn").unwrap();
+            g.add_edge_named(p, country, "citizenOf").unwrap();
+        }
+        let rules = parse_rules(
+            "rule add_citizenship [incompleteness]
+             match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+             where not (x)-[citizenOf]->(k)
+             repair insert edge (x)-[citizenOf]->(k)",
+        )
+        .unwrap();
+        let mut w = Watcher::new(&g, rules);
+        assert_eq!(w.violation_count(&g), 0);
+
+        // Warm-up edit: compiles the per-anchor delta plans once.
+        let p = g.add_node_named("Person");
+        g.add_edge_named(p, city, "livesIn").unwrap();
+        w.update(&g, &[p, city].into_iter().collect());
+        let warm_compiles = w.planner().compile_count();
+        assert!(warm_compiles > 0);
+
+        // Every later edit matches through the warmed cache.
+        for _ in 0..3 {
+            let p = g.add_node_named("Person");
+            g.add_edge_named(p, city, "livesIn").unwrap();
+            w.update(&g, &[p, city].into_iter().collect());
+        }
+        assert_eq!(
+            w.planner().compile_count(),
+            warm_compiles,
+            "updates must not recompile cached per-anchor plans"
+        );
+        assert!(w.planner().cache_hit_count() > 0);
+        assert_eq!(w.repair_all(&mut g), 4);
         assert_eq!(w.violation_count(&g), 0);
         g.check_invariants().unwrap();
     }

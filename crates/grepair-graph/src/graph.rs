@@ -24,6 +24,7 @@ use crate::error::{GraphError, Result};
 use crate::ids::{AttrKeyId, Direction, EdgeId, LabelId, NodeId};
 use crate::interner::Interner;
 use crate::io::{EdgeDoc, GraphDoc, NodeDoc};
+use crate::stats::{CardinalityStats, StatsMaintenance};
 use crate::value::Value;
 
 /// Read-only view of an edge.
@@ -112,12 +113,58 @@ pub struct Graph {
     n_nodes: usize,
     n_edges: usize,
     version: u64,
+    /// Maintained-statistics mode ([`Graph::maintain_stats`]): a
+    /// [`CardinalityStats`] kept exactly current by every mutator (plus
+    /// its numeric-distribution support structure), so planners read
+    /// fresh statistics without an `O(V + E)` recompute.
+    stats: Option<Box<StatsMaintenance>>,
 }
 
 impl Graph {
     /// New empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ---- maintained statistics -------------------------------------------
+
+    /// Switch incremental statistics maintenance on or off.
+    ///
+    /// Enabling computes one fresh [`CardinalityStats`] snapshot (a
+    /// single `O(V + E)` pass) and from then on every mutation updates
+    /// it in place — triple counts, label marginals, attribute buckets,
+    /// range summaries and degree totals all move with the write, so
+    /// [`Graph::maintained_stats`] is always exactly
+    /// [`CardinalityStats::compute`] of the current graph at zero read
+    /// cost. Disabling drops the snapshot.
+    ///
+    /// The sustained overhead is a handful of hash-map updates per
+    /// mutation (bounded by the touched element's incident edges for
+    /// relabels); the `stats_maintenance` bench pins it below 2x the
+    /// raw mutation cost.
+    pub fn maintain_stats(&mut self, on: bool) {
+        self.stats = if on {
+            Some(Box::new(StatsMaintenance::build(self)))
+        } else {
+            None
+        };
+    }
+
+    /// The incrementally maintained statistics, when
+    /// [`Graph::maintain_stats`] is on. Always stamped with the current
+    /// [`Graph::version`].
+    pub fn maintained_stats(&self) -> Option<&CardinalityStats> {
+        self.stats.as_deref().map(|m| &m.stats)
+    }
+
+    /// Stamp the maintained snapshot with the just-bumped version; every
+    /// mutator calls this after its delta updates.
+    #[inline]
+    fn sync_stats_version(&mut self) {
+        let v = self.version;
+        if let Some(m) = self.stats.as_deref_mut() {
+            m.stats.version = v;
+        }
     }
 
     // ---- interners -------------------------------------------------------
@@ -220,22 +267,46 @@ impl Graph {
             self.index_attr(id, k, v);
         }
         self.n_nodes += 1;
+        if let Some(m) = self.stats.as_deref_mut() {
+            m.stats.node_delta(label, 1);
+        }
         self.version += 1;
+        self.sync_stats_version();
         id
     }
 
     fn index_attr(&mut self, id: NodeId, key: AttrKeyId, value: Value) {
-        self.attr_index.entry((key, value)).or_default().insert(id);
+        // Kind/number are extracted up front so the value can move into
+        // the index key without a clone, maintained statistics or not.
+        let kind = crate::stats::kind_index(&value);
+        let num = value.as_number();
+        let (new_bucket, inserted) = {
+            let bucket = self.attr_index.entry((key, value)).or_default();
+            let new_bucket = bucket.is_empty();
+            (new_bucket, bucket.insert(id))
+        };
+        if inserted {
+            if let Some(m) = self.stats.as_deref_mut() {
+                m.attr_insert(key, kind, num, new_bucket);
+            }
+        }
     }
 
     fn unindex_attr(&mut self, id: NodeId, key: AttrKeyId, value: &Value) {
         // Temporary clone of the key tuple; buckets are removed when empty
         // so the index never accumulates tombstones.
-        if let Some(bucket) = self.attr_index.get_mut(&(key, value.clone())) {
-            bucket.remove(&id);
-            if bucket.is_empty() {
-                self.attr_index.remove(&(key, value.clone()));
-            }
+        let Some(bucket) = self.attr_index.get_mut(&(key, value.clone())) else {
+            return;
+        };
+        if !bucket.remove(&id) {
+            return;
+        }
+        let emptied = bucket.is_empty();
+        if emptied {
+            self.attr_index.remove(&(key, value.clone()));
+        }
+        if let Some(s) = self.stats.as_deref_mut() {
+            s.attr_remove(key, value, emptied);
         }
     }
 
@@ -313,7 +384,11 @@ impl Graph {
         self.nodes[id.index()].alive = false;
         self.free_nodes.push(id);
         self.n_nodes -= 1;
+        if let Some(m) = self.stats.as_deref_mut() {
+            m.stats.node_delta(label, -1);
+        }
         self.version += 1;
+        self.sync_stats_version();
         Ok(removed)
     }
 
@@ -335,6 +410,25 @@ impl Graph {
         if old == label {
             return Ok(old);
         }
+        // Maintained statistics: the node moves between label marginals,
+        // and every incident edge's triple/degree attribution moves with
+        // it. Old/new labels are substituted explicitly so self-loops
+        // (both endpoints relabelled at once) stay exact. The snapshot
+        // is taken out of `self` for the duration so the loop can read
+        // slot state while mutating it.
+        if let Some(mut m) = self.stats.take() {
+            for e in self.incident_edges_sorted(id) {
+                let es = &self.edges[e.index()];
+                let sl_old = if es.src == id { old } else { self.nodes[es.src.index()].label };
+                let dl_old = if es.dst == id { old } else { self.nodes[es.dst.index()].label };
+                let sl_new = if es.src == id { label } else { sl_old };
+                let dl_new = if es.dst == id { label } else { dl_old };
+                m.stats.edge_delta(es.label, sl_old, dl_old, -1);
+                m.stats.edge_delta(es.label, sl_new, dl_new, 1);
+            }
+            m.stats.node_relabel(old, label);
+            self.stats = Some(m);
+        }
         self.unindex_node(id, old);
         self.nodes[id.index()].label = label;
         self.index_node(id, label);
@@ -355,6 +449,7 @@ impl Graph {
             self.recompute_sig(nb);
         }
         self.version += 1;
+        self.sync_stats_version();
         Ok(old)
     }
 
@@ -423,7 +518,11 @@ impl Graph {
         self.nodes[dst.index()].sig |= sig_bit(Direction::In, label, src_label);
         self.edge_label_counts[label.index()] += 1;
         self.n_edges += 1;
+        if let Some(m) = self.stats.as_deref_mut() {
+            m.stats.edge_delta(label, src_label, dst_label, 1);
+        }
         self.version += 1;
+        self.sync_stats_version();
         Ok(id)
     }
 
@@ -439,6 +538,8 @@ impl Graph {
             let e = self.live_edge(id)?;
             (e.src, e.dst, e.label)
         };
+        let src_label = self.nodes[src.index()].label;
+        let dst_label = self.nodes[dst.index()].label;
         let out = &mut self.nodes[src.index()].out;
         if let Some(pos) = out.iter().position(|&e| e == id) {
             out.swap_remove(pos);
@@ -451,11 +552,15 @@ impl Graph {
         self.free_edges.push(id);
         self.edge_label_counts[label.index()] -= 1;
         self.n_edges -= 1;
+        if let Some(m) = self.stats.as_deref_mut() {
+            m.stats.edge_delta(label, src_label, dst_label, -1);
+        }
         self.recompute_sig(src);
         if dst != src {
             self.recompute_sig(dst);
         }
         self.version += 1;
+        self.sync_stats_version();
         Ok(())
     }
 
@@ -487,11 +592,19 @@ impl Graph {
         self.edges[id.index()].label = label;
         self.edge_label_counts[old.index()] -= 1;
         self.edge_label_counts[label.index()] += 1;
+        if self.stats.is_some() {
+            let sl = self.nodes[src.index()].label;
+            let dl = self.nodes[dst.index()].label;
+            let m = self.stats.as_deref_mut().expect("checked above");
+            m.stats.edge_delta(old, sl, dl, -1);
+            m.stats.edge_delta(label, sl, dl, 1);
+        }
         self.recompute_sig(src);
         if dst != src {
             self.recompute_sig(dst);
         }
         self.version += 1;
+        self.sync_stats_version();
         Ok(old)
     }
 
@@ -543,6 +656,7 @@ impl Graph {
             self.unindex_attr(node, key, old_v);
         }
         self.index_attr(node, key, value);
+        self.sync_stats_version();
         Ok(old)
     }
 
@@ -555,6 +669,7 @@ impl Graph {
                 self.version += 1;
                 let (_, v) = attrs.remove(i);
                 self.unindex_attr(node, key, &v);
+                self.sync_stats_version();
                 Ok(Some(v))
             }
             Err(_) => Ok(None),
@@ -878,6 +993,16 @@ impl Graph {
             return Err(format!(
                 "value index has {index_total} entries, graph has {attr_total} attrs"
             ));
+        }
+        // Maintained statistics must equal a fresh full recompute — the
+        // differential oracle for the write-path deltas.
+        if let Some(s) = self.maintained_stats() {
+            let fresh = CardinalityStats::compute(self);
+            if *s != fresh {
+                return Err(format!(
+                    "maintained statistics diverged from recompute:\n  maintained: {s:?}\n  computed:   {fresh:?}"
+                ));
+            }
         }
         Ok(())
     }

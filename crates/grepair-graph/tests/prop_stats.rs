@@ -1,0 +1,196 @@
+//! Differential property tests for write-path statistics maintenance:
+//! after an arbitrary mutation sequence — including merges, tombstone
+//! reuse and slot-dump round-trips — the maintained [`CardinalityStats`]
+//! must be *exactly* what a fresh full recompute produces.
+
+use grepair_graph::{CardinalityStats, EdgeId, Graph, NodeId, Value};
+use proptest::prelude::*;
+
+/// A mutation in a random op sequence (mirrors `prop_graph.rs`).
+#[derive(Clone, Debug)]
+enum Op {
+    AddNode(u8),
+    AddNodeWithAttrs(u8, u8, i64),
+    AddEdge(u8, u8, u8),
+    RemoveNode(u8),
+    RemoveEdge(u8),
+    RelabelNode(u8, u8),
+    RelabelEdge(u8, u8),
+    SetAttr(u8, u8, i64),
+    SetAttrFloat(u8, u8, i64),
+    SetAttrStr(u8, u8),
+    RemoveAttr(u8, u8),
+    Merge(u8, u8, bool),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::AddNode),
+        (any::<u8>(), any::<u8>(), -4i64..4).prop_map(|(l, k, v)| Op::AddNodeWithAttrs(l, k, v)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, l)| Op::AddEdge(a, b, l)),
+        any::<u8>().prop_map(Op::RemoveNode),
+        any::<u8>().prop_map(Op::RemoveEdge),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, l)| Op::RelabelNode(n, l)),
+        (any::<u8>(), any::<u8>()).prop_map(|(e, l)| Op::RelabelEdge(e, l)),
+        (any::<u8>(), any::<u8>(), -4i64..4).prop_map(|(n, k, v)| Op::SetAttr(n, k, v)),
+        (any::<u8>(), any::<u8>(), -4i64..4).prop_map(|(n, k, v)| Op::SetAttrFloat(n, k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, k)| Op::SetAttrStr(n, k)),
+        (any::<u8>(), any::<u8>()).prop_map(|(n, k)| Op::RemoveAttr(n, k)),
+        (any::<u8>(), any::<u8>(), any::<bool>()).prop_map(|(a, b, d)| Op::Merge(a, b, d)),
+    ]
+}
+
+fn pick_node(g: &Graph, sel: u8) -> Option<NodeId> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    if nodes.is_empty() {
+        None
+    } else {
+        Some(nodes[sel as usize % nodes.len()])
+    }
+}
+
+fn pick_edge(g: &Graph, sel: u8) -> Option<EdgeId> {
+    let edges: Vec<EdgeId> = g.edges().collect();
+    if edges.is_empty() {
+        None
+    } else {
+        Some(edges[sel as usize % edges.len()])
+    }
+}
+
+/// Apply one op best-effort (ids modulo the live population).
+fn apply(g: &mut Graph, op: &Op) {
+    let label = |g: &mut Graph, l: u8| g.label(&format!("L{}", l % 4));
+    let key = |g: &mut Graph, k: u8| g.attr_key(&format!("k{}", k % 3));
+    match op {
+        Op::AddNode(l) => {
+            let l = label(g, *l);
+            g.add_node(l);
+        }
+        Op::AddNodeWithAttrs(l, k, v) => {
+            let l = label(g, *l);
+            let k = key(g, *k);
+            g.add_node_with_attrs(l, vec![(k, Value::Int(*v))]);
+        }
+        Op::AddEdge(a, b, l) => {
+            if let (Some(a), Some(b)) = (pick_node(g, *a), pick_node(g, *b)) {
+                let l = label(g, *l);
+                g.add_edge(a, b, l).unwrap();
+            }
+        }
+        Op::RemoveNode(n) => {
+            if let Some(n) = pick_node(g, *n) {
+                g.remove_node(n).unwrap();
+            }
+        }
+        Op::RemoveEdge(e) => {
+            if let Some(e) = pick_edge(g, *e) {
+                g.remove_edge(e).unwrap();
+            }
+        }
+        Op::RelabelNode(n, l) => {
+            if let Some(n) = pick_node(g, *n) {
+                let l = label(g, *l);
+                g.set_node_label(n, l).unwrap();
+            }
+        }
+        Op::RelabelEdge(e, l) => {
+            if let Some(e) = pick_edge(g, *e) {
+                let l = label(g, *l);
+                g.set_edge_label(e, l).unwrap();
+            }
+        }
+        Op::SetAttr(n, k, v) => {
+            if let Some(n) = pick_node(g, *n) {
+                let k = key(g, *k);
+                g.set_attr(n, k, Value::Int(*v)).unwrap();
+            }
+        }
+        Op::SetAttrFloat(n, k, v) => {
+            if let Some(n) = pick_node(g, *n) {
+                let k = key(g, *k);
+                g.set_attr(n, k, Value::Float(*v as f64 / 2.0)).unwrap();
+            }
+        }
+        Op::SetAttrStr(n, k) => {
+            if let Some(n) = pick_node(g, *n) {
+                let k = key(g, *k);
+                g.set_attr(n, k, Value::from("s")).unwrap();
+            }
+        }
+        Op::RemoveAttr(n, k) => {
+            if let Some(n) = pick_node(g, *n) {
+                let k = key(g, *k);
+                g.remove_attr(n, k).unwrap();
+            }
+        }
+        Op::Merge(a, b, dedup) => {
+            if let (Some(a), Some(b)) = (pick_node(g, *a), pick_node(g, *b)) {
+                if a != b {
+                    g.merge_nodes(a, b, *dedup).unwrap();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every single op of an arbitrary sequence, the maintained
+    /// snapshot equals a full recompute (merges, tombstone reuse and
+    /// mixed-kind attribute churn included).
+    #[test]
+    fn maintained_stats_equal_recompute_after_every_op(
+        ops in prop::collection::vec(op_strategy(), 0..80)
+    ) {
+        let mut g = Graph::new();
+        g.maintain_stats(true);
+        for op in &ops {
+            apply(&mut g, op);
+            let maintained = g.maintained_stats().expect("maintenance on");
+            let fresh = CardinalityStats::compute(&g);
+            prop_assert_eq!(maintained, &fresh, "diverged after {:?}", op);
+            prop_assert_eq!(maintained.version, g.version());
+        }
+        // `check_invariants` runs the same differential plus the rest of
+        // the structural checks.
+        g.check_invariants().unwrap();
+    }
+
+    /// Maintenance composes with slot dumps: restoring a dump and
+    /// re-enabling maintenance, then mutating further, stays exact; a
+    /// cloned maintained graph keeps its own exact snapshot too.
+    #[test]
+    fn maintained_stats_survive_dump_restore_and_clone(
+        ops in prop::collection::vec(op_strategy(), 0..40),
+        more in prop::collection::vec(op_strategy(), 0..20)
+    ) {
+        let mut g = Graph::new();
+        g.maintain_stats(true);
+        for op in &ops {
+            apply(&mut g, op);
+        }
+        let mut restored = Graph::restore_slots(&g.dump_slots()).unwrap();
+        prop_assert!(restored.maintained_stats().is_none(), "restores start unmaintained");
+        restored.maintain_stats(true);
+        let mut cloned = g.clone();
+        for op in &more {
+            apply(&mut restored, op);
+            apply(&mut cloned, op);
+        }
+        prop_assert_eq!(
+            restored.maintained_stats().unwrap(),
+            &CardinalityStats::compute(&restored)
+        );
+        prop_assert_eq!(
+            cloned.maintained_stats().unwrap(),
+            &CardinalityStats::compute(&cloned)
+        );
+        // Same op history ⇒ same aggregate shape (label *ids* may differ
+        // between the two graphs — restores re-intern in dump order).
+        let a = restored.maintained_stats().unwrap();
+        let b = cloned.maintained_stats().unwrap();
+        prop_assert_eq!((a.nodes, a.edges), (b.nodes, b.edges));
+    }
+}

@@ -27,7 +27,7 @@ use crate::view::GraphView;
 use grepair_graph::{
     sig_bit, AttrKeyId, CardinalityStats, Direction, EdgeId, Graph, LabelId, NodeId, Value,
 };
-use rustc_hash::FxHashSet;
+use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -48,6 +48,18 @@ pub struct MatchConfig {
     /// (`x.k == y.k2` with one side bound) — turns pairwise dedup patterns
     /// from O(|V|²) into O(|V|·bucket).
     pub use_attr_index: bool,
+    /// Adaptive re-planning: when a statistics-based plan's observed
+    /// frontier exceeds its estimate by [`MatchConfig::adaptive_factor`]
+    /// *before any match has been emitted*, abort the enumeration, patch
+    /// the planner's statistics with the graph's current cardinalities,
+    /// and re-plan once. Requires an attached [`Planner`] with
+    /// statistics; anchored (`find_touching`) and parallel searches
+    /// never adapt. Bounded to one re-plan per call, so worst-case work
+    /// stays within 2x of the non-adaptive search.
+    pub adaptive_replan: bool,
+    /// Observed-over-estimated frontier blow-up factor that triggers an
+    /// adaptive re-plan.
+    pub adaptive_factor: f64,
 }
 
 impl Default for MatchConfig {
@@ -58,6 +70,8 @@ impl Default for MatchConfig {
             use_degree_filter: true,
             connected_order: true,
             use_attr_index: true,
+            adaptive_replan: true,
+            adaptive_factor: 64.0,
         }
     }
 }
@@ -71,6 +85,8 @@ impl MatchConfig {
             use_degree_filter: false,
             connected_order: false,
             use_attr_index: false,
+            adaptive_replan: false,
+            adaptive_factor: 64.0,
         }
     }
 }
@@ -189,6 +205,13 @@ pub struct PlanStep {
     /// multiplier (later steps, statistics-based plans). Without
     /// statistics, later steps carry candidate-count upper bounds.
     pub estimate: f64,
+    /// Like `estimate`, but for candidates *generated* before
+    /// accept-filtering: range-constraint selectivity and the root's
+    /// lookahead discount are excluded (those prune after generation).
+    /// This is the adaptive monitor's per-step yardstick — comparing
+    /// observed raw candidates against a post-filter estimate would
+    /// flag every selective predicate as a blow-up.
+    pub raw_estimate: f64,
 }
 
 /// One rendered step of [`Matcher::explain`] output.
@@ -256,6 +279,36 @@ pub(crate) struct Compiled {
     forbid_touched: Vec<bool>,
     /// Per-step planner expectations (indexed like `plan`), for `explain`.
     steps: Vec<PlanStep>,
+    /// Cumulative estimated *accepted* frontier per plan position
+    /// (running product of the step estimates) — feeds the re-plan's
+    /// observed-multiplier computation.
+    est_rows: Vec<f64>,
+    /// Expected candidates *generated* per plan position (accepted rows
+    /// entering the step × the step's raw generation estimate) — what
+    /// the adaptive monitor compares observed candidate totals against.
+    est_gen: Vec<f64>,
+    /// Whether this plan may adaptively re-plan: the join order came
+    /// from cardinality statistics (so the estimates are meaningful) and
+    /// the search is a full scan, not anchored. Cleared on re-planned
+    /// compilations; parallel executions additionally never arm the
+    /// monitor at run time.
+    adaptive_capable: bool,
+}
+
+/// Minimum observed frontier (candidates generated at one plan
+/// position) before the adaptive monitor may trip, on top of the
+/// relative [`MatchConfig::adaptive_factor`]. The estimates price
+/// *accepted* rows while the monitor counts *generated* candidates, so
+/// on small scans the ratio alone is noisy — a re-plan only ever pays
+/// for itself when the blow-up is large in absolute terms too.
+const ADAPTIVE_MIN_FRONTIER: f64 = 1024.0;
+
+/// What an adaptively aborted run observed, for the re-plan.
+struct ReplanInfo {
+    /// Plan position whose frontier blew past its estimate.
+    depth: usize,
+    /// Candidates generated per plan position up to the abort.
+    gen: Vec<u64>,
 }
 
 /// Pattern matcher over a single [`GraphView`] — the live [`Graph`] by
@@ -454,13 +507,78 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
 
     /// Internal enumeration over borrowed search states: callers that
     /// only count or probe never pay for `Match` allocations.
+    ///
+    /// This is also where adaptive re-planning lives: a statistics-based
+    /// plan whose observed frontier blows past its estimate (by
+    /// [`MatchConfig::adaptive_factor`]) aborts *before emitting
+    /// anything*, patches the planner's statistics with the graph's
+    /// current cardinalities, and restarts once under a fresh plan. Every
+    /// plan enumerates the identical match set, and the abort precedes
+    /// the first emission, so callers observe exactly one complete,
+    /// duplicate-free enumeration either way.
     fn for_each_state(&self, pattern: &Pattern, f: &mut dyn FnMut(&SearchState) -> bool) {
         debug_assert!(pattern.validate().is_ok());
         let empty = TouchSet::default();
         let Some(comp) = self.compiled(pattern, None, &empty) else {
             return;
         };
-        self.run(&comp, f, &empty);
+        let adapt = self.cfg.adaptive_replan && comp.adaptive_capable && self.planner.is_some();
+        let Some(info) = self.run(&comp, f, &empty, adapt) else {
+            return;
+        };
+        match self.replan(pattern, &comp, &info, &empty) {
+            Some(new_comp) => {
+                self.run(&new_comp, f, &empty, false);
+            }
+            // Statistics unavailable for a re-plan: finish under the
+            // original plan, monitoring disarmed.
+            None => {
+                self.run(&comp, f, &empty, false);
+            }
+        }
+    }
+
+    /// Build the one-shot replacement plan after an adaptive abort:
+    /// patch the planner's statistics to the graph's current truth (for
+    /// live views — snapshots keep their stale estimates; other
+    /// patterns' cached plans are deliberately left warm, see
+    /// [`Planner::patch_stats`]), fold the observed frontier multiplier
+    /// of the blown step in as a floor, recompile with adaptation
+    /// disarmed, and install the corrected plan over the blown one in
+    /// the cache. Returns `None` — finish under the original plan —
+    /// when neither fresher statistics nor an observation are available,
+    /// since recompiling would reproduce the same plan.
+    fn replan(
+        &self,
+        pattern: &Pattern,
+        comp: &Compiled,
+        info: &ReplanInfo,
+        touched: &TouchSet,
+    ) -> Option<Arc<Compiled>> {
+        let planner = self.planner?;
+        let patched = match self.g.live_graph() {
+            Some(live) => planner.patch_stats(live),
+            None => false,
+        };
+        let mut overrides = FxHashMap::default();
+        if info.depth > 0 {
+            // Estimated rows entering the blown step vs. candidates it
+            // actually generated ⇒ observed per-row multiplier.
+            let rows_in = comp.est_rows[info.depth - 1].max(1.0);
+            overrides.insert(comp.plan[info.depth], info.gen[info.depth] as f64 / rows_in);
+        }
+        if !patched && overrides.is_empty() {
+            return None;
+        }
+        planner.note_replan();
+        planner.note_compile();
+        let stats = planner.stats()?;
+        let mut c =
+            self.compile_with(pattern, None, touched, Some(&stats), Some(&overrides))?;
+        c.adaptive_capable = false;
+        let c = Arc::new(c);
+        planner.store_plan(self, pattern, None, c.clone());
+        Some(c)
     }
 
     /// Enumerate matches whose image intersects `touched`, without
@@ -489,6 +607,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                     true
                 },
                 touched,
+                false,
             );
         }
         out
@@ -546,6 +665,22 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         pattern: &Pattern,
         anchor_var: Option<usize>,
         touched: &TouchSet,
+    ) -> Option<Compiled> {
+        let stats = self.planner.and_then(|p| p.stats());
+        self.compile_with(pattern, anchor_var, touched, stats.as_deref(), None)
+    }
+
+    /// [`Matcher::compile`] with explicit statistics and observed-fanout
+    /// overrides — the adaptive re-plan path, which must not read the
+    /// planner's (possibly just-retired) snapshot and must fold in what
+    /// the aborted run actually observed.
+    fn compile_with(
+        &self,
+        pattern: &Pattern,
+        anchor_var: Option<usize>,
+        touched: &TouchSet,
+        stats: Option<&CardinalityStats>,
+        overrides: Option<&FxHashMap<usize, f64>>,
     ) -> Option<Compiled> {
         let g = self.g;
         let n = pattern.num_vars();
@@ -666,11 +801,11 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         // Plan: join order. With planner statistics, a cost model over
         // estimated extension fan-outs; otherwise the greedy
         // candidate-count order.
-        let stats = self.planner.and_then(|p| p.stats());
-        let (plan, steps) = match stats.as_deref() {
-            Some(stats) if self.cfg.connected_order => {
-                self.order_plan_cost(n, &labels, &edges, &constraints, anchor_var, touched, stats)
-            }
+        let stats_based = stats.is_some() && self.cfg.connected_order;
+        let (plan, steps) = match stats {
+            Some(stats) if self.cfg.connected_order => self.order_plan_cost(
+                n, &labels, &edges, &constraints, anchor_var, touched, stats, overrides,
+            ),
             _ => self.order_plan_greedy(n, &labels, &edges, anchor_var, touched),
         };
         let mut pos = vec![0usize; n];
@@ -702,6 +837,21 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             }
         }
 
+        // Expected cumulative frontiers per plan position: the accepted
+        // rows are the running product of step estimates (root estimate
+        // is absolute, later estimates are per-row multipliers — or
+        // absolute candidate counts for cartesian steps, which also
+        // multiply per partial row); the generated candidates at step d
+        // are the rows entering it times its raw generation estimate.
+        let mut est_rows = Vec::with_capacity(n);
+        let mut est_gen = Vec::with_capacity(n);
+        let mut rows = 1.0f64;
+        for s in &steps {
+            est_gen.push(rows * s.raw_estimate.max(0.0));
+            rows *= s.estimate.max(0.0);
+            est_rows.push(rows);
+        }
+
         Some(Compiled {
             labels,
             edges,
@@ -718,6 +868,9 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             anchor_var,
             forbid_touched,
             steps,
+            est_rows,
+            est_gen,
+            adaptive_capable: stats_based && anchor_var.is_none(),
         })
     }
 
@@ -761,6 +914,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                 var: a,
                 access: PlanAccess::Anchor,
                 estimate: estimate(a) as f64,
+                raw_estimate: estimate(a) as f64,
             });
         }
         let mut adj = vec![Vec::new(); n];
@@ -807,6 +961,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                 var: v,
                 access,
                 estimate: estimate(v) as f64,
+                raw_estimate: estimate(v) as f64,
             });
         }
         (plan, steps)
@@ -825,9 +980,17 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
     /// The root additionally discounts its candidate count by its most
     /// selective one-step extension (capped at 1), so a large label whose
     /// incident edge kills the frontier beats a small label that fans
-    /// out. Ties break on variable index; every input is a deterministic
+    /// out. Every step estimate is further scaled by the variable's
+    /// range-constraint selectivity (`x.k < c` style predicates priced by
+    /// [`CardinalityStats::range_selectivity`]'s min/max interpolation).
+    /// Ties break on variable index; every input is a deterministic
     /// function of (pattern, statistics snapshot), so plans are stable
     /// and cacheable.
+    ///
+    /// `overrides` (adaptive re-plan only) carries per-variable observed
+    /// frontier multipliers from an aborted run; a non-root step's
+    /// estimate is raised to at least the observed value, so the new
+    /// order routes around the step that blew up.
     #[allow(clippy::too_many_arguments)]
     fn order_plan_cost(
         &self,
@@ -838,7 +1001,40 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         anchor_var: Option<usize>,
         touched: &TouchSet,
         stats: &CardinalityStats,
+        overrides: Option<&FxHashMap<usize, f64>>,
     ) -> (Vec<usize>, Vec<PlanStep>) {
+        // Per-variable selectivity of its constant range constraints
+        // (`<`, `<=`, `>`, `>=` against a numeric constant); 1.0 when
+        // none apply or the key has no numeric statistics.
+        let range_sel: Vec<f64> = (0..n)
+            .map(|v| {
+                let mut sel = 1.0f64;
+                for c in constraints {
+                    let CC::Cmp {
+                        var,
+                        key: KeyReq::Is(k),
+                        op,
+                        rhs: CRhs::Const(val),
+                    } = c
+                    else {
+                        continue;
+                    };
+                    if *var != v {
+                        continue;
+                    }
+                    let Some(bound) = val.as_number() else { continue };
+                    let f = match op {
+                        CmpOp::Lt | CmpOp::Le => stats.range_selectivity(*k, true, bound),
+                        CmpOp::Gt | CmpOp::Ge => stats.range_selectivity(*k, false, bound),
+                        _ => None,
+                    };
+                    if let Some(f) = f {
+                        sel *= f.clamp(0.0, 1.0);
+                    }
+                }
+                sel
+            })
+            .collect();
         let lbl = |v: usize| match labels[v] {
             LabelReq::Is(l) => Some(l),
             _ => None,
@@ -913,16 +1109,18 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                 var: a,
                 access: PlanAccess::Anchor,
                 estimate: label_count(a).min(touched.len() as f64),
+                raw_estimate: label_count(a).min(touched.len() as f64),
             });
         }
         while plan.len() < n {
-            // (comparison cost, displayed estimate, access, var)
-            let mut best: Option<(f64, f64, PlanAccess, usize)> = None;
+            // (comparison cost, displayed estimate, raw generation
+            // estimate, access, var)
+            let mut best: Option<(f64, f64, f64, PlanAccess, usize)> = None;
             for v in 0..n {
                 if placed[v] {
                     continue;
                 }
-                let (cost, shown, access) = if plan.is_empty() {
+                let (mut cost, mut shown, access) = if plan.is_empty() {
                     let mut look = 1.0f64;
                     for e in edges {
                         let (other, dir) = if e.src == v && e.dst != v {
@@ -947,21 +1145,34 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                 } else {
                     (label_count(v), label_count(v), root_access(v))
                 };
+                // Generation happens before the range filter prunes, so
+                // the monitor's yardstick keeps the undiscounted value.
+                let mut raw = shown;
+                cost *= range_sel[v];
+                shown *= range_sel[v];
+                if !plan.is_empty() {
+                    if let Some(&obs) = overrides.and_then(|o| o.get(&v)) {
+                        cost = cost.max(obs);
+                        shown = shown.max(obs);
+                        raw = raw.max(obs);
+                    }
+                }
                 let better = match &best {
                     None => true,
                     Some((bc, ..)) => cost.total_cmp(bc) == std::cmp::Ordering::Less,
                 };
                 if better {
-                    best = Some((cost, shown, access, v));
+                    best = Some((cost, shown, raw, access, v));
                 }
             }
-            let (_, shown, access, v) = best.expect("some unplaced var remains");
+            let (_, shown, raw, access, v) = best.expect("some unplaced var remains");
             plan.push(v);
             placed[v] = true;
             steps.push(PlanStep {
                 var: v,
                 access,
                 estimate: shown,
+                raw_estimate: raw,
             });
         }
         (plan, steps)
@@ -969,21 +1180,46 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
 
     // ---- search ------------------------------------------------------------
 
+    /// Execute a compiled plan. Returns `Some` when the adaptive monitor
+    /// aborted the search for a re-plan (only possible with `adapt` set,
+    /// and only before the first emission); `None` means the enumeration
+    /// ran to completion (or an emit callback stopped it).
     fn run(
         &self,
         comp: &Compiled,
         emit: &mut dyn FnMut(&SearchState) -> bool,
         touched: &TouchSet,
-    ) {
+        adapt: bool,
+    ) -> Option<ReplanInfo> {
         let mut st = self.acquire_state(comp.plan.len(), comp.edges.len());
+        st.adapt = adapt && comp.adaptive_capable;
         if comp.plan.is_empty() {
             // Zero-variable pattern: `step` emits the single empty match.
             self.step(comp, &mut st, 0, emit, touched);
         } else {
             let roots = self.candidates(comp, &st, 0, touched);
-            self.run_roots(comp, &mut st, &roots, emit, touched);
+            let mut root_blowup = false;
+            if st.adapt {
+                // Root frontier check: a stale label count can be off by
+                // orders of magnitude too.
+                st.gen[0] = roots.len() as u64;
+                root_blowup = st.gen[0] as f64
+                    > (self.cfg.adaptive_factor * comp.est_gen[0].max(1.0))
+                        .max(ADAPTIVE_MIN_FRONTIER);
+                if root_blowup {
+                    st.replan_at = Some(0);
+                }
+            }
+            if !root_blowup {
+                self.run_roots(comp, &mut st, &roots, emit, touched);
+            }
         }
+        let info = st.replan_at.take().map(|depth| ReplanInfo {
+            depth,
+            gen: std::mem::take(&mut st.gen),
+        });
         self.release_state(st);
+        info
     }
 
     /// The depth-0 binding loop over an explicit root-candidate list —
@@ -1026,6 +1262,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             return;
         }
         if depth == comp.plan.len() {
+            st.emitted = true;
             if !emit(st) {
                 st.stopped = true;
             }
@@ -1033,6 +1270,21 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         }
         let v = comp.plan[depth];
         let candidates = self.candidates(comp, st, depth, touched);
+        // Adaptive frontier monitor: once the candidates generated at
+        // this plan position exceed the estimate by the configured
+        // factor — and nothing has been emitted yet, so a restart cannot
+        // duplicate output — abort for a re-plan.
+        if st.adapt && !st.emitted {
+            st.gen[depth] += candidates.len() as u64;
+            if st.gen[depth] as f64
+                > (self.cfg.adaptive_factor * comp.est_gen[depth].max(1.0))
+                    .max(ADAPTIVE_MIN_FRONTIER)
+            {
+                st.replan_at = Some(depth);
+                st.stopped = true;
+                return;
+            }
+        }
         for cand in candidates {
             if st.stopped {
                 return;
@@ -1263,6 +1515,18 @@ pub(crate) struct SearchState {
     used: FxHashSet<NodeId>,
     witness: Vec<EdgeId>,
     stopped: bool,
+    /// Adaptive monitoring armed for this run (serial, unanchored,
+    /// statistics-based, not already a re-planned rerun).
+    adapt: bool,
+    /// Candidates generated so far per plan position, compared against
+    /// `Compiled::est_rows` by the adaptive monitor.
+    gen: Vec<u64>,
+    /// Whether any match has been emitted — re-planning is only safe
+    /// before the first emission (a restart would replay side effects).
+    emitted: bool,
+    /// Set when the monitor aborts the search: plan position whose
+    /// observed frontier blew past its estimate.
+    replan_at: Option<usize>,
 }
 
 impl SearchState {
@@ -1274,6 +1538,11 @@ impl SearchState {
         self.witness.resize(n_edges, EdgeId(u32::MAX));
         self.used.clear();
         self.stopped = false;
+        self.adapt = false;
+        self.gen.clear();
+        self.gen.resize(n_vars, 0);
+        self.emitted = false;
+        self.replan_at = None;
     }
 
     /// Materialize the completed assignment as an owned [`Match`].
@@ -1554,6 +1823,235 @@ mod tests {
         pb.no_in_edge(kk, None);
         let p = pb.build().unwrap();
         assert!(Matcher::new(&g).find_all(&p).is_empty());
+    }
+
+    #[test]
+    fn adaptive_replan_triggers_on_stale_stats_and_agrees() {
+        use crate::plan::Planner;
+        // Ring of `cold` edges plus one `hot` edge; statistics snapshot
+        // taken here, so the planner prices `hot` extensions at ~1/n.
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let cold = g.label("cold");
+        let hot = g.label("hot");
+        let n = 50;
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(p)).collect();
+        for i in 0..n {
+            g.add_edge(nodes[i], nodes[(i + 1) % n], cold).unwrap();
+        }
+        let lone_hot = g.add_edge(nodes[0], nodes[1], hot).unwrap();
+
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+
+        // Now invalidate the estimate: drop the lone hot edge and fan
+        // 60 hot edges out of every ring node into fresh sink nodes that
+        // carry no cold edge — the hot frontier explodes 3000x while the
+        // match set collapses to zero (no sink can complete the cold
+        // step), so nothing is emitted before the monitor trips.
+        g.remove_edge(lone_hot).unwrap();
+        let sinks: Vec<NodeId> = (0..60).map(|_| g.add_node(p)).collect();
+        for &src in &nodes {
+            for &sink in &sinks {
+                g.add_edge(src, sink, hot).unwrap();
+            }
+        }
+
+        let mut b = Pattern::builder();
+        let a = b.node("a", Some("P"));
+        let bb = b.node("b", Some("P"));
+        let c = b.node("c", Some("P"));
+        b.edge(a, bb, "hot");
+        b.edge(bb, c, "cold");
+        let pat = b.build().unwrap();
+
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let adaptive = m.find_all(&pat);
+        assert_eq!(
+            planner.replan_count(),
+            1,
+            "the blown hot frontier must trigger exactly one re-plan"
+        );
+        // The re-plan refreshed the planner's statistics to the current
+        // graph.
+        assert_eq!(planner.stats().unwrap().version, g.version());
+        let plain = Matcher::new(&g).find_all(&pat);
+        let key = |ms: &[Match]| {
+            let mut v: Vec<Vec<NodeId>> = ms.iter().map(|m| m.nodes.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&adaptive), key(&plain), "re-plan must not change results");
+
+        // With fresh statistics the very next call plans correctly and
+        // must not re-plan again.
+        assert_eq!(m.count(&pat), plain.len());
+        assert_eq!(planner.replan_count(), 1);
+    }
+
+    #[test]
+    fn selective_range_predicates_do_not_trigger_spurious_replans() {
+        use crate::plan::Planner;
+        // Regression: the monitor must compare observed *generated*
+        // candidates against pre-filter estimates. A 1%-selective range
+        // predicate discounts the accepted-rows estimate 100x, but the
+        // label index still generates every candidate — with perfectly
+        // fresh statistics that must never read as a blow-up.
+        let mut g = Graph::new();
+        let age = g.attr_key("age");
+        for i in 0..5_000 {
+            let n = g.add_node_named("P");
+            g.set_attr(n, age, Value::Int(i % 100)).unwrap();
+        }
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_cmp(x, "age", CmpOp::Lt, 1i64);
+        let pat = b.build().unwrap();
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        for _ in 0..3 {
+            assert_eq!(m.count(&pat), 50);
+        }
+        assert_eq!(
+            planner.replan_count(),
+            0,
+            "fresh statistics + selective filter must not re-plan"
+        );
+    }
+
+    #[test]
+    fn adaptive_replan_keeps_other_patterns_warm() {
+        use crate::plan::Planner;
+        // Re-planning one blown pattern must not evict the other
+        // patterns' cached plans (no epoch bump on a stats patch), and
+        // the corrected plan replaces the blown one in the cache.
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let cold = g.label("cold");
+        let hot = g.label("hot");
+        let nodes: Vec<NodeId> = (0..50).map(|_| g.add_node(p)).collect();
+        for i in 0..50 {
+            g.add_edge(nodes[i], nodes[(i + 1) % 50], cold).unwrap();
+        }
+        let lone_hot = g.add_edge(nodes[0], nodes[1], hot).unwrap();
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+
+        // Warm an unrelated pattern before the blow-up.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "cold");
+        let other = b.build().unwrap();
+        {
+            let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+            assert_eq!(m.count(&other), 50);
+        }
+
+        g.remove_edge(lone_hot).unwrap();
+        let sinks: Vec<NodeId> = (0..60).map(|_| g.add_node(p)).collect();
+        for &src in &nodes {
+            for &sink in &sinks {
+                g.add_edge(src, sink, hot).unwrap();
+            }
+        }
+        let mut b = Pattern::builder();
+        let a = b.node("a", Some("P"));
+        let bb = b.node("b", Some("P"));
+        let c = b.node("c", Some("P"));
+        b.edge(a, bb, "hot");
+        b.edge(bb, c, "cold");
+        let blown = b.build().unwrap();
+
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        assert!(m.find_all(&blown).is_empty());
+        assert_eq!(planner.replan_count(), 1);
+
+        // The unrelated pattern's plan survived the patch: serving it
+        // again is a pure cache hit.
+        let compiles = planner.compile_count();
+        assert_eq!(m.count(&other), 50);
+        assert_eq!(
+            planner.compile_count(),
+            compiles,
+            "the stats patch must not evict unrelated warm plans"
+        );
+        // And the corrected plan replaced the blown one: no further
+        // re-plans, no recompiles.
+        assert!(m.find_all(&blown).is_empty());
+        assert_eq!(planner.replan_count(), 1);
+        assert_eq!(planner.compile_count(), compiles);
+    }
+
+    #[test]
+    fn adaptive_replan_disabled_for_anchored_and_naive_searches() {
+        use crate::plan::Planner;
+        let mut g = Graph::new();
+        let p = g.label("P");
+        let r = g.label("r");
+        let a = g.add_node(p);
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        // Blow up the graph after the snapshot.
+        let more: Vec<NodeId> = (0..200).map(|_| g.add_node(p)).collect();
+        for &m in &more {
+            g.add_edge(a, m, r).unwrap();
+        }
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "r");
+        let pat = b.build().unwrap();
+
+        // Anchored search: never adapts, still exact.
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let touched: TouchSet = [a].into_iter().collect();
+        assert_eq!(m.find_touching(&pat, &touched).len(), 200);
+        // Adaptation switched off: the stale plan runs to completion.
+        let cfg = MatchConfig {
+            adaptive_replan: false,
+            ..MatchConfig::default()
+        };
+        let m = Matcher::with_planner(&g, cfg, &planner);
+        assert_eq!(m.find_all(&pat).len(), 200);
+        assert_eq!(planner.replan_count(), 0);
+    }
+
+    #[test]
+    fn range_constraints_steer_plan_order_with_stats() {
+        use crate::plan::Planner;
+        // 100 P nodes with ages 0..100, 10 Q nodes. Without range
+        // selectivity P (100 candidates) loses to Q (10) as the root;
+        // the `age < 5` predicate prices P down to ~5 and must win.
+        let mut g = Graph::new();
+        let age = g.attr_key("age");
+        for i in 0..100 {
+            let n = g.add_node_named("P");
+            g.set_attr(n, age, Value::Int(i)).unwrap();
+        }
+        for _ in 0..10 {
+            g.add_node_named("Q");
+        }
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.node("y", Some("Q"));
+        b.attr_cmp(x, "age", CmpOp::Lt, 5i64);
+        let pat = b.build().unwrap();
+
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let ex = m.explain(&pat);
+        assert_eq!(ex.steps[0].var, "x", "range-filtered P must root the plan");
+        assert!(
+            ex.steps[0].estimate < 10.0,
+            "estimate must reflect the <5 selectivity, got {}",
+            ex.steps[0].estimate
+        );
+        // Selectivity only steers order; results stay exact.
+        assert_eq!(m.find_all(&pat).len(), 5 * 10);
     }
 
     #[test]

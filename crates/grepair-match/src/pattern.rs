@@ -501,6 +501,24 @@ impl PatternBuilder {
         })
     }
 
+    /// Require `var.key op value` for an arbitrary comparison operator
+    /// (`<` / `>=`-style constraints additionally pick up range
+    /// selectivity from the planner's statistics).
+    pub fn attr_cmp(
+        &mut self,
+        var: Var,
+        key: &str,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> &mut Self {
+        self.constraint(Constraint::Cmp {
+            var,
+            key: key.to_owned(),
+            op,
+            rhs: Rhs::Const(value.into()),
+        })
+    }
+
     /// Require `a.key == b.key2`.
     pub fn attr_eq_var(&mut self, a: Var, key: &str, b: Var, key2: &str) -> &mut Self {
         self.constraint(Constraint::Cmp {

@@ -98,11 +98,55 @@ const MAX_POOLED_STATES: usize = 64;
 /// [`Planner::refresh_if_drifted`] considers statistics stale.
 const DRIFT_RATIO: f64 = 0.1;
 
+/// How the planner's current statistics snapshot was obtained — surfaced
+/// by `explain` so plan regressions are diagnosable from the terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatsSource {
+    /// Adopted from [`Graph::maintained_stats`] — the graph kept them
+    /// current on its write path, so the refresh cost only the clone of
+    /// the (label/triple/attr-key–sized, not graph-sized) counter maps.
+    Maintained,
+    /// Recomputed by a full `O(V + E)` pass over the graph.
+    Computed,
+}
+
+impl std::fmt::Display for StatsSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StatsSource::Maintained => "maintained",
+            StatsSource::Computed => "recomputed",
+        })
+    }
+}
+
 #[derive(Default)]
 struct StatsSlot {
     stats: Option<Arc<CardinalityStats>>,
-    /// Bumped on every recompute; part of every plan-cache key.
+    /// Bumped on every *refresh*; part of every plan-cache key.
+    /// [`Planner::patch_stats`] deliberately installs a snapshot
+    /// without bumping it, so stats installs and epoch bumps are not
+    /// 1:1 — the epoch tracks cache retirements, not snapshot changes.
     epoch: u64,
+    source: Option<StatsSource>,
+}
+
+/// Obtain a statistics snapshot for `g`: adopt the write-path–maintained
+/// one when present, recompute otherwise — the one acquisition policy
+/// shared by refreshes and adaptive patches.
+fn snapshot_from(g: &Graph) -> (CardinalityStats, StatsSource) {
+    match g.maintained_stats() {
+        Some(ms) => (ms.clone(), StatsSource::Maintained),
+        None => (CardinalityStats::compute(g), StatsSource::Computed),
+    }
+}
+
+/// Relative node/edge-count drift of `g` against a statistics snapshot
+/// (the larger of the two ratios) — the one definition shared by the
+/// [`Planner::refresh_if_drifted`] gate and the [`Planner::drift`]
+/// diagnostic.
+fn drift_ratio(s: &CardinalityStats, g: &Graph) -> f64 {
+    let d = |old: u64, new: u64| (new as f64 - old as f64).abs() / (old.max(1) as f64);
+    d(s.nodes, g.num_nodes() as u64).max(d(s.edges, g.num_edges() as u64))
 }
 
 /// Shared planning context: cardinality statistics, a compiled-plan
@@ -113,6 +157,7 @@ pub struct Planner {
     stats: Mutex<StatsSlot>,
     compiles: AtomicU64,
     hits: AtomicU64,
+    replans: AtomicU64,
     pool: Mutex<Vec<SearchState>>,
 }
 
@@ -123,10 +168,16 @@ impl Planner {
         Self::default()
     }
 
-    /// Recompute statistics from `g` unless the current snapshot already
-    /// matches `g.version()`. Returns whether a recompute happened. A
-    /// recompute bumps the statistics epoch, retiring every cached plan
+    /// Bring statistics up to `g`'s current version unless the snapshot
+    /// already matches `g.version()`. Returns whether a refresh happened.
+    /// A refresh bumps the statistics epoch, retiring every cached plan
     /// (their join orders were derived from the old estimates).
+    ///
+    /// For graphs in [`Graph::maintain_stats`] mode the refresh *adopts*
+    /// the write-path–maintained snapshot — a clone of counter maps
+    /// sized by the label/triple/attr-key vocabularies, not by the
+    /// graph — retiring the full `O(V + E)` recompute from the hot
+    /// path. Unmaintained graphs still pay the one-pass compute.
     pub fn refresh_stats(&self, g: &Graph) -> bool {
         {
             let slot = self.stats.lock().unwrap();
@@ -136,17 +187,18 @@ impl Planner {
                 }
             }
         }
-        self.install_stats(CardinalityStats::compute(g));
+        self.install_from(g);
         true
     }
 
     /// Like [`Planner::refresh_stats`], but tolerant of small drift:
-    /// only recomputes when no snapshot exists yet or the live node/edge
+    /// only refreshes when no snapshot exists yet or the live node/edge
     /// counts moved more than 10% from the snapshot. The fixpoint
-    /// engines call this between rounds — repairs mutate the graph
-    /// constantly, and retiring every cached plan per mutation would
-    /// defeat the cache, while estimates a few percent stale still pick
-    /// the same join orders.
+    /// engines call this between rounds — retiring every cached plan per
+    /// mutation would defeat the cache, while estimates a few percent
+    /// stale still pick the same join orders. (For maintained graphs the
+    /// tolerance is purely a cache-retention policy; the refresh itself
+    /// is already cheap.)
     pub fn refresh_if_drifted(&self, g: &Graph) -> bool {
         {
             let slot = self.stats.lock().unwrap();
@@ -154,24 +206,86 @@ impl Planner {
                 if s.version == g.version() {
                     return false;
                 }
-                let drift = |old: u64, new: u64| {
-                    (new as f64 - old as f64).abs() / (old.max(1) as f64)
-                };
-                if drift(s.nodes, g.num_nodes() as u64) <= DRIFT_RATIO
-                    && drift(s.edges, g.num_edges() as u64) <= DRIFT_RATIO
-                {
+                if drift_ratio(s, g) <= DRIFT_RATIO {
                     return false;
                 }
             }
         }
-        self.install_stats(CardinalityStats::compute(g));
+        self.install_from(g);
         true
     }
 
-    fn install_stats(&self, stats: CardinalityStats) {
+    fn install_from(&self, g: &Graph) {
+        let (stats, source) = snapshot_from(g);
+        self.install_stats(stats, source);
+    }
+
+    /// Update the statistics snapshot to `g`'s current truth **without**
+    /// bumping the epoch or touching the plan cache — the adaptive
+    /// re-plan path. An epoch bump would retire every cached plan, but
+    /// by the cache-validity design stale statistics only ever affect
+    /// plan *order*: the other patterns' warm plans are still correct
+    /// and keeping them is the whole point of always-warm planning. The
+    /// one blown pattern's cache entry is replaced separately via
+    /// [`Planner::store_plan`]; the next epoch bump (a drift refresh)
+    /// re-derives everything from one consistent snapshot again.
+    ///
+    /// Returns whether the snapshot actually changed.
+    pub(crate) fn patch_stats(&self, g: &Graph) -> bool {
+        {
+            let slot = self.stats.lock().unwrap();
+            if let Some(s) = &slot.stats {
+                if s.version == g.version() {
+                    return false;
+                }
+            }
+        }
+        let (stats, source) = snapshot_from(g);
+        let mut slot = self.stats.lock().unwrap();
+        slot.stats = Some(Arc::new(stats));
+        slot.source = Some(source);
+        true
+    }
+
+    /// The cache key for `(pattern, anchor)` under `m`'s view and
+    /// configuration — the one construction shared by lookup
+    /// ([`Planner::compiled`]) and replacement ([`Planner::store_plan`]).
+    fn plan_key<G: GraphView + ?Sized>(
+        &self,
+        m: &Matcher<'_, G>,
+        pattern: &Pattern,
+        anchor: Option<usize>,
+    ) -> PlanKey {
+        PlanKey {
+            fingerprint: pattern.fingerprint(),
+            anchor: anchor.unwrap_or(usize::MAX),
+            labels: m.graph().num_labels(),
+            attr_keys: m.graph().num_attr_keys(),
+            stats_epoch: self.stats.lock().unwrap().epoch,
+            cfg: m.config_bits(),
+        }
+    }
+
+    /// Replace the cached plan for `(pattern, anchor)` under `m`'s view
+    /// and configuration — the adaptive re-plan installs its corrected
+    /// plan here so subsequent calls use it directly instead of
+    /// re-tripping the monitor on the old one.
+    pub(crate) fn store_plan<G: GraphView + ?Sized>(
+        &self,
+        m: &Matcher<'_, G>,
+        pattern: &Pattern,
+        anchor: Option<usize>,
+        comp: Arc<Compiled>,
+    ) {
+        let key = self.plan_key(m, pattern, anchor);
+        self.cache.lock().unwrap().insert(key, Some(comp));
+    }
+
+    fn install_stats(&self, stats: CardinalityStats, source: StatsSource) {
         let mut slot = self.stats.lock().unwrap();
         slot.stats = Some(Arc::new(stats));
         slot.epoch += 1;
+        slot.source = Some(source);
         drop(slot);
         // Old-epoch plans can never be hit again; drop them eagerly.
         self.cache.lock().unwrap().clear();
@@ -182,6 +296,25 @@ impl Planner {
         self.stats.lock().unwrap().stats.clone()
     }
 
+    /// The current statistics epoch (0 = never refreshed). Every refresh
+    /// bumps it; plans are cached per epoch.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats.lock().unwrap().epoch
+    }
+
+    /// How the current statistics snapshot was obtained.
+    pub fn stats_source(&self) -> Option<StatsSource> {
+        self.stats.lock().unwrap().source
+    }
+
+    /// Relative node/edge-count drift of `g` against the current
+    /// snapshot; `None` without a snapshot. This is the same measure
+    /// [`Planner::refresh_if_drifted`] gates on (tolerance 10%).
+    pub fn drift(&self, g: &Graph) -> Option<f64> {
+        let slot = self.stats.lock().unwrap();
+        slot.stats.as_ref().map(|s| drift_ratio(s, g))
+    }
+
     /// Patterns actually compiled through this planner.
     pub fn compile_count(&self) -> u64 {
         self.compiles.load(Ordering::Relaxed)
@@ -190,6 +323,24 @@ impl Planner {
     /// Compiles avoided by the plan cache.
     pub fn cache_hit_count(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive re-plans triggered through this planner (a matcher
+    /// observed a frontier blowing past its estimate, aborted, and
+    /// re-planned with patched statistics).
+    pub fn replan_count(&self) -> u64 {
+        self.replans.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a compile that happened outside [`Planner::compiled`] (the
+    /// adaptive re-plan path) so [`Planner::compile_count`] reflects all
+    /// real compilation work.
+    pub(crate) fn note_compile(&self) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Cached-or-fresh compile of `pattern` for `m`'s view and
@@ -203,14 +354,7 @@ impl Planner {
         anchor: Option<usize>,
         touched: &TouchSet,
     ) -> Option<Arc<Compiled>> {
-        let key = PlanKey {
-            fingerprint: pattern.fingerprint(),
-            anchor: anchor.unwrap_or(usize::MAX),
-            labels: m.graph().num_labels(),
-            attr_keys: m.graph().num_attr_keys(),
-            stats_epoch: self.stats.lock().unwrap().epoch,
-            cfg: m.config_bits(),
-        };
+        let key = self.plan_key(m, pattern, anchor);
         if let Some(found) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return found.clone();

@@ -69,6 +69,13 @@ pub trait GraphView {
     /// Whether `id` has any `dir`-oriented incident edge with the given
     /// label (`None` = any label at all).
     fn has_adjacent_edge(&self, id: NodeId, dir: Direction, label: Option<LabelId>) -> bool;
+    /// Downcast to the live mutable [`Graph`] when this view is one —
+    /// the matcher uses it to refresh planner statistics after an
+    /// adaptive re-plan detected a misestimate. Snapshots return `None`
+    /// (their statistics cannot be brought closer to the live truth).
+    fn live_graph(&self) -> Option<&Graph> {
+        None
+    }
 }
 
 impl GraphView for Graph {
@@ -189,6 +196,10 @@ impl GraphView for Graph {
             Direction::Out => check(self, self.out_edges(id), label),
             Direction::In => check(self, self.in_edges(id), label),
         }
+    }
+
+    fn live_graph(&self) -> Option<&Graph> {
+        Some(self)
     }
 }
 

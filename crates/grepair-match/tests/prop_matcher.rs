@@ -361,6 +361,65 @@ proptest! {
         }
     }
 
+    /// Adaptive re-planning never changes results: with deliberately
+    /// stale statistics (snapshot taken before a second graph's worth of
+    /// nodes/edges lands) and a hair-trigger blow-up factor, the
+    /// adaptive matcher — re-plan or not — enumerates exactly the oracle
+    /// match set, and a re-planned `count` agrees with `find_all`.
+    #[test]
+    fn adaptive_replan_preserves_match_sets(
+        rg in graph_strategy(),
+        extra in graph_strategy(),
+        rp in pattern_strategy(),
+    ) {
+        let mut g = build_graph(&rg);
+        let planner = Planner::new();
+        planner.refresh_stats(&g);
+        // Stale-ify: append the second random graph's population without
+        // telling the planner.
+        let base: Vec<NodeId> = g.nodes().collect();
+        let fresh: Vec<NodeId> = extra
+            .labels
+            .iter()
+            .map(|l| g.add_node_named(NODE_LABELS[*l as usize % NODE_LABELS.len()]))
+            .collect();
+        let all: Vec<NodeId> = base.iter().chain(fresh.iter()).copied().collect();
+        for (s, d, l) in &extra.edges {
+            let s = all[*s as usize % all.len()];
+            let d = all[*d as usize % all.len()];
+            g.add_edge_named(s, d, EDGE_LABELS[*l as usize % EDGE_LABELS.len()]).unwrap();
+        }
+        let p = build_pattern(&rp);
+        let cfg = MatchConfig { adaptive_factor: 1.5, ..MatchConfig::default() };
+        let m = Matcher::with_planner(&g, cfg, &planner);
+        let got = node_sets(&m.find_all(&p));
+        let expected = node_sets(&oracle::brute_force_matches(&g, &p));
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(m.count(&p), expected.len());
+        prop_assert!(m.exists(&p) != expected.is_empty());
+    }
+
+    /// Planner statistics adopted from a maintained graph are
+    /// indistinguishable from recomputed ones: identical match sets,
+    /// and the adoption is flagged as such.
+    #[test]
+    fn maintained_stats_adoption_matches_oracle(
+        rg in graph_strategy(),
+        rp in pattern_strategy(),
+    ) {
+        let mut g = build_graph(&rg);
+        g.maintain_stats(true);
+        let planner = Planner::new();
+        prop_assert!(planner.refresh_stats(&g));
+        prop_assert_eq!(planner.stats_source(), Some(grepair_match::StatsSource::Maintained));
+        prop_assert_eq!(planner.stats().unwrap().version, g.version());
+        let p = build_pattern(&rp);
+        let m = Matcher::with_planner(&g, MatchConfig::default(), &planner);
+        let got = node_sets(&m.find_all(&p));
+        let expected = node_sets(&oracle::brute_force_matches(&g, &p));
+        prop_assert_eq!(got, expected);
+    }
+
     /// Witness edges are always live, correctly labelled, and connect the
     /// matched endpoints.
     #[test]

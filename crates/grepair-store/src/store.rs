@@ -32,7 +32,7 @@ use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
 use crate::wal::{
     list_segments, read_segment, SegmentWriter, SEGMENT_HEADER_LEN,
 };
-use grepair_core::{AppliedOp, Grr, RepairEngine, RepairReport};
+use grepair_core::{AppliedOp, Grr, Planner, RepairEngine, RepairReport};
 use grepair_graph::{EdgeId, Graph, MergeOutcome, NodeId, Value};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -154,6 +154,11 @@ pub struct DurableGraph {
     config: StoreConfig,
     graph: Graph,
     writer: SegmentWriter,
+    /// Long-lived planning state for [`DurableGraph::repair`]: plans
+    /// compiled in one repair run serve every later run against this
+    /// store, and statistics come free off the graph's write path (the
+    /// store keeps its graph in [`Graph::maintain_stats`] mode).
+    planner: Planner,
     last_seq: u64,
     snapshot_seq: u64,
     bytes_since_snapshot: u64,
@@ -180,11 +185,14 @@ impl DurableGraph {
             return Err(StoreError::AlreadyExists(dir.to_path_buf()));
         }
         let writer = SegmentWriter::create(dir, 1)?;
+        let mut graph = Graph::new();
+        graph.maintain_stats(true);
         Ok(Self {
             dir: dir.to_path_buf(),
             config,
-            graph: Graph::new(),
+            graph,
             writer,
+            planner: Planner::new(),
             last_seq: 0,
             snapshot_seq: 0,
             bytes_since_snapshot: 0,
@@ -196,9 +204,10 @@ impl DurableGraph {
     /// Create a store in `dir` seeded with `graph`, written as the
     /// genesis snapshot (sequence 0) — the fast path for importing an
     /// existing dataset.
-    pub fn create_with(dir: &Path, config: StoreConfig, graph: Graph) -> Result<Self> {
+    pub fn create_with(dir: &Path, config: StoreConfig, mut graph: Graph) -> Result<Self> {
         let mut s = Self::create(dir, config)?;
         write_snapshot(&s.dir, 0, &graph.dump_slots())?;
+        graph.maintain_stats(true);
         s.graph = graph;
         Ok(s)
     }
@@ -322,11 +331,15 @@ impl DurableGraph {
         };
 
         stats.wall = start.elapsed();
+        // Statistics maintenance starts *after* replay (one compute over
+        // the recovered state) so the replay loop itself stays lean.
+        graph.maintain_stats(true);
         Ok(Self {
             dir: dir.to_path_buf(),
             config,
             graph,
             writer,
+            planner: Planner::new(),
             last_seq,
             snapshot_seq: snap_seq,
             bytes_since_snapshot,
@@ -358,6 +371,12 @@ impl DurableGraph {
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's long-lived repair planner (plan-cache and statistics
+    /// introspection; warmed by [`DurableGraph::repair`]).
+    pub fn planner(&self) -> &Planner {
+        &self.planner
     }
 
     /// Highest journaled sequence number.
@@ -580,6 +599,13 @@ impl DurableGraph {
     /// durable; a crash mid-run recovers a prefix of the repair ops — a
     /// consistent graph, never a torn one.
     ///
+    /// Planning is always warm: the store owns a long-lived
+    /// [`Planner`], so plans compiled during one repair serve every
+    /// later repair of this store, and the statistics feeding the cost
+    /// model come free off the graph's write path (the store keeps its
+    /// graph in [`Graph::maintain_stats`] mode). The second and later
+    /// calls report `plan_cache_hits` with zero `pattern_compiles`.
+    ///
     /// If an append fails mid-run the engine may still apply further
     /// repairs in memory before the run winds down; the store is then
     /// [poisoned](StoreError::Poisoned) — it refuses all further
@@ -593,12 +619,13 @@ impl DurableGraph {
             writer,
             dir,
             config,
+            planner,
             last_seq,
             bytes_since_snapshot,
             ..
         } = self;
         let mut io_err: Option<StoreError> = None;
-        let report = engine.repair_with_sink(graph, rules, |op| {
+        let report = engine.repair_with_planner_and_sink(graph, rules, planner, |op| {
             if io_err.is_some() {
                 return;
             }

@@ -202,3 +202,70 @@ fn naive_engine_repairs_are_journaled_identically() {
     assert_eq!(store.graph().dump_slots(), committed);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn replayed_graph_maintains_exact_statistics() {
+    // WAL-replayed graphs must carry write-path–maintained statistics
+    // that exactly equal a full recompute — statistics maintenance and
+    // crash recovery compose.
+    let dir = tmpdir("maintained-stats");
+    {
+        let mut store =
+            DurableGraph::create_with(&dir, StoreConfig::default(), dirty_kg(60)).unwrap();
+        let a = store.add_node("Person").unwrap();
+        let b = store.add_node("City").unwrap();
+        store.add_edge(a, b, "livesIn").unwrap();
+        store
+            .set_attr(a, "age", grepair_graph::Value::Int(30))
+            .unwrap();
+        store.remove_node(b).unwrap();
+        store.commit().unwrap();
+    }
+    let store = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+    assert!(store.last_recovery().records_replayed > 0);
+    let maintained = store
+        .graph()
+        .maintained_stats()
+        .expect("store graphs maintain statistics");
+    assert_eq!(
+        maintained,
+        &grepair_graph::CardinalityStats::compute(store.graph()),
+        "replayed statistics must equal a recompute"
+    );
+    store.graph().check_invariants().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_planner_stays_warm_across_repairs() {
+    // The store's owned planner carries compiled plans across repair
+    // runs: the second run must plan entirely from cache.
+    let dir = tmpdir("warm-planner");
+    let rules: RuleSet = gold_kg_rules();
+    let engine = RepairEngine::new(EngineConfig::default());
+    let mut store =
+        DurableGraph::create_with(&dir, StoreConfig::default(), dirty_kg(80)).unwrap();
+    let r1 = store.repair(&engine, &rules.rules).unwrap();
+    assert!(r1.converged);
+    assert!(r1.repairs_applied > 0);
+    assert!(r1.pattern_compiles > 0, "cold planner compiles on run 1");
+
+    let r2 = store.repair(&engine, &rules.rules).unwrap();
+    assert!(r2.converged);
+    assert_eq!(r2.repairs_applied, 0, "fixpoint is stable");
+    assert_eq!(
+        r2.pattern_compiles, 0,
+        "run 2 must be served from the warmed plan cache (hits: {})",
+        r2.plan_cache_hits
+    );
+    assert!(r2.plan_cache_hits > 0);
+
+    // The warm planner survives store reopen only as far as the store
+    // object lives — a fresh open starts cold but must behave the same.
+    drop(store);
+    let mut store = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+    let r3 = store.repair(&engine, &rules.rules).unwrap();
+    assert!(r3.converged);
+    assert_eq!(r3.repairs_applied, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
