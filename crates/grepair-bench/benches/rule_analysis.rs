@@ -1,0 +1,118 @@
+//! Rule-analysis bench: what static analysis costs and what stratified
+//! scheduling buys.
+//!
+//! Two measurements:
+//!
+//! 1. **Lint/analysis latency vs rule-set size** — the full lint pass
+//!    (trigger graph, conflicts, implications, effectiveness,
+//!    satisfiability, hygiene) over the gold catalog plus 10–80
+//!    synthetic rules, the same sizes the F4 `scale_rules` sweep uses.
+//!    Linting is a pre-flight step, so its cost must stay far below a
+//!    repair run's.
+//! 2. **Stratified vs worklist scheduling** on a cascade chain whose
+//!    trigger graph is acyclic — the exact shape the analysis proves
+//!    terminating. Both engines must reach the identical fixpoint
+//!    before any number is reported; the speedup ratio lands in the
+//!    `metrics{}` map.
+//!
+//! Set `GREPAIR_BENCH_SMOKE=1` for a small configuration (CI smoke);
+//! smoke mode also writes `BENCH_rule_analysis.json` at the repo root.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use grepair_bench::cascade_rules_dsl;
+use grepair_core::{
+    lint_rules, parse_rules, set_fingerprint, stratify, trigger_graph, EngineConfig, LintPolicy,
+    RepairEngine,
+};
+use grepair_gen::{gold_kg_rules, synthetic_rules};
+use grepair_graph::{Graph, Value};
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn bench_lint_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_analysis");
+    group.sample_size(if smoke() { 10 } else { 30 });
+    for n in [10usize, 20, 40, 80] {
+        let mut rules = gold_kg_rules().rules;
+        rules.extend(synthetic_rules(n).rules);
+        // No spans: the fixture is synthetic, findings just carry rule
+        // names. Span lookup is O(rules) either way.
+        group.bench_with_input(BenchmarkId::new("lint", n + 10), &rules, |b, rules| {
+            b.iter(|| lint_rules(rules, &[], &LintPolicy::default()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule", n + 10),
+            &rules,
+            |b, rules| b.iter(|| (set_fingerprint(rules), stratify(&trigger_graph(rules)))),
+        );
+    }
+    group.finish();
+}
+
+/// Cascade fixture: `nodes` T-nodes carrying `a0`, repaired through a
+/// `stages`-deep attribute chain — `stages * nodes` repairs either way.
+fn cascade_fixture(stages: usize, nodes: usize) -> (Vec<grepair_core::Grr>, Graph) {
+    let rules = parse_rules(&cascade_rules_dsl(stages)).expect("cascade DSL parses");
+    let mut g = Graph::new();
+    let a0 = g.attr_key("a0");
+    let t = g.label("T");
+    for _ in 0..nodes {
+        let n = g.add_node(t);
+        g.set_attr(n, a0, Value::Bool(true)).unwrap();
+    }
+    (rules, g)
+}
+
+fn stratified_speedup_summary() {
+    let (stages, nodes) = if smoke() { (6, 400) } else { (10, 2_000) };
+    let (rules, base) = cascade_fixture(stages, nodes);
+
+    // Warm the schedule cache so the measurement below is scheduling
+    // cost, not one-off analysis cost (the engine caches per
+    // fingerprint, exactly as production runs do).
+    let mut warm = base.clone();
+    let strat_report = RepairEngine::default().repair(&mut warm, &rules);
+    assert_eq!(strat_report.strata, stages, "cascade must stratify");
+    assert!(strat_report.converged);
+    assert_eq!(strat_report.repairs_applied, stages * nodes);
+
+    let samples = if smoke() { 3 } else { 10 };
+    let mut strat_doc = None;
+    let strat_t = criterion::median_time(samples, || {
+        let mut g = base.clone();
+        RepairEngine::default().repair(&mut g, &rules);
+        strat_doc = Some(g.to_doc());
+    });
+    let mut work_doc = None;
+    let work_t = criterion::median_time(samples, || {
+        let mut g = base.clone();
+        RepairEngine::new(EngineConfig {
+            stratify: false,
+            ..EngineConfig::default()
+        })
+        .repair(&mut g, &rules);
+        work_doc = Some(g.to_doc());
+    });
+    assert_eq!(strat_doc, work_doc, "schedulers must agree before timing counts");
+
+    let speedup = work_t.as_secs_f64() / strat_t.as_secs_f64().max(1e-12);
+    println!(
+        "cascade {stages}x{nodes}: stratified {:?}, worklist {:?} ({speedup:.2}x)",
+        strat_t, work_t
+    );
+    criterion::record_metric("cascade_stages", stages as f64);
+    criterion::record_metric("cascade_nodes", nodes as f64);
+    criterion::record_metric("stratified_ns", strat_t.as_nanos() as f64);
+    criterion::record_metric("worklist_ns", work_t.as_nanos() as f64);
+    criterion::record_metric("stratified_speedup", speedup);
+}
+
+criterion_group!(benches, bench_lint_scaling);
+
+fn main() {
+    benches();
+    stratified_speedup_summary();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
+}

@@ -6,6 +6,8 @@
 //! Shared fixtures for the benches live here so every bench measures the
 //! same workloads the experiment harness reports on.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -19,11 +19,14 @@
 //! All file outputs are written atomically (temp file + rename), so an
 //! interrupted command never leaves a truncated graph on disk.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use grepair_core::{
-    analyze, parse_rules, rule_to_dsl, EngineConfig, Planner, RepairEngine, RuleSet,
+    analyze, lint_rules, parse_rules_with_spans, rule_to_dsl, EngineConfig,
+    LintCode, LintPolicy, Planner, RepairEngine, RuleSet, RuleSpan, Severity,
 };
 use grepair_gen::{
     generate_kg, generate_social, inject_kg_noise, KgConfig, NoiseConfig, SocialConfig,
@@ -72,7 +75,7 @@ impl Args {
     /// Parse a raw token list. Tokens starting with `--` take the next
     /// token as value unless they are known boolean switches.
     pub fn parse(tokens: &[String]) -> Self {
-        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel", "--frozen"];
+        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel", "--frozen", "--lint"];
         let mut out = Args::default();
         let mut i = 0;
         while i < tokens.len() {
@@ -203,16 +206,71 @@ fn save_graph(g: &Graph, path: &str) -> Result<(), CliError> {
 }
 
 fn load_rules(path: &str) -> Result<RuleSet, CliError> {
+    load_rules_spanned(path).map(|(rules, _)| rules)
+}
+
+/// Load rules plus source spans. `.grr` text carries rule positions for
+/// lint diagnostics; `.json` rule sets have none.
+fn load_rules_spanned(path: &str) -> Result<(RuleSet, Vec<RuleSpan>), CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
     if path.ends_with(".json") {
-        RuleSet::from_json(&text).map_err(|e| CliError::io(format!("bad rule json: {e}")))
-    } else {
         let rules =
-            parse_rules(&text).map_err(|e| CliError::io(format!("bad rule DSL: {e}")))?;
-        RuleSet::new(path.to_owned(), rules)
-            .map_err(|e| CliError::io(format!("invalid rule set: {e}")))
+            RuleSet::from_json(&text).map_err(|e| CliError::io(format!("bad rule json: {e}")))?;
+        Ok((rules, Vec::new()))
+    } else {
+        let (rules, spans) =
+            parse_rules_with_spans(&text).map_err(|e| CliError::io(format!("bad rule DSL: {e}")))?;
+        let set = RuleSet::new(path.to_owned(), rules)
+            .map_err(|e| CliError::io(format!("invalid rule set: {e}")))?;
+        Ok((set, spans))
     }
+}
+
+/// Build a [`LintPolicy`] from `--deny CODE` / `--warn CODE` /
+/// `--allow CODE` flags, applied in command-line order (last wins).
+fn lint_policy(args: &Args) -> Result<LintPolicy, CliError> {
+    let mut policy = LintPolicy::default();
+    for (name, value) in &args.flags {
+        let severity = match name.as_str() {
+            "deny" => Severity::Deny,
+            "warn" => Severity::Warn,
+            "allow" => Severity::Allow,
+            _ => continue,
+        };
+        let code = LintCode::parse(value).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown lint code {value:?} (expected GR001..GR007 or a lint name)"
+            ))
+        })?;
+        policy.set(code, severity);
+    }
+    Ok(policy)
+}
+
+/// `--lint` pre-flight for check/repair/watch: refuse deny-level rule
+/// sets before touching the graph.
+fn lint_preflight(
+    cmd: &str,
+    origin: &str,
+    rules: &RuleSet,
+    spans: &[RuleSpan],
+    args: &Args,
+) -> Result<(), CliError> {
+    if !args.has("lint") {
+        return Ok(());
+    }
+    let report = lint_rules(&rules.rules, spans, &lint_policy(args)?);
+    if report.has_denials() {
+        return Err(CliError {
+            message: format!(
+                "{cmd}: refusing deny-level rule set (pass --allow CODE to override)\n\n{}",
+                report.render_text(origin)
+            ),
+            code: 3,
+        });
+    }
+    Ok(())
 }
 
 /// Top-level usage text.
@@ -229,6 +287,7 @@ commands:
   repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
   repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R]
   watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N]
+  lint          -r RULES [--format json] [--deny CODE] [--warn CODE] [--allow CODE]
   analyze       -r RULES
   mine          -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
   fmt           -r RULES
@@ -241,6 +300,14 @@ Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
 .grr DSL or .json. --frozen runs full scans over a compacted CSR snapshot
 of the graph (faster on large graphs, identical results; --naive enables
 it by default).
+
+`lint` runs the static rule-set analyses as stable diagnostics
+(GR001..GR007: termination, consistency, effectiveness, implication,
+satisfiability, unused variables, value-kind mismatches). Deny-level
+findings exit with code 3; --deny/--warn/--allow override per-code
+severities (last flag wins), --format json emits machine output.
+check/repair/watch accept --lint to run the same pre-flight and refuse
+deny-level rule sets before touching the graph.
 
 `explain` prints, per rule, the join plan the cost-based planner chooses
 against the given graph's cardinality statistics: variable order, the
@@ -275,6 +342,7 @@ pub fn dispatch(tokens: &[String]) -> CliResult {
         "explain" => cmd_explain(rest),
         "repair" => cmd_repair(rest),
         "watch" => cmd_watch(rest),
+        "lint" => cmd_lint(rest),
         "analyze" => cmd_analyze(rest),
         "mine" => cmd_mine(rest),
         "fmt" => cmd_fmt(rest),
@@ -389,10 +457,12 @@ fn recovery_summary(store: &DurableGraph) -> String {
 
 fn cmd_check(tokens: &[String]) -> CliResult {
     let args = Args::parse(tokens);
-    let rules = load_rules(
-        args.get(&["r", "rules"])
-            .ok_or_else(|| CliError::usage("check: missing -r RULES"))?,
-    )?;
+    let rules_path = args
+        .get(&["r", "rules"])
+        .ok_or_else(|| CliError::usage("check: missing -r RULES"))?
+        .to_owned();
+    let (rules, spans) = load_rules_spanned(&rules_path)?;
+    lint_preflight("check", &rules_path, &rules, &spans, &args)?;
     let mut header = String::new();
     let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
         (Some(path), None) => load_graph(path)?,
@@ -510,10 +580,12 @@ fn cmd_explain(tokens: &[String]) -> CliResult {
 
 fn cmd_watch(tokens: &[String]) -> CliResult {
     let args = Args::parse(tokens);
-    let rules = load_rules(
-        args.get(&["r", "rules"])
-            .ok_or_else(|| CliError::usage("watch: missing -r RULES"))?,
-    )?;
+    let rules_path = args
+        .get(&["r", "rules"])
+        .ok_or_else(|| CliError::usage("watch: missing -r RULES"))?
+        .to_owned();
+    let (rules, spans) = load_rules_spanned(&rules_path)?;
+    lint_preflight("watch", &rules_path, &rules, &spans, &args)?;
     let runs = args.get_usize(&["runs"], 2)?.max(1);
     let engine = RepairEngine::new(EngineConfig::default());
     let mut out = String::new();
@@ -572,10 +644,12 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
 
 fn cmd_repair(tokens: &[String]) -> CliResult {
     let args = Args::parse(tokens);
-    let rules = load_rules(
-        args.get(&["r", "rules"])
-            .ok_or_else(|| CliError::usage("repair: missing -r RULES"))?,
-    )?;
+    let rules_path = args
+        .get(&["r", "rules"])
+        .ok_or_else(|| CliError::usage("repair: missing -r RULES"))?
+        .to_owned();
+    let (rules, spans) = load_rules_spanned(&rules_path)?;
+    lint_preflight("repair", &rules_path, &rules, &spans, &args)?;
     let mut config = if args.has("naive") {
         EngineConfig::naive_with_indexes()
     } else {
@@ -703,6 +777,34 @@ fn cmd_store(tokens: &[String]) -> CliResult {
         }
         other => Err(CliError::usage(format!("store: unknown subcommand {other:?}"))),
     }
+}
+
+fn cmd_lint(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    let rules_path = args
+        .get(&["r", "rules"])
+        .ok_or_else(|| CliError::usage("lint: missing -r RULES"))?
+        .to_owned();
+    let (rules, spans) = load_rules_spanned(&rules_path)?;
+    let report = lint_rules(&rules.rules, &spans, &lint_policy(&args)?);
+    let rendered = match args.get(&["format"]) {
+        None | Some("text") => report.render_text(&rules_path),
+        Some("json") => report.to_json(),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "lint: unknown format {other:?} (expected 'text' or 'json')"
+            )))
+        }
+    };
+    if report.has_denials() {
+        // Deny-level findings fail the lint: the report goes to stderr
+        // with a distinct exit code so CI can gate on it.
+        return Err(CliError {
+            message: rendered,
+            code: 3,
+        });
+    }
+    Ok(rendered)
 }
 
 fn cmd_analyze(tokens: &[String]) -> CliResult {
@@ -1268,5 +1370,143 @@ mod tests {
     fn bad_files_are_io_errors() {
         let err = dispatch(&toks(&["stats", "/nonexistent/graph.json"])).unwrap_err();
         assert_eq!(err.code, 1);
+    }
+
+    /// A rule set tripping GR003 (deny by default): the repair never
+    /// removes its own match.
+    const NOOP_GRR: &str = "rule noop [conflict]
+match (x:P)-[r]->(y:P)
+repair set x.seen = true
+";
+
+    #[test]
+    fn lint_subcommand_text_json_and_policy() {
+        let dir = tmpdir();
+        let bad = dir.join("bad.grr");
+        std::fs::write(&bad, NOOP_GRR).unwrap();
+
+        // Deny-level finding: exit code 3, rustc-style rendering.
+        let err = dispatch(&toks(&["lint", "-r", bad.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("error[GR003]"), "{}", err.message);
+        assert!(err.message.contains("rule `noop`"), "{}", err.message);
+        assert!(err.message.contains("bad.grr:1:1"), "{}", err.message);
+
+        // Machine output carries the same verdict.
+        let err = dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(), "--format", "json",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("\"code\": \"GR003\""), "{}", err.message);
+        assert!(err.message.contains("\"severity\": \"deny\""), "{}", err.message);
+
+        // --allow downgrades; lint exits cleanly. Both the code and the
+        // lint name are accepted.
+        let out = dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(), "--allow", "GR003",
+        ]))
+        .unwrap();
+        assert!(!out.contains("error[GR003]"), "{out}");
+        dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(), "--allow", "ineffective-rule",
+        ]))
+        .unwrap();
+        // Last flag wins: allow-then-deny still denies.
+        let err = dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(),
+            "--allow", "GR003", "--deny", "GR003",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+
+        // --deny escalates a default-warn lint.
+        let loose = dir.join("loose.grr");
+        std::fs::write(
+            &loose,
+            "rule loose [conflict]\nmatch (x:P)-[r]->(y:P), (z:Q)\nrepair delete edge (x)-[r]->(y)\n",
+        )
+        .unwrap();
+        dispatch(&toks(&["lint", "-r", loose.to_str().unwrap()])).unwrap();
+        let err = dispatch(&toks(&[
+            "lint", "-r", loose.to_str().unwrap(), "--deny", "GR006",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("error[GR006]"), "{}", err.message);
+
+        // Unknown codes and formats are usage errors.
+        let err = dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(), "--deny", "GR999",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        let err = dispatch(&toks(&[
+            "lint", "-r", bad.to_str().unwrap(), "--format", "yaml",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(dispatch(&toks(&["lint"])).is_err());
+
+        // The gold catalog lints clean at deny level.
+        let gold = dir.join("gold.grr");
+        std::fs::write(&gold, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        let out = dispatch(&toks(&["lint", "-r", gold.to_str().unwrap()])).unwrap();
+        assert!(!out.contains("error["), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_preflight_refuses_deny_level_rule_sets() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-lint.json");
+        let bad = dir.join("bad-preflight.grr");
+        let gold = dir.join("gold-preflight.grr");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "100", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&bad, NOOP_GRR).unwrap();
+        std::fs::write(&gold, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+
+        // check/repair with --lint refuse the deny-level set before
+        // touching the graph.
+        let err = dispatch(&toks(&[
+            "check", "--lint", "-r", bad.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+        assert!(err.message.contains("refusing deny-level rule set"), "{}", err.message);
+        assert!(err.message.contains("error[GR003]"), "{}", err.message);
+        let err = dispatch(&toks(&[
+            "repair", "--lint", "-r", bad.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3);
+
+        // An --allow override lets the run proceed.
+        let out = dispatch(&toks(&[
+            "check", "--lint", "--allow", "GR003",
+            "-r", bad.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("TOTAL"), "{out}");
+
+        // Clean sets pass the pre-flight untouched.
+        let out = dispatch(&toks(&[
+            "check", "--lint", "-r", gold.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("TOTAL"), "{out}");
+        // Without --lint the deny-level set still runs (opt-in gate).
+        let out = dispatch(&toks(&[
+            "check", "-r", bad.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("TOTAL"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

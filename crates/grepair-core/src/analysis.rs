@@ -474,6 +474,66 @@ pub fn is_terminating(rules: &[Grr]) -> bool {
     trigger_graph(rules).is_terminating()
 }
 
+/// Topologically stratify an **acyclic** trigger graph: rules grouped by
+/// longest-path level, so every trigger edge points from an earlier
+/// stratum to a strictly later one and no two rules in the same stratum
+/// can enable each other. Running strata in order, each to fixpoint,
+/// therefore never needs to revisit an earlier stratum — the scheduling
+/// consequence of the paper's termination analysis. Returns `None` when
+/// the trigger graph has any cycle (including self-loops).
+pub fn stratify(tg: &TriggerGraph) -> Option<Vec<Vec<usize>>> {
+    let mut indeg = vec![0usize; tg.n];
+    let mut adj = vec![Vec::new(); tg.n];
+    for &(a, b, _) in &tg.edges {
+        if a == b {
+            return None;
+        }
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut level = vec![0usize; tg.n];
+    let mut queue: Vec<usize> = (0..tg.n).filter(|&i| indeg[i] == 0).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let lu = level[u];
+        for &v in &adj[u] {
+            level[v] = level[v].max(lu + 1);
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    if head != tg.n {
+        return None; // a cycle kept some rule's in-degree positive
+    }
+    let depth = level.iter().copied().max().map_or(0, |m| m + 1);
+    let mut strata = vec![Vec::new(); depth];
+    for (i, &l) in level.iter().enumerate() {
+        strata[l].push(i);
+    }
+    Some(strata)
+}
+
+/// Fingerprint of a rule set covering everything scheduling depends on:
+/// pattern structure, actions, and priorities. The engine's stratified
+/// scheduler and the lint layer key their analysis caches on it.
+pub fn set_fingerprint(rules: &[Grr]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = rustc_hash::FxHasher::default();
+    rules.len().hash(&mut h);
+    for r in rules {
+        r.pattern.fingerprint().hash(&mut h);
+        r.priority.hash(&mut h);
+        // Actions have no Hash impl; their Debug form is deterministic
+        // and covers every field the trigger graph reads.
+        format!("{:?}", r.actions).hash(&mut h);
+    }
+    h.finish()
+}
+
 fn tarjan_sccs(n: usize, adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     struct St<'a> {
         adj: &'a [Vec<usize>],
@@ -1158,6 +1218,80 @@ mod tests {
         let tg = trigger_graph(std::slice::from_ref(&r));
         assert!(!tg.is_terminating());
         assert_eq!(tg.cycles(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn stratify_levels_a_chain() {
+        // stage0 enables stage1 enables stage2: three singleton strata in
+        // topological order; an unrelated rule lands in stratum 0.
+        let mut rules: Vec<Grr> = (0..3)
+            .map(|i| {
+                parse_rule(&format!(
+                    "rule stage{i} [incompleteness]
+                     match (x:T) where has(x.a{i}), missing(x.a{})
+                     repair set x.a{} = true",
+                    i + 1,
+                    i + 1
+                ))
+                .unwrap()
+            })
+            .collect();
+        rules.push(
+            parse_rule(
+                "rule unrelated [conflict]
+                 match (x:Q)-[rel]->(y:Q)
+                 repair delete edge (x)-[rel]->(y)",
+            )
+            .unwrap(),
+        );
+        let strata = stratify(&trigger_graph(&rules)).expect("chain is acyclic");
+        assert_eq!(strata, vec![vec![0, 3], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn stratify_declines_cycles_and_self_loops() {
+        let r1 = parse_rule(
+            "rule mk_edge [incompleteness]
+             match (x:A) where not (x)-[r]->(*)
+             repair insert node (y:B); insert edge (x)-[r]->(y)",
+        )
+        .unwrap();
+        let r2 = parse_rule(
+            "rule use_edge [conflict]
+             match (x:A)-[r]->(y:B)
+             repair delete edge (x)-[r]->(y)",
+        )
+        .unwrap();
+        assert_eq!(stratify(&trigger_graph(&[r1, r2])), None);
+
+        let grow = parse_rule(
+            "rule grow [incompleteness]
+             match (x:A)-[r]->(y:A)
+             repair insert node (z:A); insert edge (y)-[r]->(z)",
+        )
+        .unwrap();
+        assert_eq!(stratify(&trigger_graph(std::slice::from_ref(&grow))), None);
+
+        // Empty sets stratify trivially.
+        assert_eq!(stratify(&trigger_graph(&[])), Some(vec![]));
+    }
+
+    #[test]
+    fn set_fingerprint_tracks_scheduling_inputs() {
+        let a = parse_rule(
+            "rule a [conflict] match (x:A)-[p]->(y:A) repair delete edge (x)-[p]->(y)",
+        )
+        .unwrap();
+        let b = parse_rule(
+            "rule b [conflict] match (x:B)-[q]->(y:B) repair delete edge (x)-[q]->(y)",
+        )
+        .unwrap();
+        let fp = set_fingerprint(&[a.clone(), b.clone()]);
+        assert_eq!(fp, set_fingerprint(&[a.clone(), b.clone()]), "deterministic");
+        assert_ne!(fp, set_fingerprint(&[b.clone(), a.clone()]), "order matters");
+        assert_ne!(fp, set_fingerprint(std::slice::from_ref(&a)));
+        let a_pri = a.clone().with_priority(7);
+        assert_ne!(fp, set_fingerprint(&[a_pri, b]));
     }
 
     #[test]

@@ -63,15 +63,49 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Source span of one rule definition: 1-based, inclusive line/column
+/// range from the `rule` keyword to the last token of the final repair
+/// action. Produced by [`parse_rules_with_spans`] so diagnostics (lints,
+/// rule-validation errors) can point at the offending definition rather
+/// than just the file.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RuleSpan {
+    /// Name of the rule this span covers.
+    pub name: String,
+    /// Line of the `rule` keyword.
+    pub start_line: usize,
+    /// Column of the `rule` keyword.
+    pub start_col: usize,
+    /// Line of the rule's last token.
+    pub end_line: usize,
+    /// Column of the rule's last token.
+    pub end_col: usize,
+}
+
+impl fmt::Display for RuleSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.start_line, self.start_col)
+    }
+}
+
 /// Parse a whole rules file (zero or more rules).
 pub fn parse_rules(src: &str) -> Result<Vec<Grr>, ParseError> {
+    parse_rules_with_spans(src).map(|(rules, _)| rules)
+}
+
+/// Parse a whole rules file, also returning one [`RuleSpan`] per rule
+/// (same order as the rules).
+pub fn parse_rules_with_spans(src: &str) -> Result<(Vec<Grr>, Vec<RuleSpan>), ParseError> {
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut rules = Vec::new();
+    let mut spans = Vec::new();
     while !p.at_end() {
-        rules.push(p.rule()?);
+        let (rule, span) = p.rule()?;
+        rules.push(rule);
+        spans.push(span);
     }
-    Ok(rules)
+    Ok((rules, spans))
 }
 
 /// Parse exactly one rule.
@@ -122,19 +156,24 @@ enum Tok {
 struct Sp {
     tok: Tok,
     line: usize,
+    col: usize,
 }
 
 fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
     let mut out = Vec::new();
     let mut line = 1usize;
+    let mut line_start = 0usize;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0usize;
     let err = |line: usize, msg: String| ParseError { line, message: msg };
     while i < bytes.len() {
         let c = bytes[i];
+        // 1-based column (in chars) of the token starting here.
+        let col = i - line_start + 1;
         match c {
             '\n' => {
                 line += 1;
+                line_start = i + 1;
                 i += 1;
             }
             ' ' | '\t' | '\r' => i += 1,
@@ -144,62 +183,62 @@ fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
                 }
             }
             '(' => {
-                out.push(Sp { tok: Tok::LParen, line });
+                out.push(Sp { tok: Tok::LParen, line, col });
                 i += 1;
             }
             ')' => {
-                out.push(Sp { tok: Tok::RParen, line });
+                out.push(Sp { tok: Tok::RParen, line, col });
                 i += 1;
             }
             '[' => {
-                out.push(Sp { tok: Tok::LBrack, line });
+                out.push(Sp { tok: Tok::LBrack, line, col });
                 i += 1;
             }
             ']' => {
                 // "]->" closes an edge.
                 if bytes.get(i + 1) == Some(&'-') && bytes.get(i + 2) == Some(&'>') {
-                    out.push(Sp { tok: Tok::EdgeClose, line });
+                    out.push(Sp { tok: Tok::EdgeClose, line, col });
                     i += 3;
                 } else {
-                    out.push(Sp { tok: Tok::RBrack, line });
+                    out.push(Sp { tok: Tok::RBrack, line, col });
                     i += 1;
                 }
             }
             '{' => {
-                out.push(Sp { tok: Tok::LBrace, line });
+                out.push(Sp { tok: Tok::LBrace, line, col });
                 i += 1;
             }
             '}' => {
-                out.push(Sp { tok: Tok::RBrace, line });
+                out.push(Sp { tok: Tok::RBrace, line, col });
                 i += 1;
             }
             ':' => {
-                out.push(Sp { tok: Tok::Colon, line });
+                out.push(Sp { tok: Tok::Colon, line, col });
                 i += 1;
             }
             ',' => {
-                out.push(Sp { tok: Tok::Comma, line });
+                out.push(Sp { tok: Tok::Comma, line, col });
                 i += 1;
             }
             ';' => {
-                out.push(Sp { tok: Tok::Semi, line });
+                out.push(Sp { tok: Tok::Semi, line, col });
                 i += 1;
             }
             '.' => {
-                out.push(Sp { tok: Tok::Dot, line });
+                out.push(Sp { tok: Tok::Dot, line, col });
                 i += 1;
             }
             '*' => {
-                out.push(Sp { tok: Tok::Star, line });
+                out.push(Sp { tok: Tok::Star, line, col });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&'[') {
-                    out.push(Sp { tok: Tok::EdgeOpen, line });
+                    out.push(Sp { tok: Tok::EdgeOpen, line, col });
                     i += 2;
                 } else if bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     let (tok, ni) = lex_number(&bytes, i, line)?;
-                    out.push(Sp { tok, line });
+                    out.push(Sp { tok, line, col });
                     i = ni;
                 } else {
                     return Err(err(line, "stray '-' (expected '-[' or a number)".into()));
@@ -207,16 +246,16 @@ fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Sp { tok: Tok::EqEq, line });
+                    out.push(Sp { tok: Tok::EqEq, line, col });
                     i += 2;
                 } else {
-                    out.push(Sp { tok: Tok::Assign, line });
+                    out.push(Sp { tok: Tok::Assign, line, col });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Sp { tok: Tok::Ne, line });
+                    out.push(Sp { tok: Tok::Ne, line, col });
                     i += 2;
                 } else {
                     return Err(err(line, "stray '!' (expected '!=')".into()));
@@ -224,19 +263,19 @@ fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Sp { tok: Tok::Le, line });
+                    out.push(Sp { tok: Tok::Le, line, col });
                     i += 2;
                 } else {
-                    out.push(Sp { tok: Tok::Lt, line });
+                    out.push(Sp { tok: Tok::Lt, line, col });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    out.push(Sp { tok: Tok::Ge, line });
+                    out.push(Sp { tok: Tok::Ge, line, col });
                     i += 2;
                 } else {
-                    out.push(Sp { tok: Tok::Gt, line });
+                    out.push(Sp { tok: Tok::Gt, line, col });
                     i += 1;
                 }
             }
@@ -273,11 +312,11 @@ fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
                         None => return Err(err(line, "unterminated string".into())),
                     }
                 }
-                out.push(Sp { tok: Tok::Str(s), line });
+                out.push(Sp { tok: Tok::Str(s), line, col });
             }
             c if c.is_ascii_digit() => {
                 let (tok, ni) = lex_number(&bytes, i, line)?;
-                out.push(Sp { tok, line });
+                out.push(Sp { tok, line, col });
                 i = ni;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -289,6 +328,7 @@ fn lex(src: &str) -> Result<Vec<Sp>, ParseError> {
                 out.push(Sp {
                     tok: Tok::Ident(word),
                     line,
+                    col,
                 });
             }
             other => return Err(err(line, format!("unexpected character {other:?}"))),
@@ -463,8 +503,17 @@ impl Parser {
         }
     }
 
+    /// (line, col) of the token at `idx`, for span bookkeeping.
+    fn tok_pos(&self, idx: usize) -> (usize, usize) {
+        self.tokens
+            .get(idx.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| (t.line, t.col))
+            .unwrap_or((1, 1))
+    }
+
     // rule := "rule" NAME [ "[" category "]" ] [ "priority" INT ] match … repair …
-    fn rule(&mut self) -> Result<Grr, ParseError> {
+    fn rule(&mut self) -> Result<(Grr, RuleSpan), ParseError> {
+        let (start_line, start_col) = self.tok_pos(self.pos);
         self.expect_kw("rule")?;
         let name = self.ident("rule name")?;
         let mut category = Category::Conflict;
@@ -536,8 +585,21 @@ impl Parser {
             actions,
             priority,
         };
-        grr.validate().map_err(|e| self.err(e.to_string()))?;
-        Ok(grr)
+        let (end_line, end_col) = self.tok_pos(self.pos.saturating_sub(1));
+        let span = RuleSpan {
+            name: grr.name.clone(),
+            start_line,
+            start_col,
+            end_line,
+            end_col,
+        };
+        // Point validation errors at the rule definition, not at whatever
+        // token the parser happens to sit on after it.
+        grr.validate().map_err(|e| ParseError {
+            line: span.start_line,
+            message: format!("rule {:?}: {e}", grr.name),
+        })?;
+        Ok((grr, span))
     }
 
     // node := "(" VAR [":" LABEL] ")"
@@ -1083,6 +1145,34 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_cover_each_rule() {
+        let src = "rule a [conflict]\nmatch (x:P)-[r]->(y:P)\nrepair delete edge (x)-[r]->(y)\n\n  rule b [redundancy]\n  match (x:P), (y:P)\n  where x.id == y.id\n  repair merge y into x\n";
+        let (rules, spans) = parse_rules_with_spans(src).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "a");
+        assert_eq!((spans[0].start_line, spans[0].start_col), (1, 1));
+        assert_eq!(spans[0].end_line, 3);
+        assert_eq!(spans[1].name, "b");
+        assert_eq!((spans[1].start_line, spans[1].start_col), (5, 3));
+        assert_eq!(spans[1].end_line, 8);
+        assert!(spans[1].end_col > 1);
+        assert_eq!(spans[0].to_string(), "1:1");
+    }
+
+    #[test]
+    fn validate_error_points_at_rule_start() {
+        // `delete node x; set x.a = 1` is a use-after-delete caught by
+        // Grr::validate, not the grammar; the error must name the rule and
+        // point at its definition line.
+        let src = "\n\nrule uad [conflict]\nmatch (x:P)\nrepair delete node x; set x.a = 1\n";
+        let err = parse_rules(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("uad"), "{err}");
+        assert!(err.message.contains("after delete"), "{err}");
     }
 
     #[test]

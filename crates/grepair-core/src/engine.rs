@@ -91,6 +91,15 @@ pub struct EngineConfig {
     pub freeze_scans: bool,
     /// Run a final full scan to count residual violations.
     pub verify_fixpoint: bool,
+    /// Analysis-driven stratified scheduling. When the rule set's trigger
+    /// graph is acyclic ([`crate::analysis::stratify`]), rules are grouped
+    /// into topological strata and each stratum runs to fixpoint in order:
+    /// earlier strata are never revisited, and the churn guard is skipped
+    /// because the acyclic trigger graph *proves* the run terminates. The
+    /// schedule is cached per rule-set fingerprint, so repeated runs over
+    /// the same set skip the analysis. Cyclic sets fall back to the
+    /// configured [`EngineMode`] worklist unchanged.
+    pub stratify: bool,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +114,7 @@ impl Default for EngineConfig {
             parallel: false,
             freeze_scans: false,
             verify_fixpoint: true,
+            stratify: true,
         }
     }
 }
@@ -180,6 +190,12 @@ pub struct RepairReport {
     /// frontier blew past its estimate and the matcher re-planned with
     /// patched statistics).
     pub plan_replans: u64,
+    /// Number of topological strata the run was scheduled into, when the
+    /// trigger graph was acyclic and [`EngineConfig::stratify`] was on.
+    /// `0` means the configured worklist mode ran (stratification off or
+    /// the trigger graph cyclic).
+    #[serde(default)]
+    pub strata: usize,
     /// Wall-clock duration.
     #[serde(skip)]
     pub wall: Duration,
@@ -373,13 +389,27 @@ impl RepairEngine {
             planner.refresh_if_drifted(g);
         }
 
-        match self.config.mode {
-            EngineMode::Naive => {
-                self.run_naive(g, rules, &mut report, max_repairs, &mut sink, planner)
+        // Analysis-driven scheduling: an acyclic trigger graph yields a
+        // topological stratification (cached per rule-set fingerprint)
+        // under which the run provably terminates without churn guards.
+        let schedule = if self.config.stratify {
+            cached_schedule(rules)
+        } else {
+            None
+        };
+        match schedule {
+            Some(strata) => {
+                report.strata = strata.len();
+                self.run_stratified(g, rules, &strata, &mut report, max_repairs, &mut sink, planner)
             }
-            EngineMode::Incremental => {
-                self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, planner)
-            }
+            None => match self.config.mode {
+                EngineMode::Naive => {
+                    self.run_naive(g, rules, &mut report, max_repairs, &mut sink, planner)
+                }
+                EngineMode::Incremental => {
+                    self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, planner)
+                }
+            },
         }
 
         if self.config.verify_fixpoint {
@@ -614,6 +644,91 @@ impl RepairEngine {
         }
     }
 
+    /// Stratified scheduling over an acyclic trigger graph. `strata` is a
+    /// topological leveling from [`crate::analysis::stratify`]: no rule
+    /// can enable a rule in its own or an earlier stratum, so each
+    /// stratum is driven to fixpoint once, in order, and never revisited.
+    /// The churn guard is intentionally absent — acyclicity *proves* that
+    /// every chain of enablements is finite, so the only repeat work is a
+    /// rule re-fixing partially repaired matches of its own pattern
+    /// (e.g. several parallel duplicate edges), which strictly shrinks
+    /// the match set. `max_repairs` stays as a backstop.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratified(
+        &self,
+        g: &mut Graph,
+        rules: &[Grr],
+        strata: &[Vec<usize>],
+        report: &mut RepairReport,
+        max_repairs: usize,
+        sink: &mut dyn FnMut(&AppliedOp),
+        planner: &Planner,
+    ) {
+        let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
+        for stratum in strata {
+            let mut dirty = vec![false; rules.len()];
+            for &ri in stratum {
+                dirty[ri] = true;
+            }
+            loop {
+                report.rounds += 1;
+                if self.wants_stats() {
+                    planner.refresh_if_drifted(g);
+                }
+                for (ri, d) in dirty.iter().enumerate() {
+                    if *d {
+                        report.per_rule[ri].scans += 1;
+                    }
+                }
+                let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
+                if violations.is_empty() {
+                    break;
+                }
+                for v in &violations {
+                    report.per_rule[v.rule].matches_found += 1;
+                }
+                // Cheapest-first within the pass (best-repair arbitration,
+                // identical to the worklist engines).
+                violations.sort_by(|a, b| a.cmp_key().cmp(&b.cmp_key()));
+                let pass_ops_start = report.ops.len();
+                let mut next_dirty = vec![false; rules.len()];
+                let mut applied_any = false;
+                for mut v in violations {
+                    if report.repairs_applied >= max_repairs {
+                        return;
+                    }
+                    if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
+                        continue;
+                    }
+                    if self.apply_one(g, rules, &v, report, sink) {
+                        applied_any = true;
+                    }
+                    if revalidate(g, &rules[v.rule].pattern, &mut v.m) {
+                        next_dirty[v.rule] = true;
+                    }
+                }
+                if !applied_any {
+                    // Only noop repairs remain (ineffective rules): the
+                    // stratum cannot make further progress.
+                    break;
+                }
+                // Within a stratum no rule can label-enable another (that
+                // edge would have forced a later stratum), but the check
+                // keeps the scheduler honest if the approximation drifts.
+                let pass_ops = &report.ops[pass_ops_start..];
+                for &ri in stratum {
+                    if !next_dirty[ri] && ops_can_enable(pass_ops, &preconditions[ri]) {
+                        next_dirty[ri] = true;
+                    }
+                }
+                dirty = next_dirty;
+                if !dirty.iter().any(|&d| d) {
+                    break;
+                }
+            }
+        }
+    }
+
     fn run_incremental(
         &self,
         g: &mut Graph,
@@ -738,6 +853,28 @@ impl RepairEngine {
         report.ops.extend(applied.ops);
         Some(applied.touched)
     }
+}
+
+/// Process-global cache of stratification results keyed by the rule
+/// set's fingerprint ([`crate::analysis::set_fingerprint`]); repeated
+/// runs over the same set — a watch loop, a store's repair hook — skip
+/// the trigger-graph analysis entirely. A cached `None` records "the
+/// trigger graph is cyclic: use the configured worklist".
+fn cached_schedule(rules: &[Grr]) -> Option<std::sync::Arc<Vec<Vec<usize>>>> {
+    use std::sync::{Arc, Mutex, OnceLock};
+    type Cache = Mutex<FxHashMap<u64, Option<Arc<Vec<Vec<usize>>>>>>;
+    static CACHE: OnceLock<Cache> = OnceLock::new();
+    let fp = crate::analysis::set_fingerprint(rules);
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(FxHashMap::default()))
+        .lock()
+        .unwrap();
+    cache
+        .entry(fp)
+        .or_insert_with(|| {
+            crate::analysis::stratify(&crate::analysis::trigger_graph(rules)).map(Arc::new)
+        })
+        .clone()
 }
 
 /// Can any of `ops` enable a new match of a rule with preconditions
@@ -1160,7 +1297,14 @@ mod tests {
         }
         let rules = parse_rules(&src).unwrap();
         let mut g = cascade_graph(20);
-        let report = RepairEngine::new(EngineConfig::naive()).repair(&mut g, &rules);
+        // This test exercises the worklist scheduler specifically; the
+        // cascade's trigger graph is acyclic, so stratification (which
+        // finishes each stage in a single pass) must be disabled.
+        let config = EngineConfig {
+            stratify: false,
+            ..EngineConfig::naive()
+        };
+        let report = RepairEngine::new(config).repair(&mut g, &rules);
         assert!(report.converged);
         assert_eq!(report.repairs_applied, 4 * 20);
         assert!(report.rounds > 1);
@@ -1204,7 +1348,15 @@ mod tests {
         // node/edge counts, so the statistics epoch stays put.
         let rules = parse_rules(&cascade_src(4)).unwrap();
         let mut g = cascade_graph(20);
-        let report = RepairEngine::default().repair(&mut g, &rules);
+        // Pin the incremental worklist: `find_touching`'s per-anchor plan
+        // reuse is exactly what this test measures, and the acyclic
+        // cascade would otherwise run stratified (no per-repair
+        // re-matching at all).
+        let config = EngineConfig {
+            stratify: false,
+            ..EngineConfig::default()
+        };
+        let report = RepairEngine::new(config).repair(&mut g, &rules);
         assert!(report.converged);
         assert_eq!(report.repairs_applied, 80);
         assert!(report.pattern_compiles > 0);
@@ -1258,7 +1410,12 @@ mod tests {
         let rules = parse_rules(&cascade_src(3)).unwrap();
         let mut g = cascade_graph(10);
         g.maintain_stats(true);
-        let engine = RepairEngine::default();
+        // Worklist mode: the hit/compile arithmetic below assumes the
+        // incremental engine's per-anchor plans, not stratified scans.
+        let engine = RepairEngine::new(EngineConfig {
+            stratify: false,
+            ..EngineConfig::default()
+        });
         let planner = Planner::new();
         let r1 = engine.repair_with_planner(&mut g, &rules, &planner);
         assert!(r1.converged);
@@ -1278,6 +1435,105 @@ mod tests {
             "counters must be per-run deltas, not lifetime totals"
         );
         g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stratified_scheduling_used_on_acyclic_sets() {
+        // The attribute cascade's trigger graph is a chain: the default
+        // engine must run it stratified (one stratum per stage) and reach
+        // the same fixpoint as the worklist engines.
+        let rules = parse_rules(&cascade_src(4)).unwrap();
+        let mut g = cascade_graph(20);
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert_eq!(report.strata, 4, "one stratum per cascade stage");
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 80);
+
+        let mut g2 = cascade_graph(20);
+        let worklist = RepairEngine::new(EngineConfig {
+            stratify: false,
+            ..EngineConfig::default()
+        })
+        .repair(&mut g2, &rules);
+        assert_eq!(worklist.strata, 0);
+        assert_eq!(report.repairs_applied, worklist.repairs_applied);
+        assert_eq!(
+            report.violations_remaining,
+            worklist.violations_remaining
+        );
+        assert_eq!(g.to_doc(), g2.to_doc(), "fixpoints must match");
+    }
+
+    #[test]
+    fn stratified_falls_back_on_cyclic_sets() {
+        // The up/down oscillator's trigger graph is a 2-cycle: the
+        // stratified scheduler must decline and the churn-guarded
+        // worklist must run instead.
+        let rules = parse_rules(
+            "rule up [conflict]
+             match (x:P) where x.v == 0
+             repair set x.v = 1
+
+             rule down [conflict]
+             match (x:P) where x.v == 1
+             repair set x.v = 0",
+        )
+        .unwrap();
+        let mut g = Graph::new();
+        let v = g.attr_key("v");
+        let n = g.add_node_named("P");
+        g.set_attr(n, v, Value::Int(0)).unwrap();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert_eq!(report.strata, 0, "cyclic sets must use the worklist");
+        assert!(report.repairs_applied > 0);
+    }
+
+    #[test]
+    fn stratified_handles_partial_fixes_without_churn_guard() {
+        // Parallel duplicate edges: each repair deletes one witness and
+        // the match persists until all three are gone. The stratified
+        // path has no churn guard, so this exercises its own
+        // persisting-match rescan loop.
+        let mut g = Graph::new();
+        let a = g.add_node_named("P");
+        let b = g.add_node_named("P");
+        for _ in 0..3 {
+            g.add_edge_named(a, b, "dup").unwrap();
+        }
+        let rules = parse_rules(
+            "rule drop_dup [redundancy]
+             match (x:P)-[dup]->(y:P)
+             repair delete edge (x)-[dup]->(y)",
+        )
+        .unwrap();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert_eq!(report.strata, 1);
+        assert!(report.converged);
+        assert_eq!(report.repairs_applied, 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn stratified_stops_on_ineffective_noop_rules() {
+        // An ineffective rule's match persists after its (first, real)
+        // repair and every later application is a noop: without a churn
+        // guard the stratified loop must still terminate via its
+        // no-progress check.
+        let rules = parse_rules(
+            "rule noop [conflict]
+             match (x:P)-[r]->(y:P)
+             repair set x.seen = true",
+        )
+        .unwrap();
+        let mut g = Graph::new();
+        let a = g.add_node_named("P");
+        let b = g.add_node_named("P");
+        g.add_edge_named(a, b, "r").unwrap();
+        let report = RepairEngine::default().repair(&mut g, &rules);
+        assert_eq!(report.strata, 1);
+        assert_eq!(report.repairs_applied, 1, "the attribute set lands once");
+        assert!(!report.converged, "the match legitimately persists");
+        assert_eq!(report.violations_remaining, 1);
     }
 
     #[test]

@@ -43,6 +43,8 @@
 //! assert_eq!(report.repairs_applied, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -51,6 +53,7 @@ pub mod apply;
 pub mod cost;
 pub mod dsl;
 pub mod engine;
+pub mod lint;
 pub mod watch;
 pub mod printer;
 pub mod rule;
@@ -58,12 +61,13 @@ pub mod ruleset;
 
 pub use analysis::{
     analyze, canonical_instance, check_effectiveness, find_conflicts, find_implications,
-    is_terminating, trigger_graph, AnalysisReport, ConflictKind, Effectiveness, Implication,
-    RuleConflict, TriggerGraph, TriggerReason,
+    is_terminating, set_fingerprint, stratify, trigger_graph, AnalysisReport, ConflictKind,
+    Effectiveness, Implication, RuleConflict, TriggerGraph, TriggerReason,
 };
+pub use lint::{lint_rules, Finding, LintCode, LintPolicy, LintReport, Severity};
 pub use apply::{apply_rule, revalidate, Applied, AppliedOp};
 pub use cost::{estimate_cost, op_cost};
-pub use dsl::{parse_rule, parse_rules, ParseError};
+pub use dsl::{parse_rule, parse_rules, parse_rules_with_spans, ParseError, RuleSpan};
 pub use engine::{EngineConfig, EngineMode, RepairEngine, RepairReport, RuleStats};
 // Re-exported so downstream crates (the store's repair hook, the CLI)
 // can hold a long-lived planner without depending on grepair-match

@@ -1,0 +1,824 @@
+//! Rule-set linting: stable diagnostic codes over the static analyses.
+//!
+//! Each [`LintCode`] packages one of the paper's rule-set quality
+//! properties (termination, consistency, effectiveness, implication) — or
+//! a purely syntactic hygiene check — as a stable, policy-controllable
+//! diagnostic. [`lint_rules`] runs every analysis over a rule set and
+//! returns a [`LintReport`] whose findings carry severities from a
+//! [`LintPolicy`], source spans threaded from the `.grr` parser, and both
+//! rustc-style text and JSON renderings.
+//!
+//! ```
+//! use grepair_core::lint::{lint_rules, LintPolicy};
+//! use grepair_core::parse_rules_with_spans;
+//!
+//! let (rules, spans) = parse_rules_with_spans(
+//!     "rule noop [conflict]
+//!      match (x:P)-[r]->(y:P)
+//!      repair set x.seen = true",
+//! )
+//! .unwrap();
+//! let report = lint_rules(&rules, &spans, &LintPolicy::default());
+//! // `noop` never removes its own match: GR003 ineffective-rule.
+//! assert!(report.findings.iter().any(|f| f.code.code() == "GR003"));
+//! ```
+
+use crate::analysis::{
+    check_effectiveness, find_conflicts, find_implications, trigger_graph, Effectiveness,
+};
+use crate::dsl::RuleSpan;
+use crate::rule::{Action, Grr, ValueSource};
+use grepair_match::{unsatisfiable, CmpOp, Constraint, Rhs, Var};
+use grepair_graph::Value;
+use std::fmt;
+use std::time::Instant;
+
+/// Stable lint diagnostic codes. The numeric part never changes meaning;
+/// policies reference codes (`GR003`) or names (`ineffective-rule`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LintCode {
+    /// **GR001 `non-terminating-cycle`** — rules that may enable each
+    /// other (or themselves) forever. Approximates the paper's
+    /// *termination* property: a cycle in the label-level trigger graph
+    /// means the sufficient termination condition fails, so a repair run
+    /// over these rules can only be bounded by runtime churn guards.
+    NonTerminatingCycle,
+    /// **GR002 `conflicting-repairs`** — two rules whose repairs can
+    /// contradict each other on overlapping matches (set the same
+    /// attribute to different constants, relabel the same node/edge
+    /// differently, delete what the other uses). Approximates the paper's
+    /// *consistency* property for rule sets.
+    ConflictingRepairs,
+    /// **GR003 `ineffective-rule`** — a rule whose repair does not
+    /// eliminate the violation it matches: applied to its own canonical
+    /// violation instance, the pattern still matches. This is the paper's
+    /// *effectiveness* check, decided exactly when a canonical instance
+    /// can be materialised.
+    IneffectiveRule,
+    /// **GR004 `subsumed-rule`** — a rule implied by another: wherever it
+    /// fires, the subsuming rule fires with an identical repair, so the
+    /// rule is dead weight. Approximates the paper's *implication*
+    /// analysis via injective pattern embedding.
+    SubsumedRule,
+    /// **GR005 `unsatisfiable-pattern`** — the matching half denotes the
+    /// empty set: a required edge is also forbidden, a compared attribute
+    /// is also required missing, or constant comparisons carve out an
+    /// empty set of values. A sound (never-wrong) proof that the rule can
+    /// never fire on any graph.
+    UnsatisfiablePattern,
+    /// **GR006 `unused-pattern-variable`** — a pattern variable that no
+    /// edge, negative edge, constraint, or repair action references. It
+    /// only multiplies the match count (one match per node with that
+    /// label), inflating repair work without influencing the repair.
+    UnusedPatternVariable,
+    /// **GR007 `action-type-mismatch`** — a repair writes a value whose
+    /// kind (number / string / boolean) contradicts how the rule set's
+    /// patterns compare that attribute. Since the DSL's ordering
+    /// comparisons are type-sensitive, such a repair produces values no
+    /// pattern in the set can ever select again.
+    ActionTypeMismatch,
+}
+
+impl LintCode {
+    /// Every lint code, in numeric order.
+    pub const ALL: [LintCode; 7] = [
+        LintCode::NonTerminatingCycle,
+        LintCode::ConflictingRepairs,
+        LintCode::IneffectiveRule,
+        LintCode::SubsumedRule,
+        LintCode::UnsatisfiablePattern,
+        LintCode::UnusedPatternVariable,
+        LintCode::ActionTypeMismatch,
+    ];
+
+    /// Stable code string, e.g. `"GR003"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::NonTerminatingCycle => "GR001",
+            LintCode::ConflictingRepairs => "GR002",
+            LintCode::IneffectiveRule => "GR003",
+            LintCode::SubsumedRule => "GR004",
+            LintCode::UnsatisfiablePattern => "GR005",
+            LintCode::UnusedPatternVariable => "GR006",
+            LintCode::ActionTypeMismatch => "GR007",
+        }
+    }
+
+    /// Human-readable lint name, e.g. `"ineffective-rule"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::NonTerminatingCycle => "non-terminating-cycle",
+            LintCode::ConflictingRepairs => "conflicting-repairs",
+            LintCode::IneffectiveRule => "ineffective-rule",
+            LintCode::SubsumedRule => "subsumed-rule",
+            LintCode::UnsatisfiablePattern => "unsatisfiable-pattern",
+            LintCode::UnusedPatternVariable => "unused-pattern-variable",
+            LintCode::ActionTypeMismatch => "action-type-mismatch",
+        }
+    }
+
+    /// One-line note tying the code to the rule-set property it
+    /// approximates; rendered under each finding.
+    pub fn summary(self) -> &'static str {
+        match self {
+            LintCode::NonTerminatingCycle => {
+                "termination: the trigger graph has a cycle, so the sufficient \
+                 termination condition fails and churn guards bound the run"
+            }
+            LintCode::ConflictingRepairs => {
+                "consistency: on overlapping matches these repairs contradict \
+                 each other, so the result depends on application order"
+            }
+            LintCode::IneffectiveRule => {
+                "effectiveness: applying the rule to its own canonical \
+                 violation leaves the pattern matching"
+            }
+            LintCode::SubsumedRule => {
+                "implication: another rule fires on every match of this one \
+                 with an identical repair"
+            }
+            LintCode::UnsatisfiablePattern => {
+                "satisfiability: the match clause contradicts itself and \
+                 denotes the empty set on every graph"
+            }
+            LintCode::UnusedPatternVariable => {
+                "hygiene: the variable only multiplies the match count without \
+                 influencing the repair"
+            }
+            LintCode::ActionTypeMismatch => {
+                "typing: the written value kind contradicts how the rule set's \
+                 comparisons use the attribute"
+            }
+        }
+    }
+
+    /// Default severity before policy overrides. Sound proofs of a broken
+    /// rule (GR003, GR005) deny; heuristic or hygiene findings warn.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            LintCode::IneffectiveRule | LintCode::UnsatisfiablePattern => Severity::Deny,
+            _ => Severity::Warn,
+        }
+    }
+
+    /// Parse a code (`GR001`) or name (`non-terminating-cycle`),
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        let s = s.trim();
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.code().eq_ignore_ascii_case(s) || c.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// How seriously a lint finding is taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suppressed: the finding is dropped from the report.
+    Allow,
+    /// Reported, does not fail the lint.
+    Warn,
+    /// Reported and fails the lint (non-zero exit, refused pre-flight).
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        })
+    }
+}
+
+/// Per-code severity overrides layered over
+/// [`LintCode::default_severity`]. Later overrides win, mirroring
+/// command-line flag order.
+#[derive(Clone, Debug, Default)]
+pub struct LintPolicy {
+    overrides: Vec<(LintCode, Severity)>,
+}
+
+impl LintPolicy {
+    /// Override a code's severity (appended; last override wins).
+    pub fn set(&mut self, code: LintCode, severity: Severity) -> &mut Self {
+        self.overrides.push((code, severity));
+        self
+    }
+
+    /// Effective severity of a code under this policy.
+    pub fn severity_of(&self, code: LintCode) -> Severity {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(c, _)| *c == code)
+            .map(|(_, s)| *s)
+            .unwrap_or_else(|| code.default_severity())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// The diagnostic code.
+    pub code: LintCode,
+    /// Severity under the policy the report was produced with.
+    pub severity: Severity,
+    /// Primary rule the finding is attached to.
+    pub rule: String,
+    /// Other rules involved (cycle members, conflicting peer, subsumer).
+    pub related: Vec<String>,
+    /// Human-readable description with a concrete witness.
+    pub message: String,
+    /// Source span of the primary rule, when parsed from `.grr` text.
+    pub span: Option<RuleSpan>,
+}
+
+/// Result of linting a rule set.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// Findings at warn or deny severity (allow-level findings are
+    /// dropped), ordered by code then rule.
+    pub findings: Vec<Finding>,
+    /// Wall-clock time of the lint pass in microseconds.
+    pub micros: u128,
+}
+
+impl LintReport {
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Does any finding deny (fail the lint)?
+    pub fn has_denials(&self) -> bool {
+        self.deny_count() > 0
+    }
+
+    /// Rustc-style text rendering. `origin` names the rule source (file
+    /// path or `<input>`) for the `-->` span lines.
+    pub fn render_text(&self, origin: &str) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let level = match f.severity {
+                Severity::Deny => "error",
+                _ => "warning",
+            };
+            out.push_str(&format!("{level}[{}]: {}\n", f.code.code(), f.message));
+            match &f.span {
+                Some(sp) => out.push_str(&format!(
+                    "  --> {origin}:{}:{} (rule `{}`)\n",
+                    sp.start_line, sp.start_col, f.rule
+                )),
+                None => out.push_str(&format!("  --> {origin} (rule `{}`)\n", f.rule)),
+            }
+            out.push_str(&format!("  = note: {}: {}\n\n", f.code.name(), f.code.summary()));
+        }
+        let (d, w) = (self.deny_count(), self.warn_count());
+        out.push_str(&format!(
+            "lint: {d} error{}, {w} warning{}\n",
+            if d == 1 { "" } else { "s" },
+            if w == 1 { "" } else { "s" },
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (stable schema; see README).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!(
+                "\"code\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \"rule\": \"{}\"",
+                f.code.code(),
+                f.code.name(),
+                f.severity,
+                esc(&f.rule),
+            ));
+            out.push_str(", \"related\": [");
+            for (j, r) in f.related.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\"", esc(r)));
+            }
+            out.push_str("], ");
+            match &f.span {
+                Some(sp) => out.push_str(&format!(
+                    "\"span\": {{\"start_line\": {}, \"start_col\": {}, \
+                     \"end_line\": {}, \"end_col\": {}}}, ",
+                    sp.start_line, sp.start_col, sp.end_line, sp.end_col
+                )),
+                None => out.push_str("\"span\": null, "),
+            }
+            out.push_str(&format!("\"message\": \"{}\"}}", esc(&f.message)));
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"deny\": {},\n  \"warn\": {},\n  \"micros\": {}\n}}\n",
+            self.deny_count(),
+            self.warn_count(),
+            self.micros,
+        ));
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Value kinds for GR007: the DSL's ordering comparisons never hold
+/// across kinds, and `==` across kinds is always false.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Number,
+    Text,
+    Truth,
+}
+
+fn kind_of(v: &Value) -> Kind {
+    match v {
+        Value::Int(_) | Value::Float(_) => Kind::Number,
+        Value::Str(_) => Kind::Text,
+        Value::Bool(_) => Kind::Truth,
+    }
+}
+
+fn kind_name(k: Kind) -> &'static str {
+    match k {
+        Kind::Number => "a number",
+        Kind::Text => "a string",
+        Kind::Truth => "a boolean",
+    }
+}
+
+/// Run every lint over `rules`. `spans` (from
+/// [`crate::parse_rules_with_spans`]) attaches source positions to
+/// findings; pass `&[]` for programmatically built rules. Allow-level
+/// findings are dropped.
+pub fn lint_rules(rules: &[Grr], spans: &[RuleSpan], policy: &LintPolicy) -> LintReport {
+    let start = Instant::now();
+    let span_of = |name: &str| spans.iter().find(|s| s.name == name).cloned();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut push = |code: LintCode, rule: &str, related: Vec<String>, message: String| {
+        let severity = policy.severity_of(code);
+        if severity == Severity::Allow {
+            return;
+        }
+        findings.push(Finding {
+            code,
+            severity,
+            rule: rule.to_string(),
+            related,
+            message,
+            span: span_of(rule),
+        });
+    };
+
+    // GR001: trigger-graph cycles (Tarjan SCCs and self-loops).
+    for cycle in trigger_graph(rules).cycles() {
+        let names: Vec<String> = cycle.iter().map(|&i| rules[i].name.clone()).collect();
+        let message = if names.len() == 1 {
+            format!(
+                "rule `{}` can re-enable itself: its repair may create new \
+                 matches of its own pattern",
+                names[0]
+            )
+        } else {
+            let chain = names
+                .iter()
+                .map(|n| format!("`{n}`"))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            format!("rules {chain} can enable each other in a cycle")
+        };
+        push(
+            LintCode::NonTerminatingCycle,
+            &names[0],
+            names[1..].to_vec(),
+            message,
+        );
+    }
+
+    // GR002: contradictory repairs on overlapping matches.
+    let mut seen_pairs: Vec<(usize, usize, String)> = Vec::new();
+    for c in find_conflicts(rules) {
+        let key = (c.a, c.b, c.kind.to_string());
+        if seen_pairs.contains(&key) {
+            continue;
+        }
+        seen_pairs.push(key);
+        let (a, b) = (&rules[c.a].name, &rules[c.b].name);
+        push(
+            LintCode::ConflictingRepairs,
+            a,
+            vec![b.clone()],
+            format!(
+                "rules `{a}` and `{b}` can prescribe contradictory repairs \
+                 on overlapping matches ({}: {})",
+                c.kind, c.detail
+            ),
+        );
+    }
+
+    // GR003: rules that do not fix what they match.
+    for r in rules {
+        if check_effectiveness(r) == Effectiveness::Ineffective {
+            push(
+                LintCode::IneffectiveRule,
+                &r.name,
+                vec![],
+                format!(
+                    "rule `{}` does not eliminate the violation it matches: \
+                     applied to its own canonical instance, the pattern still \
+                     matches afterwards",
+                    r.name
+                ),
+            );
+        }
+    }
+
+    // GR004: rules subsumed by another rule.
+    for imp in find_implications(rules) {
+        let (red, by) = (&rules[imp.redundant].name, &rules[imp.by].name);
+        push(
+            LintCode::SubsumedRule,
+            red,
+            vec![by.clone()],
+            format!(
+                "rule `{red}` is subsumed by `{by}`: wherever it fires, \
+                 `{by}` fires with an identical repair"
+            ),
+        );
+    }
+
+    // GR005: patterns that can never match (sound proof).
+    for r in rules {
+        if let Some(witness) = unsatisfiable(&r.pattern) {
+            push(
+                LintCode::UnsatisfiablePattern,
+                &r.name,
+                vec![],
+                format!("pattern of rule `{}` can never match: {witness}", r.name),
+            );
+        }
+    }
+
+    // GR006: pattern variables nothing references.
+    for r in rules {
+        let n = r.pattern.num_vars();
+        let mut used = vec![false; n];
+        for e in &r.pattern.edges {
+            used[e.src.index()] = true;
+            used[e.dst.index()] = true;
+        }
+        for e in &r.pattern.neg_edges {
+            used[e.src.index()] = true;
+            used[e.dst.index()] = true;
+        }
+        for c in &r.pattern.constraints {
+            for v in c.vars() {
+                used[v.index()] = true;
+            }
+        }
+        for a in &r.actions {
+            for v in a.vars() {
+                used[v.index()] = true;
+            }
+        }
+        for (i, seen) in used.iter().enumerate() {
+            if *seen {
+                continue;
+            }
+            let v = Var(i as u8);
+            push(
+                LintCode::UnusedPatternVariable,
+                &r.name,
+                vec![],
+                format!(
+                    "variable `{}` in rule `{}` is never constrained, \
+                     connected, or repaired; it multiplies the match count by \
+                     the number of candidate nodes",
+                    r.pattern.var_name(v),
+                    r.name
+                ),
+            );
+        }
+    }
+
+    // GR007: repairs writing a value kind the set's comparisons reject.
+    // Evidence: constant comparisons (excluding `!=`, which holds across
+    // kinds) pin an attribute key to a kind; keys with conflicting
+    // evidence are ambiguous and skipped.
+    let mut evidence: Vec<(&str, Kind, String)> = Vec::new(); // key -> kind, witness
+    let mut ambiguous: Vec<&str> = Vec::new();
+    for r in rules {
+        for c in &r.pattern.constraints {
+            let Constraint::Cmp {
+                var,
+                key,
+                op,
+                rhs: Rhs::Const(v),
+            } = c
+            else {
+                continue;
+            };
+            if *op == CmpOp::Ne {
+                continue;
+            }
+            let kind = kind_of(v);
+            let witness = format!(
+                "rule `{}` compares `{}.{} {} {}`",
+                r.name,
+                r.pattern.var_name(*var),
+                key,
+                op.symbol(),
+                v
+            );
+            match evidence.iter().find(|(k, _, _)| *k == key.as_str()) {
+                Some((_, k, _)) if *k != kind => ambiguous.push(key.as_str()),
+                Some(_) => {}
+                None => evidence.push((key.as_str(), kind, witness)),
+            }
+        }
+    }
+    let kind_for = |key: &str| {
+        if ambiguous.contains(&key) {
+            return None;
+        }
+        evidence
+            .iter()
+            .find(|(k, _, _)| *k == key)
+            .map(|(_, kind, w)| (*kind, w.clone()))
+    };
+    for r in rules {
+        let mut assignments: Vec<(&str, &ValueSource)> = Vec::new();
+        for a in &r.actions {
+            match a {
+                Action::InsertNode { attrs, .. } => {
+                    assignments.extend(attrs.iter().map(|(k, s)| (k.as_str(), s)));
+                }
+                Action::UpdateNode { set_attrs, .. } => {
+                    assignments.extend(set_attrs.iter().map(|(k, s)| (k.as_str(), s)));
+                }
+                _ => {}
+            }
+        }
+        for (key, src) in assignments {
+            let Some((expected, witness)) = kind_for(key) else {
+                continue;
+            };
+            match src {
+                ValueSource::Const(v) if kind_of(v) != expected => {
+                    push(
+                        LintCode::ActionTypeMismatch,
+                        &r.name,
+                        vec![],
+                        format!(
+                            "rule `{}` sets `.{key}` to {} ({v}), but the rule \
+                             set uses `.{key}` as {} ({witness})",
+                            r.name,
+                            kind_name(kind_of(v)),
+                            kind_name(expected),
+                        ),
+                    );
+                }
+                ValueSource::CopyAttr(_, src_key) => {
+                    if let Some((src_kind, src_witness)) = kind_for(src_key) {
+                        if src_kind != expected {
+                            push(
+                                LintCode::ActionTypeMismatch,
+                                &r.name,
+                                vec![],
+                                format!(
+                                    "rule `{}` copies `.{src_key}` ({}; \
+                                     {src_witness}) into `.{key}`, which the \
+                                     rule set uses as {} ({witness})",
+                                    r.name,
+                                    kind_name(src_kind),
+                                    kind_name(expected),
+                                ),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.code, &a.rule).cmp(&(b.code, &b.rule)));
+    LintReport {
+        findings,
+        micros: start.elapsed().as_micros(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_rules_with_spans;
+
+    fn lint_src(src: &str) -> LintReport {
+        let (rules, spans) = parse_rules_with_spans(src).unwrap();
+        lint_rules(&rules, &spans, &LintPolicy::default())
+    }
+
+    fn codes(r: &LintReport) -> Vec<&'static str> {
+        r.findings.iter().map(|f| f.code.code()).collect()
+    }
+
+    #[test]
+    fn code_parse_round_trips() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.code()), Some(c));
+            assert_eq!(LintCode::parse(&c.code().to_lowercase()), Some(c));
+            assert_eq!(LintCode::parse(c.name()), Some(c));
+        }
+        assert_eq!(LintCode::parse("GR099"), None);
+    }
+
+    #[test]
+    fn policy_overrides_win_in_order() {
+        let mut p = LintPolicy::default();
+        assert_eq!(p.severity_of(LintCode::NonTerminatingCycle), Severity::Warn);
+        p.set(LintCode::NonTerminatingCycle, Severity::Deny);
+        p.set(LintCode::NonTerminatingCycle, Severity::Allow);
+        assert_eq!(
+            p.severity_of(LintCode::NonTerminatingCycle),
+            Severity::Allow
+        );
+    }
+
+    #[test]
+    fn gr001_reported_on_cycle() {
+        let r = lint_src(
+            "rule up [conflict]
+             match (x:P) where x.v == 0
+             repair set x.v = 1
+
+             rule down [conflict]
+             match (x:P) where x.v == 1
+             repair set x.v = 0",
+        );
+        assert!(codes(&r).contains(&"GR001"), "{:?}", codes(&r));
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::NonTerminatingCycle)
+            .unwrap();
+        assert_eq!(f.severity, Severity::Warn);
+        assert!(!f.related.is_empty() || f.message.contains("re-enable"));
+    }
+
+    #[test]
+    fn gr003_reported_and_denies() {
+        let r = lint_src(
+            "rule noop [conflict]
+             match (x:P)-[r]->(y:P)
+             repair set x.seen = true",
+        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::IneffectiveRule)
+            .expect("GR003 expected");
+        assert_eq!(f.severity, Severity::Deny);
+        assert!(r.has_denials());
+    }
+
+    #[test]
+    fn gr005_reported_with_span() {
+        let r = lint_src(
+            "rule sane [conflict]
+             match (x:P)-[r]->(y:P)
+             repair delete edge (x)-[r]->(y)
+
+             rule impossible [conflict]
+             match (x:P)-[r]->(y:P) where not (x)-[r]->(y)
+             repair delete node x",
+        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::UnsatisfiablePattern)
+            .expect("GR005 expected");
+        assert_eq!(f.rule, "impossible");
+        assert_eq!(f.span.as_ref().unwrap().start_line, 5);
+    }
+
+    #[test]
+    fn gr006_reported_for_loose_var() {
+        let r = lint_src(
+            "rule loose [conflict]
+             match (x:P)-[r]->(y:P), (z:Q)
+             repair delete edge (x)-[r]->(y)",
+        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::UnusedPatternVariable)
+            .expect("GR006 expected");
+        assert!(f.message.contains("`z`"), "{}", f.message);
+    }
+
+    #[test]
+    fn gr007_reported_for_kind_clash() {
+        let r = lint_src(
+            "rule guard [conflict]
+             match (x:P) where x.age >= 150
+             repair delete node x
+
+             rule fill [incompleteness]
+             match (y:P) where missing(y.age)
+             repair set y.age = \"unknown\"",
+        );
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.code == LintCode::ActionTypeMismatch)
+            .expect("GR007 expected");
+        assert_eq!(f.rule, "fill");
+        assert!(f.message.contains("a string"), "{}", f.message);
+        assert!(f.message.contains("a number"), "{}", f.message);
+    }
+
+    #[test]
+    fn clean_set_is_quiet() {
+        let r = lint_src(
+            "rule add_citizenship [incompleteness]
+             match (x:Person)-[livesIn]->(c:City)-[inCountry]->(k:Country)
+             where not (x)-[citizenOf]->(k)
+             repair insert edge (x)-[citizenOf]->(k)",
+        );
+        assert!(r.findings.is_empty(), "{:?}", codes(&r));
+        assert!(!r.has_denials());
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let r = lint_src(
+            "rule noop [conflict]
+             match (x:P)-[r]->(y:P)
+             repair set x.seen = true",
+        );
+        let text = r.render_text("rules.grr");
+        assert!(text.contains("error[GR003]"), "{text}");
+        assert!(text.contains("--> rules.grr:1:1"), "{text}");
+        assert!(text.contains("= note: ineffective-rule"), "{text}");
+        assert!(text.contains("lint: 1 error"), "{text}");
+
+        let json = r.to_json();
+        assert!(json.contains("\"code\": \"GR003\""), "{json}");
+        assert!(json.contains("\"severity\": \"deny\""), "{json}");
+        assert!(json.contains("\"start_line\": 1"), "{json}");
+        assert!(json.contains("\"deny\": 1"), "{json}");
+    }
+
+    #[test]
+    fn allow_policy_drops_findings() {
+        let (rules, spans) = parse_rules_with_spans(
+            "rule noop [conflict]
+             match (x:P)-[r]->(y:P)
+             repair set x.seen = true",
+        )
+        .unwrap();
+        let mut p = LintPolicy::default();
+        p.set(LintCode::IneffectiveRule, Severity::Allow);
+        let r = lint_rules(&rules, &spans, &p);
+        assert!(!r.findings.iter().any(|f| f.code == LintCode::IneffectiveRule));
+    }
+}

@@ -1,6 +1,6 @@
 //! Rule-set container: a named, validated collection of GRRs.
 
-use crate::dsl::{parse_rules, ParseError};
+use crate::dsl::{parse_rules_with_spans, ParseError, RuleSpan};
 use crate::rule::{Category, Grr, RuleError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -52,11 +52,32 @@ impl RuleSet {
 
     /// Parse a rule set from DSL source.
     pub fn from_dsl(name: impl Into<String>, src: &str) -> Result<Self, ParseError> {
-        let rules = parse_rules(src)?;
-        RuleSet::new(name, rules).map_err(|e| ParseError {
-            line: 1,
-            message: e.to_string(),
-        })
+        RuleSet::from_dsl_with_spans(name, src).map(|(set, _)| set)
+    }
+
+    /// Parse a rule set from DSL source, also returning the source span of
+    /// each rule (same order as `rules`). Set-level validation errors point
+    /// at the offending rule's definition.
+    pub fn from_dsl_with_spans(
+        name: impl Into<String>,
+        src: &str,
+    ) -> Result<(Self, Vec<RuleSpan>), ParseError> {
+        let (rules, spans) = parse_rules_with_spans(src)?;
+        let set = RuleSet::new(name, rules).map_err(|e| {
+            // Locate the rule the error names; for duplicates that is the
+            // *second* definition carrying the name.
+            let offender = match &e {
+                RuleSetError::DuplicateName(n) => {
+                    spans.iter().filter(|s| &s.name == n).nth(1)
+                }
+                RuleSetError::Rule { name, .. } => spans.iter().find(|s| &s.name == name),
+            };
+            ParseError {
+                line: offender.map(|s| s.start_line).unwrap_or(1),
+                message: e.to_string(),
+            }
+        })?;
+        Ok((set, spans))
     }
 
     /// Validate: rule names unique, each rule internally valid.

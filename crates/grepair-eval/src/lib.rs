@@ -12,6 +12,8 @@
 //!   via `cargo run -p grepair-bench --release --bin experiments`.
 //! - [`table`] — aligned text/CSV table rendering.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

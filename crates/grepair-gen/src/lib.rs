@@ -15,6 +15,8 @@
 //! - [`social`] — born-dirty social-network generator.
 //! - [`catalog`] — gold rule catalogs + synthetic rule-set generator.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

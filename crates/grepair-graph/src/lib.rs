@@ -44,6 +44,8 @@
 //!   matching phases.
 //! - [`stats`] — dataset statistics (T1 table).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

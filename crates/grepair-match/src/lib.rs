@@ -34,6 +34,8 @@
 //! assert_eq!(matches[0].nodes, vec![ann, oslo]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -41,6 +43,7 @@ pub mod matcher;
 pub mod oracle;
 pub mod pattern;
 pub mod plan;
+pub mod sat;
 pub mod view;
 
 pub use matcher::{
@@ -48,4 +51,5 @@ pub use matcher::{
 };
 pub use pattern::{CmpOp, Constraint, Pattern, PatternBuilder, PatternEdge, PatternNode, Rhs, Var};
 pub use plan::{Planner, StatsSource};
+pub use sat::unsatisfiable;
 pub use view::GraphView;

@@ -1,0 +1,324 @@
+//! Conservative constraint-satisfiability check for patterns.
+//!
+//! [`unsatisfiable`] proves that a pattern can *never* match any graph —
+//! its positive requirements contradict its negative conditions or its
+//! attribute constraints contradict each other. The check is **sound but
+//! not complete**: a returned witness is a genuine contradiction, while
+//! `None` only means no contradiction was found, not that the pattern is
+//! satisfiable. The lint layer surfaces positives as `GR005
+//! unsatisfiable-pattern`.
+
+use crate::pattern::{CmpOp, Constraint, Pattern, Rhs};
+use grepair_graph::Value;
+
+/// Does the negative requirement `neg` (None = any label) forbid every
+/// edge the positive requirement `pos` could match? Only then is the pair
+/// contradictory: a wildcard positive edge can dodge a labelled negative
+/// one by matching a different label.
+fn forbids(neg: &Option<String>, pos: &Option<String>) -> bool {
+    match (neg, pos) {
+        (None, _) => true,
+        (Some(n), Some(p)) => n == p,
+        (Some(_), None) => false,
+    }
+}
+
+/// Prove the pattern unsatisfiable, returning a human-readable witness of
+/// the contradiction, or `None` if no contradiction was found.
+///
+/// Detected contradiction classes:
+/// - a positive edge that a negative edge between the same endpoints
+///   forbids (label clash included);
+/// - a positive edge out of / into a variable that a
+///   [`Constraint::NoOutEdge`] / [`Constraint::NoInEdge`] forbids;
+/// - `missing(v.k)` combined with `has(v.k)` or any comparison on `v.k`
+///   (comparisons require the attribute to be present);
+/// - mutually exclusive constant comparisons on the same `v.k`: clashing
+///   equalities, an equality excluded by another comparison, or an empty
+///   numeric interval (max lower bound above min upper bound).
+pub fn unsatisfiable(p: &Pattern) -> Option<String> {
+    let name = |v: crate::pattern::Var| p.var_name(v);
+    let lbl = |l: &Option<String>| l.clone().unwrap_or_else(|| "*".into());
+
+    // Positive edge vs negative edge between the same endpoints.
+    for pe in &p.edges {
+        for ne in &p.neg_edges {
+            if pe.src == ne.src && pe.dst == ne.dst && forbids(&ne.label, &pe.label) {
+                return Some(format!(
+                    "edge ({})-[{}]->({}) is required by the match clause but forbidden by 'not'",
+                    name(pe.src),
+                    lbl(&pe.label),
+                    name(pe.dst),
+                ));
+            }
+        }
+    }
+
+    // Positive edge vs no-out-edge / no-in-edge conditions.
+    for pe in &p.edges {
+        for c in &p.constraints {
+            match c {
+                Constraint::NoOutEdge(v, l) if *v == pe.src && forbids(l, &pe.label) => {
+                    return Some(format!(
+                        "({}) must have a [{}] out-edge but 'not ({})-[{}]->(*)' forbids it",
+                        name(pe.src),
+                        lbl(&pe.label),
+                        name(*v),
+                        lbl(l),
+                    ));
+                }
+                Constraint::NoInEdge(v, l) if *v == pe.dst && forbids(l, &pe.label) => {
+                    return Some(format!(
+                        "({}) must have a [{}] in-edge but 'not (*)-[{}]->({})' forbids it",
+                        name(pe.dst),
+                        lbl(&pe.label),
+                        lbl(l),
+                        name(*v),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Attribute presence: missing(v.k) vs has(v.k) / any comparison on v.k.
+    // Comparisons with an attribute RHS require the RHS attribute too.
+    for c in &p.constraints {
+        let Constraint::MissingAttr(mv, mk) = c else {
+            continue;
+        };
+        for other in &p.constraints {
+            match other {
+                Constraint::HasAttr(v, k) if v == mv && k == mk => {
+                    return Some(format!(
+                        "missing({0}.{1}) contradicts has({0}.{1})",
+                        name(*mv),
+                        mk
+                    ));
+                }
+                Constraint::Cmp { var, key, op, rhs } => {
+                    let lhs_hit = var == mv && key == mk;
+                    let rhs_hit = matches!(rhs, Rhs::Attr(o, k2) if o == mv && k2 == mk);
+                    if lhs_hit || rhs_hit {
+                        return Some(format!(
+                            "missing({}.{}) contradicts the comparison '{}.{} {} …' \
+                             (comparisons require the attribute to be present)",
+                            name(*mv),
+                            mk,
+                            name(*var),
+                            key,
+                            op.symbol(),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Constant comparisons on the same (var, key): equality propagation
+    // plus numeric interval emptiness.
+    type CmpGroup<'a> = ((crate::pattern::Var, &'a str), Vec<(CmpOp, &'a Value)>);
+    let mut groups: Vec<CmpGroup<'_>> = Vec::new();
+    for c in &p.constraints {
+        if let Constraint::Cmp {
+            var,
+            key,
+            op,
+            rhs: Rhs::Const(v),
+        } = c
+        {
+            let k = (*var, key.as_str());
+            match groups.iter_mut().find(|(g, _)| *g == k) {
+                Some((_, list)) => list.push((*op, v)),
+                None => groups.push((k, vec![(*op, v)])),
+            }
+        }
+    }
+    for ((var, key), cmps) in &groups {
+        // Any equality pins the value: every other comparison must accept it.
+        if let Some((_, eq_v)) = cmps.iter().find(|(op, _)| *op == CmpOp::Eq) {
+            for (op, v) in cmps {
+                if !op.eval(eq_v, v) {
+                    return Some(format!(
+                        "{0}.{1} == {2} contradicts {0}.{1} {3} {4}",
+                        name(*var),
+                        key,
+                        eq_v,
+                        op.symbol(),
+                        v,
+                    ));
+                }
+            }
+            continue;
+        }
+        // No equality: check the numeric interval the bounds carve out.
+        let mut lower: Option<(f64, bool)> = None; // (bound, strict)
+        let mut upper: Option<(f64, bool)> = None;
+        for (op, v) in cmps {
+            let Some(x) = v.as_number() else { continue };
+            match op {
+                CmpOp::Gt | CmpOp::Ge => {
+                    let strict = *op == CmpOp::Gt;
+                    if lower.is_none_or(|(b, s)| x > b || (x == b && strict && !s)) {
+                        lower = Some((x, strict));
+                    }
+                }
+                CmpOp::Lt | CmpOp::Le => {
+                    let strict = *op == CmpOp::Lt;
+                    if upper.is_none_or(|(b, s)| x < b || (x == b && strict && !s)) {
+                        upper = Some((x, strict));
+                    }
+                }
+                CmpOp::Eq | CmpOp::Ne => {}
+            }
+        }
+        if let (Some((lo, lo_strict)), Some((hi, hi_strict))) = (lower, upper) {
+            if lo > hi || (lo == hi && (lo_strict || hi_strict)) {
+                return Some(format!(
+                    "the bounds on {}.{} leave no possible value \
+                     (lower bound {lo} vs upper bound {hi})",
+                    name(*var),
+                    key,
+                ));
+            }
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_and_forbidden_edge() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "r");
+        b.neg_edge(x, y, "r");
+        let p = b.build().unwrap();
+        let w = unsatisfiable(&p).unwrap();
+        assert!(w.contains("required"), "{w}");
+    }
+
+    #[test]
+    fn wildcard_negative_forbids_labelled_positive() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "r");
+        b.neg_edge_any(x, y);
+        let p = b.build().unwrap();
+        assert!(unsatisfiable(&p).is_some());
+    }
+
+    #[test]
+    fn labelled_negative_does_not_forbid_wildcard_positive() {
+        // (x)-[*]->(y) can match a non-r edge.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge_any(x, y);
+        b.neg_edge(x, y, "r");
+        let p = b.build().unwrap();
+        assert!(unsatisfiable(&p).is_none());
+    }
+
+    #[test]
+    fn no_out_edge_vs_positive_edge() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "r");
+        b.no_out_edge(x, Some("r"));
+        let p = b.build().unwrap();
+        assert!(unsatisfiable(&p).is_some());
+        // A different label is fine.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.edge(x, y, "r");
+        b.no_out_edge(x, Some("s"));
+        assert!(unsatisfiable(&b.build().unwrap()).is_none());
+    }
+
+    #[test]
+    fn missing_vs_has_and_cmp() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.missing_attr(x, "a");
+        b.has_attr(x, "a");
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.missing_attr(x, "a");
+        b.attr_eq(x, "a", 1i64);
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+
+        // missing on the RHS attribute of a cross-variable comparison.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        let y = b.node("y", Some("P"));
+        b.missing_attr(y, "a");
+        b.attr_eq_var(x, "a", y, "a");
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+    }
+
+    #[test]
+    fn clashing_equalities() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_eq(x, "a", 1i64);
+        b.attr_eq(x, "a", 2i64);
+        let w = unsatisfiable(&b.build().unwrap()).unwrap();
+        assert!(w.contains("contradicts"), "{w}");
+    }
+
+    #[test]
+    fn equality_excluded_by_range() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_eq(x, "a", 5i64);
+        b.attr_cmp(x, "a", CmpOp::Gt, 10i64);
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+    }
+
+    #[test]
+    fn empty_numeric_interval() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_cmp(x, "a", CmpOp::Gt, 10i64);
+        b.attr_cmp(x, "a", CmpOp::Lt, 5i64);
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+        // Touching bounds with one strict side are empty too.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_cmp(x, "a", CmpOp::Ge, 5i64);
+        b.attr_cmp(x, "a", CmpOp::Lt, 5i64);
+        assert!(unsatisfiable(&b.build().unwrap()).is_some());
+        // Non-strict touching bounds pin a single value: satisfiable.
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("P"));
+        b.attr_cmp(x, "a", CmpOp::Ge, 5i64);
+        b.attr_cmp(x, "a", CmpOp::Le, 5i64);
+        assert!(unsatisfiable(&b.build().unwrap()).is_none());
+    }
+
+    #[test]
+    fn satisfiable_patterns_pass() {
+        let mut b = Pattern::builder();
+        let x = b.node("x", Some("Person"));
+        let c = b.node("c", Some("City"));
+        b.edge(x, c, "livesIn");
+        b.neg_edge(c, x, "livesIn"); // reverse direction: fine
+        b.attr_cmp(x, "age", CmpOp::Ge, 0i64);
+        b.attr_cmp(x, "age", CmpOp::Lt, 150i64);
+        b.has_attr(c, "name");
+        b.missing_attr(c, "verified");
+        assert_eq!(unsatisfiable(&b.build().unwrap()), None);
+    }
+}

@@ -36,6 +36,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

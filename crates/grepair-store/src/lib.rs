@@ -59,6 +59,8 @@
 //! - [`codec`] — byte-level encoding and the CRC-32.
 //! - [`error`] — [`StoreError`].
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

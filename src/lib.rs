@@ -34,6 +34,8 @@
 //! assert_eq!(g.num_edges(), 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use grepair_core as core;
 pub use grepair_eval as eval;
 pub use grepair_gen as gen;

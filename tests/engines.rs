@@ -170,10 +170,21 @@ fn cascading_chain_favours_incremental() {
         base.set_attr(n, a0, grepair_graph::Value::Bool(true)).unwrap();
     }
 
+    // The chain's trigger graph is acyclic, so the default engine would
+    // run it stratified; this test compares the *worklist* schedulers
+    // specifically, so pin stratification off for both.
     let mut g1 = base.clone();
-    let inc = RepairEngine::default().repair(&mut g1, &rules.rules);
+    let inc = RepairEngine::new(EngineConfig {
+        stratify: false,
+        ..EngineConfig::default()
+    })
+    .repair(&mut g1, &rules.rules);
     let mut g2 = base.clone();
-    let naive = RepairEngine::new(EngineConfig::naive_with_indexes()).repair(&mut g2, &rules.rules);
+    let naive = RepairEngine::new(EngineConfig {
+        stratify: false,
+        ..EngineConfig::naive_with_indexes()
+    })
+    .repair(&mut g2, &rules.rules);
 
     assert!(inc.converged && naive.converged);
     assert_eq!(inc.repairs_applied, STAGES * 50);
@@ -184,6 +195,15 @@ fn cascading_chain_favours_incremental() {
         "chain must force multiple rescan rounds, got {}",
         naive.rounds
     );
+
+    // The stratified scheduler reaches the same fixpoint with one
+    // fixpoint pass per stage and no churn accounting at all.
+    let mut g3 = base.clone();
+    let strat = RepairEngine::default().repair(&mut g3, &rules.rules);
+    assert_eq!(strat.strata, STAGES);
+    assert!(strat.converged);
+    assert_eq!(strat.repairs_applied, STAGES * 50);
+    assert_eq!(g3.to_doc(), g1.to_doc(), "fixpoints must match");
 }
 
 /// Frozen CSR snapshots are a pure layout change: a matcher over the

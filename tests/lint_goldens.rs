@@ -1,0 +1,85 @@
+//! Lint fixture and golden-file tests.
+//!
+//! `tests/fixtures/lint/` seeds one rule set per lint code (GR001–GR007);
+//! each must trip exactly its code at the default severity. The GR003
+//! fixture additionally pins the rustc-style text rendering and the JSON
+//! schema against checked-in golden files, and the gold KG catalog is
+//! both drift-guarded against `grepair_gen::catalog::GOLD_KG_DSL` and
+//! required to lint deny-free (the CI lint gate depends on that).
+
+use grepair_core::{lint_rules, parse_rules_with_spans, LintCode, LintPolicy, LintReport};
+
+fn fixture_path(name: &str) -> String {
+    format!(
+        "{}/tests/fixtures/lint/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn lint_fixture(name: &str) -> LintReport {
+    let (rules, spans) = parse_rules_with_spans(&fixture(name)).expect(name);
+    lint_rules(&rules, &spans, &LintPolicy::default())
+}
+
+#[test]
+fn every_lint_code_has_a_tripping_fixture() {
+    for code in LintCode::ALL {
+        let name = format!("{}.grr", code.code().to_lowercase());
+        let report = lint_fixture(&name);
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.code == code)
+            .unwrap_or_else(|| panic!("{name} must trip {}", code.code()));
+        assert_eq!(
+            f.severity,
+            code.default_severity(),
+            "{name}: {} fixture severity drifted",
+            code.code()
+        );
+        assert!(f.span.is_some(), "{name}: finding must carry a source span");
+    }
+}
+
+#[test]
+fn gr003_text_rendering_matches_golden() {
+    let report = lint_fixture("gr003.grr");
+    // The golden was captured through the CLI with this relative origin.
+    let text = report.render_text("tests/fixtures/lint/gr003.grr");
+    assert_eq!(text, fixture("gr003.txt"), "text golden drifted");
+}
+
+#[test]
+fn gr003_json_rendering_matches_golden() {
+    let report = lint_fixture("gr003.grr");
+    // `micros` is wall-clock; the golden pins it to 0.
+    let json = report.to_json();
+    let normalized = match (json.find("\"micros\": "), json.rfind('\n')) {
+        (Some(start), _) => {
+            let tail = &json[start..];
+            let end = start + tail.find('\n').unwrap();
+            format!("{}\"micros\": 0{}", &json[..start], &json[end..])
+        }
+        _ => json,
+    };
+    assert_eq!(normalized, fixture("gr003.json"), "json golden drifted");
+}
+
+#[test]
+fn gold_catalog_fixture_matches_source_and_lints_clean() {
+    assert_eq!(
+        fixture("gold_kg.grr"),
+        grepair_gen::catalog::GOLD_KG_DSL,
+        "tests/fixtures/lint/gold_kg.grr drifted from the catalog source"
+    );
+    let report = lint_fixture("gold_kg.grr");
+    assert!(
+        !report.has_denials(),
+        "gold catalog must lint deny-free:\n{}",
+        report.render_text("gold_kg.grr")
+    );
+}
