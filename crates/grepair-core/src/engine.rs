@@ -423,13 +423,15 @@ impl RepairEngine {
         report
     }
 
-    /// All matches of every rule's pattern, computed concurrently.
+    /// All matches of every rule's pattern, computed by one
+    /// morsel-driven parallel sweep.
     ///
-    /// This is the `RuleSet`-level parallel sweep: independent rules'
-    /// patterns are evaluated on rayon workers, and within each rule the
-    /// matcher's root-partitioned parallelism
-    /// ([`grepair_match::Matcher::par_find_all`]) keeps skewed workloads
-    /// (one dominant rule) scaling with cores. Results are indexed like
+    /// This is the `RuleSet`-level parallel sweep: every rule's root
+    /// candidates are cut into fixed-size morsels and scheduled together
+    /// on one shared work queue
+    /// ([`grepair_match::Matcher::par_find_all_many`]), so workers steal
+    /// across rules *and* within a pattern — a skewed workload (one
+    /// dominant rule) still scales with cores. Results are indexed like
     /// `rules.rules` and each inner vector is in the sequential
     /// `find_all` emission order, so the sweep is a drop-in,
     /// deterministic replacement for a serial scan. The same sweep backs
@@ -442,17 +444,19 @@ impl RepairEngine {
         Self::parallel_scan(&matcher, &refs)
     }
 
-    /// Rule-level parallel sweep; with the `parallel` feature each rule
-    /// additionally fans out over root candidates.
+    /// Multi-rule parallel sweep; with the `parallel` feature all rules'
+    /// morsels share one work queue (stealing across rules and within a
+    /// pattern).
     fn parallel_scan<G: GraphView + Sync>(
         matcher: &Matcher<'_, G>,
         rules: &[&Grr],
     ) -> Vec<Vec<Match>> {
         #[cfg(feature = "parallel")]
-        return rules
-            .par_iter()
-            .map(|r| matcher.par_find_all(&r.pattern))
-            .collect();
+        {
+            let patterns: Vec<&grepair_match::Pattern> =
+                rules.iter().map(|r| &r.pattern).collect();
+            matcher.par_find_all_many(&patterns)
+        }
         #[cfg(not(feature = "parallel"))]
         rules
             .par_iter()
@@ -490,9 +494,19 @@ impl RepairEngine {
         self.count_violations_with(g, rules, &planner)
     }
 
+    /// Freeze `g` for a scan, using the chunk-parallel freeze when this
+    /// engine runs parallel (identical output either way).
+    fn freeze_for_scan(&self, g: &Graph) -> FrozenGraph {
+        #[cfg(feature = "parallel")]
+        if self.config.parallel {
+            return FrozenGraph::par_freeze(g);
+        }
+        FrozenGraph::freeze(g)
+    }
+
     fn count_violations_with(&self, g: &Graph, rules: &[Grr], planner: &Planner) -> usize {
         if self.config.freeze_scans {
-            let frozen = FrozenGraph::freeze(g);
+            let frozen = self.freeze_for_scan(g);
             self.count_with(
                 &Matcher::with_planner(&frozen, self.config.match_config, planner),
                 rules,
@@ -538,7 +552,7 @@ impl RepairEngine {
         };
         let subset: Vec<&Grr> = selected.iter().map(|&i| &rules[i]).collect();
         let per_rule: Vec<Vec<Match>> = if self.config.freeze_scans {
-            let frozen = FrozenGraph::freeze(g);
+            let frozen = self.freeze_for_scan(g);
             let matcher = Matcher::with_planner(&frozen, self.config.match_config, planner);
             self.scan_matches(&matcher, &subset)
         } else {

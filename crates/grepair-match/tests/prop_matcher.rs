@@ -264,6 +264,56 @@ proptest! {
         prop_assert_eq!(&frozen_par, &live_seq);
     }
 
+    /// Morsel-driven parallel matching is byte-identical to the serial
+    /// matcher across thread counts {1, 2, 8}, on live, frozen, and
+    /// tombstoned graphs — both the single-pattern entry and the
+    /// multi-pattern sweep (which schedules all patterns' morsels on
+    /// one shared queue).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn morsel_parallel_byte_identical_across_thread_counts(
+        rg in graph_strategy(),
+        rp in pattern_strategy(),
+        rp2 in pattern_strategy(),
+        kill_mask in any::<u8>(),
+    ) {
+        let mut g = build_graph(&rg);
+        // Punch tombstones so the live graph has dead slots.
+        let victims: Vec<NodeId> = g
+            .nodes()
+            .enumerate()
+            .filter(|(i, _)| kill_mask & (1 << (i % 8)) != 0 && i % 3 == 0)
+            .map(|(_, n)| n)
+            .collect();
+        for v in victims {
+            g.remove_node(v).unwrap();
+        }
+        let p = build_pattern(&rp);
+        let p2 = build_pattern(&rp2);
+        let m = Matcher::new(&g);
+        let seq = m.find_all(&p);
+        let seq2 = m.find_all(&p2);
+        let frozen = FrozenGraph::freeze(&g);
+        let fm = Matcher::new(&frozen);
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let (par, many, fpar) = pool.install(|| {
+                (
+                    m.par_find_all(&p),
+                    m.par_find_all_many(&[&p, &p2]),
+                    fm.par_find_all(&p),
+                )
+            });
+            prop_assert_eq!(&par, &seq, "live single-pattern, {} threads", threads);
+            prop_assert_eq!(&many[0], &seq, "sweep slot 0, {} threads", threads);
+            prop_assert_eq!(&many[1], &seq2, "sweep slot 1, {} threads", threads);
+            prop_assert_eq!(&fpar, &seq, "frozen, {} threads", threads);
+        }
+    }
+
     /// Statistics-driven (cost-based) plans enumerate exactly the match
     /// set of the declaration-order naive plan — the F5 ablation
     /// extended to the planner: join order is a pure performance choice.

@@ -29,6 +29,8 @@
 use crate::error::{Result, StoreError};
 use crate::record::Mutation;
 use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
+#[cfg(feature = "parallel")]
+use crate::wal::SegmentContents;
 use crate::wal::{
     list_segments, read_segment, SegmentWriter, SEGMENT_HEADER_LEN,
 };
@@ -253,6 +255,24 @@ impl DurableGraph {
 
         // Replay every record newer than the snapshot, in order.
         let segments = list_segments(dir)?;
+
+        // Decode-ahead: segments are self-delimiting (each frame carries
+        // its own length and checksum), so workers can decode all
+        // candidate segments concurrently. The replay loop below then
+        // consumes the pre-decoded results strictly in segment order,
+        // with the exact same skip / torn-tail / sequence-gap semantics
+        // as a serial read: a segment the loop decides to skip never has
+        // its decode result inspected, so a damaged fully-covered
+        // segment stays as harmless as it is serially.
+        #[cfg(feature = "parallel")]
+        let mut decoded: Vec<Option<Result<SegmentContents>>> = {
+            use rayon::prelude::*;
+            segments
+                .par_iter()
+                .map(|(base, path)| Some(read_segment(path, Some(*base))))
+                .collect()
+        };
+
         let mut bytes_since_snapshot = 0u64;
         let mut next_seq = snap_seq + 1;
         let mut active: Option<(PathBuf, u64, u64)> = None; // path, base, valid_len
@@ -266,6 +286,9 @@ impl DurableGraph {
                     continue;
                 }
             }
+            #[cfg(feature = "parallel")]
+            let contents = decoded[i].take().expect("each segment decoded once")?;
+            #[cfg(not(feature = "parallel"))]
             let contents = read_segment(path, Some(*base))?;
             stats.segments_read += 1;
             if contents.is_torn() {

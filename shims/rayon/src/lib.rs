@@ -2,15 +2,48 @@
 //!
 //! Unlike real rayon's lazy work-stealing pipelines, this shim evaluates
 //! each adapter **eagerly**: every `map`/`filter`/`flat_map` call is one
-//! parallel pass over the items using `std::thread::scope`, chunked
-//! across the configured number of threads, with input order preserved.
-//! Terminal operations (`collect`, `sum`, `for_each`, …) then fold the
+//! parallel pass over the items, with input order preserved. Terminal
+//! operations (`collect`, `sum`, `for_each`, …) then fold the
 //! already-computed values sequentially. Semantics match rayon for the
 //! deterministic, order-preserving subset this workspace uses; only the
 //! scheduling strategy differs.
+//!
+//! # Scheduling
+//!
+//! Work runs on a **lazily-initialized persistent worker pool**: the
+//! first parallel pass spawns long-lived workers (up to the requested
+//! budget, capped at [`MAX_POOL_WORKERS`]) that block on a shared
+//! injector queue. A parallel pass then costs one allocation and a few
+//! queue pushes instead of N `thread::spawn`s. Each pass splits its
+//! items into small chunks claimed from a shared atomic counter, so
+//! uneven per-item cost balances across workers (morsel-style
+//! stealing), and results are written to per-chunk slots and stitched
+//! back together in chunk order, preserving input order exactly.
+//!
+//! Two properties matter for correctness under nesting:
+//!
+//! - **Thread-budget inheritance.** [`ThreadPool::install`] records the
+//!   budget in a thread-local; every task submitted by a pass carries
+//!   the submitter's effective budget and installs it on the worker for
+//!   the task's duration, so nested parallel calls see the installed
+//!   count instead of falling back to `available_parallelism`.
+//! - **Help-while-wait.** A pass that has submitted tasks participates
+//!   in draining its own chunks and then, while waiting for stragglers,
+//!   pops and runs *other* queued tasks. A nested pass running on a
+//!   pool worker therefore cannot deadlock the (bounded) pool: blocked
+//!   submitters keep executing queued work.
+//!
+//! Worker panics are caught per-task, forwarded to the submitting pass,
+//! and resumed on the caller's thread once the pass completes.
 
+use std::any::Any;
 use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Duration;
 
 pub mod prelude {
     //! Glob-import surface matching `rayon::prelude`.
@@ -18,8 +51,9 @@ pub mod prelude {
 }
 
 thread_local! {
-    /// Thread count override installed by [`ThreadPool::install`];
-    /// `0` means "use available parallelism".
+    /// Thread count override installed by [`ThreadPool::install`] on the
+    /// calling thread and inherited by pool workers for each task's
+    /// duration; `0` means "use available parallelism".
     static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
 }
 
@@ -33,34 +67,264 @@ pub fn current_num_threads() -> usize {
     }
 }
 
-/// One order-preserving parallel map pass over `items`.
+/// Hard cap on persistent pool workers; installs above this are
+/// oversubscribed onto the existing workers via the shared queue.
+const MAX_POOL_WORKERS: usize = 64;
+
+/// A queued unit of work. Tasks are lifetime-erased closures; the
+/// submitting pass guarantees (via its completion latch) that every
+/// borrow a task captures outlives the task's execution.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The shared injector feeding the persistent workers.
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+    spawned: AtomicUsize,
+}
+
+/// The process-wide pool, created on first use.
+fn injector() -> &'static Injector {
+    static POOL: OnceLock<Injector> = OnceLock::new();
+    POOL.get_or_init(|| Injector {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Number of persistent workers spawned so far (test/bench visibility).
+pub fn pool_spawned_workers() -> usize {
+    injector().spawned.load(Ordering::Relaxed)
+}
+
+/// Grow the pool until at least `want` workers exist (capped).
+fn ensure_workers(want: usize) {
+    let inj = injector();
+    let want = want.min(MAX_POOL_WORKERS);
+    loop {
+        let cur = inj.spawned.load(Ordering::Relaxed);
+        if cur >= want {
+            return;
+        }
+        if inj
+            .spawned
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let spawned = thread::Builder::new()
+            .name(format!("rayon-shim-{cur}"))
+            .spawn(worker_main)
+            .is_ok();
+        if !spawned {
+            // Could not create the thread; give the slot back and run
+            // with however many workers exist (possibly zero — passes
+            // still complete because submitters help-while-wait).
+            inj.spawned.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+/// Persistent worker loop: block on the injector, run tasks forever.
+fn worker_main() {
+    let inj = injector();
+    loop {
+        let task = {
+            let mut q = inj.queue.lock().expect("rayon shim queue poisoned");
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = inj.available.wait(q).expect("rayon shim queue poisoned");
+            }
+        };
+        task();
+    }
+}
+
+/// Enqueue one task for the pool.
+fn push_task(t: Task) {
+    let inj = injector();
+    inj.queue
+        .lock()
+        .expect("rayon shim queue poisoned")
+        .push_back(t);
+    inj.available.notify_one();
+}
+
+/// Pop one queued task without blocking (used by help-while-wait).
+fn try_pop_task() -> Option<Task> {
+    injector()
+        .queue
+        .lock()
+        .expect("rayon shim queue poisoned")
+        .pop_front()
+}
+
+/// Counts outstanding tasks of one pass; signaled as each task's final
+/// action, after its last access to the pass context.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        let mut g = self.remaining.lock().expect("rayon shim latch poisoned");
+        *g -= 1;
+        if *g == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Wait for all tasks, executing other queued tasks in the meantime
+    /// so nested passes on a bounded pool cannot deadlock.
+    fn wait_helping(&self) {
+        loop {
+            {
+                let g = self.remaining.lock().expect("rayon shim latch poisoned");
+                if *g == 0 {
+                    return;
+                }
+            }
+            if let Some(task) = try_pop_task() {
+                task();
+                continue;
+            }
+            let g = self.remaining.lock().expect("rayon shim latch poisoned");
+            if *g == 0 {
+                return;
+            }
+            // Short timeout: a nested pass may enqueue new helpable work
+            // that only notifies the injector condvar, not this latch.
+            let _ = self
+                .done
+                .wait_timeout(g, Duration::from_millis(1))
+                .expect("rayon shim latch poisoned");
+        }
+    }
+}
+
+/// Shared state of one parallel pass: chunked inputs, per-chunk output
+/// slots, a claim counter, and the first captured panic.
+struct PassCtx<T, R, F> {
+    chunks: Vec<Mutex<Option<Vec<T>>>>,
+    outs: Vec<Mutex<Vec<R>>>,
+    next: AtomicUsize,
+    f: F,
+    budget: usize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl<T, R, F: Fn(T) -> R> PassCtx<T, R, F> {
+    /// Claim and map chunks until the pass is drained. Panics from `f`
+    /// are caught and parked in `self.panic` (first wins); draining
+    /// continues so the latch always completes.
+    fn drain(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks.len() {
+                return;
+            }
+            let taken = self.chunks[i]
+                .lock()
+                .expect("rayon shim chunk poisoned")
+                .take();
+            let Some(chunk) = taken else { continue };
+            match catch_unwind(AssertUnwindSafe(|| {
+                chunk.into_iter().map(|t| (self.f)(t)).collect::<Vec<R>>()
+            })) {
+                Ok(out) => *self.outs[i].lock().expect("rayon shim slot poisoned") = out,
+                Err(p) => {
+                    let mut slot = self.panic.lock().expect("rayon shim panic slot poisoned");
+                    slot.get_or_insert(p);
+                }
+            }
+        }
+    }
+}
+
+/// One order-preserving parallel map pass over `items`, executed on the
+/// persistent pool with the submitter helping.
 fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let threads = current_num_threads();
-    if threads <= 1 || items.len() <= 1 {
+    let budget = current_num_threads();
+    if budget <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_len = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::new();
+    // Oversplit relative to the budget so uneven per-chunk cost
+    // balances via the shared claim counter.
+    let n = items.len();
+    let workers = budget.min(n);
+    let chunk_len = n.div_ceil(workers * 4).max(1);
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(n.div_ceil(chunk_len));
     let mut it = items.into_iter();
     loop {
         let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
         if chunk.is_empty() {
             break;
         }
-        chunks.push(chunk);
+        chunks.push(Mutex::new(Some(chunk)));
     }
-    let f = &f;
-    let mut out: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("rayon shim worker panicked"));
+    let n_chunks = chunks.len();
+    let outs: Vec<Mutex<Vec<R>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let ctx = PassCtx {
+        chunks,
+        outs,
+        next: AtomicUsize::new(0),
+        f,
+        budget,
+        panic: Mutex::new(None),
+    };
+    let helpers = workers.saturating_sub(1).min(n_chunks.saturating_sub(1));
+    if helpers > 0 {
+        ensure_workers(workers);
+        let latch = Arc::new(Latch::new(helpers));
+        for _ in 0..helpers {
+            let latch_for_task = Arc::clone(&latch);
+            let ctx_ref = &ctx;
+            // A helper's entire pass-context access happens before the
+            // latch signal; after signaling it only drops `'static`
+            // captures (the reference itself has no drop glue).
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let prev = POOL_THREADS.with(|c| c.replace(ctx_ref.budget));
+                ctx_ref.drain();
+                POOL_THREADS.with(|c| c.set(prev));
+                latch_for_task.signal();
+            });
+            // SAFETY: the task borrows `ctx` (and `f` inside it), which
+            // live on this stack frame. `latch.wait_helping()` below
+            // does not return until every submitted task has signaled,
+            // and each task signals only after its last access to the
+            // borrowed context, so no borrow outlives this frame.
+            let task: Task = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send>>(
+                    task,
+                )
+            };
+            push_task(task);
         }
-    });
-    out.into_iter().flatten().collect()
+        ctx.drain();
+        latch.wait_helping();
+    } else {
+        ctx.drain();
+    }
+    if let Some(p) = ctx.panic.into_inner().expect("rayon shim panic slot poisoned") {
+        resume_unwind(p);
+    }
+    ctx.outs
+        .into_iter()
+        .flat_map(|m| m.into_inner().expect("rayon shim slot poisoned"))
+        .collect()
 }
 
 /// An eagerly-evaluated parallel iterator: adapters run one parallel
@@ -230,7 +494,8 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Build the pool.
+    /// Build the pool handle. Workers are shared process-wide and grown
+    /// lazily on the first parallel pass that needs them.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         Ok(ThreadPool {
             num_threads: self.num_threads,
@@ -238,16 +503,19 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool" that scopes a thread-count override; workers are spawned
-/// per parallel pass rather than kept hot.
+/// A pool handle scoping a thread-count budget. All handles share one
+/// persistent process-wide worker set; the handle only decides how many
+/// tasks a pass fans out into.
 #[derive(Clone, Copy, Debug)]
 pub struct ThreadPool {
     num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's thread count installed for all parallel
-    /// passes on the current thread.
+    /// Run `f` with this pool's thread budget installed. The budget is
+    /// visible to every parallel pass `f` performs, including nested
+    /// passes running on pool workers (tasks inherit the submitter's
+    /// budget for their duration).
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
         let prev = POOL_THREADS.with(|c| c.replace(self.num_threads));
         let out = f();
@@ -308,18 +576,122 @@ mod tests {
     #[test]
     fn parallelism_actually_uses_threads() {
         use std::collections::HashSet;
-        use std::sync::Mutex;
         let ids = Mutex::new(HashSet::new());
         let v: Vec<u32> = (0..64).collect();
-        let _: Vec<u32> = v
-            .par_iter()
-            .map(|x| {
-                ids.lock().unwrap().insert(std::thread::current().id());
-                *x
-            })
-            .collect();
-        if thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
-            assert!(ids.lock().unwrap().len() > 1, "expected multiple worker threads");
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let _: Vec<u32> = pool.install(|| {
+            v.par_iter()
+                .map(|x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    // Slow the chunks down enough that pool workers get a
+                    // chance to claim some before the caller drains all.
+                    std::thread::sleep(Duration::from_micros(200));
+                    *x
+                })
+                .collect()
+        });
+        assert!(
+            ids.lock().unwrap().len() > 1,
+            "expected multiple worker threads"
+        );
+    }
+
+    #[test]
+    fn pool_workers_are_persistent_across_passes() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let v: Vec<u32> = (0..256).collect();
+            let _: u32 = v.par_iter().map(|x| *x).sum();
+        });
+        let after_first = pool_spawned_workers();
+        assert!(after_first >= 1, "first pass should have spawned workers");
+        for _ in 0..8 {
+            pool.install(|| {
+                let v: Vec<u32> = (0..256).collect();
+                let _: u32 = v.par_iter().map(|x| *x).sum();
+            });
         }
+        assert_eq!(
+            pool_spawned_workers(),
+            after_first,
+            "subsequent passes must reuse the persistent workers"
+        );
+    }
+
+    #[test]
+    fn nested_pass_inherits_installed_thread_count() {
+        // Regression: pool workers used to see POOL_THREADS = 0 and fall
+        // back to available_parallelism, so nested passes under a
+        // num_threads(2) install ran with the wrong budget.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let observed: Vec<Vec<usize>> = pool.install(|| {
+            vec![(); 4]
+                .into_par_iter()
+                .map(|()| {
+                    std::thread::sleep(Duration::from_micros(100));
+                    vec![(); 4]
+                        .into_par_iter()
+                        .map(|()| current_num_threads())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        });
+        for seen in observed.iter().flatten() {
+            assert_eq!(
+                *seen, 2,
+                "nested parallel work must inherit the installed budget"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let v: Vec<u32> = (0..64).collect();
+                let _: Vec<u32> = v
+                    .par_iter()
+                    .map(|x| {
+                        if *x == 33 {
+                            panic!("boom");
+                        }
+                        *x
+                    })
+                    .collect();
+            })
+        }));
+        assert!(caught.is_err(), "worker panic must reach the caller");
+        // The pool must stay usable after a panicked pass.
+        let v: Vec<u32> = (0..64).collect();
+        let s: u32 = pool.install(|| v.par_iter().map(|x| *x).sum());
+        assert_eq!(s, (0..64).sum::<u32>());
+    }
+
+    #[test]
+    fn deep_nesting_completes_on_bounded_pool() {
+        // Three levels of nesting under a 2-thread budget: blocked
+        // submitters must help drain the queue rather than deadlock.
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total: usize = pool.install(|| {
+            (0..4usize)
+                .into_par_iter()
+                .map(|a| {
+                    (0..4usize)
+                        .into_par_iter()
+                        .map(|b| {
+                            (0..4usize)
+                                .into_par_iter()
+                                .map(|c| a + b + c)
+                                .sum::<usize>()
+                        })
+                        .sum::<usize>()
+                })
+                .sum()
+        });
+        let expect: usize = (0..4)
+            .flat_map(|a| (0..4).flat_map(move |b| (0..4).map(move |c| a + b + c)))
+            .sum();
+        assert_eq!(total, expect);
     }
 }
