@@ -1,0 +1,161 @@
+//! Observability overhead bench: what the telemetry layer costs on the
+//! matching hot path with tracing **disabled** (the default — must stay
+//! under 5%), what it costs **enabled** (spans + timing histograms +
+//! per-pass drain), and how fast the span pipeline itself runs.
+//!
+//! The disabled overhead is *computed*, not differenced: the per-site
+//! cost of a disabled `span()` + `timer()` + `record_since_named()`
+//! probe is measured in a tight loop, multiplied by the number of
+//! instrumentation sites a matching pass crosses, and compared to the
+//! pass time. Differencing two multi-millisecond medians on a shared
+//! 1-core CI host would drown a sub-microsecond effect in scheduler
+//! noise; the computed ratio is stable and strictly *over*-estimates
+//! (the denominator still contains the overhead it is accused of).
+//!
+//! Set `GREPAIR_BENCH_SMOKE=1` for the CI configuration; the results
+//! land in `BENCH_observability.json` (`disabled_overhead_ratio`,
+//! `enabled_overhead_ratio`, `events_per_sec`), schema-checked by the
+//! `bench_json` test.
+
+use criterion::{criterion_group, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::RuleSet;
+use grepair_gen::gold_kg_rules;
+use grepair_graph::Graph;
+use grepair_match::Matcher;
+use grepair_obs as obs;
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn fixture_persons() -> usize {
+    if smoke() {
+        300
+    } else {
+        5_000
+    }
+}
+
+/// The matching hot path: a full multi-rule scan.
+fn scan(g: &Graph, rules: &RuleSet) -> usize {
+    let m = Matcher::new(g);
+    rules
+        .rules
+        .iter()
+        .map(|r| m.find_all(&r.pattern).len())
+        .sum()
+}
+
+/// One disabled instrumentation site: the exact span + timer +
+/// histogram-record sequence `find_all` executes per call.
+#[inline]
+fn probe_site() {
+    let _span = obs::span("bench.probe", "bench");
+    let started = obs::timer();
+    obs::record_since_named("bench.probe_ns", started);
+}
+
+const PROBE_BATCH: usize = 10_000;
+
+fn bench_observability(c: &mut Criterion) {
+    let g = dirty_kg_fixture(fixture_persons());
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(if smoke() { 2 } else { 10 });
+
+    obs::set_tracing(false);
+    group.bench_function("scan_disabled", |b| b.iter(|| scan(&g, &rules)));
+
+    obs::set_tracing(true);
+    group.bench_function("scan_enabled_drained", |b| {
+        b.iter(|| {
+            let n = scan(&g, &rules);
+            obs::take_events(); // draining is part of the enabled story
+            n
+        })
+    });
+    obs::set_tracing(false);
+    obs::take_events();
+
+    group.bench_function("disabled_probe_batch", |b| {
+        b.iter(|| {
+            for _ in 0..PROBE_BATCH {
+                probe_site();
+            }
+        })
+    });
+    group.finish();
+}
+
+fn overhead_summary() {
+    let g = dirty_kg_fixture(fixture_persons());
+    let rules = gold_kg_rules();
+    let samples = if smoke() { 3 } else { 9 };
+
+    obs::set_tracing(false);
+    obs::take_events();
+    let disabled = criterion::median_time(samples, || scan(&g, &rules));
+    let probe = criterion::median_time(samples, || {
+        for _ in 0..PROBE_BATCH {
+            probe_site();
+        }
+    });
+    let site_ns = probe.as_secs_f64() * 1e9 / PROBE_BATCH as f64;
+
+    // Sites per pass on the matching hot path: one span + timer +
+    // histogram record per `find_all` (one per rule).
+    let sites = rules.rules.len() as f64;
+    let pass_ns = disabled.as_secs_f64() * 1e9;
+    let disabled_overhead_ratio = 1.0 + sites * site_ns / pass_ns.max(1.0);
+
+    obs::set_tracing(true);
+    let enabled = criterion::median_time(samples, || {
+        let n = scan(&g, &rules);
+        obs::take_events();
+        n
+    });
+    obs::set_tracing(false);
+    obs::take_events();
+    let enabled_overhead_ratio = enabled.as_secs_f64() / disabled.as_secs_f64().max(1e-12);
+
+    // Span pipeline throughput: emit in batches under the buffer cap,
+    // drain between batches (emit + collect, the full event lifecycle).
+    const BATCHES: usize = 20;
+    const PER_BATCH: usize = 2_000; // MAX_EVENTS is 4096 — never drop
+    obs::set_tracing(true);
+    let span_time = criterion::median_time(samples, || {
+        let mut drained = 0usize;
+        for _ in 0..BATCHES {
+            for _ in 0..PER_BATCH {
+                let _span = obs::span("bench.event", "bench");
+            }
+            drained += obs::take_events().len();
+        }
+        assert_eq!(drained, BATCHES * PER_BATCH, "span buffer dropped events");
+        drained
+    });
+    obs::set_tracing(false);
+    obs::take_events();
+    let events_per_sec = (BATCHES * PER_BATCH) as f64 / span_time.as_secs_f64().max(1e-12);
+
+    println!(
+        "\nobservability summary ({} persons): disabled pass {disabled:?}, \
+         {site_ns:.1}ns/site x {sites} sites = {:.4}x; enabled pass {enabled:?} \
+         = {enabled_overhead_ratio:.2}x; {events_per_sec:.0} events/s",
+        fixture_persons(),
+        disabled_overhead_ratio,
+    );
+    criterion::record_metric("disabled_overhead_ratio", disabled_overhead_ratio);
+    criterion::record_metric("disabled_site_ns", site_ns);
+    criterion::record_metric("enabled_overhead_ratio", enabled_overhead_ratio);
+    criterion::record_metric("events_per_sec", events_per_sec);
+}
+
+criterion_group!(benches, bench_observability);
+
+fn main() {
+    benches();
+    overhead_summary();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
+}

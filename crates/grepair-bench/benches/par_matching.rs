@@ -124,6 +124,10 @@ fn speedup_summary(workers: usize) {
         println!(
             "speedup at {threads} worker(s): serial {serial:?} / parallel {parallel:?} = {speedup:.2}x"
         );
+        if host_cores() < 2 && threads >= 2 {
+            // Once per invocation even though every probe trips it.
+            grepair_bench::warn_degraded_host_once(threads, host_cores());
+        }
         criterion::record_metric(format!("speedup_t{threads}"), speedup);
         if threads == workers {
             at_workers = speedup;
@@ -137,12 +141,7 @@ fn speedup_summary(workers: usize) {
     let degraded = cores < 2 || workers < 2;
     criterion::record_metric("degraded", if degraded { 1.0 } else { 0.0 });
     if degraded {
-        eprintln!(
-            "warning: par_matching ran effectively single-threaded \
-             ({workers} worker(s) on {cores} core(s)) — the serial/parallel \
-             comparison is timeshared, not a scaling measurement; \
-             speedups recorded with degraded = 1"
-        );
+        grepair_bench::warn_degraded_host_once(workers, cores);
     }
     println!(
         "\nspeedup summary ({workers} worker(s), {cores} host core(s)): {at_workers:.2}x"

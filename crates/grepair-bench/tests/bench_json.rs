@@ -70,6 +70,9 @@ fn validate(name: &str, text: &str) {
     if parsed.bench == "par_matching" {
         validate_par_matching(name, &parsed);
     }
+    if parsed.bench == "observability" {
+        validate_observability(name, &parsed);
+    }
 }
 
 /// Extra contract for the parallel-matching bench, introduced with the
@@ -115,6 +118,39 @@ fn validate_par_matching(name: &str, parsed: &BenchJson) {
     assert!(
         degraded == 1.0 || (workers >= 2.0 && cores >= 2.0),
         "{name}: a non-degraded run requires >= 2 workers on >= 2 cores"
+    );
+}
+
+/// Extra contract for the observability bench: the telemetry layer's
+/// headline numbers must be present, and the *disabled* overhead on the
+/// matching hot path must stay under 5% — instrumentation that is not
+/// near-free when off does not get committed as an improvement.
+fn validate_observability(name: &str, parsed: &BenchJson) {
+    for key in [
+        "disabled_overhead_ratio",
+        "enabled_overhead_ratio",
+        "events_per_sec",
+    ] {
+        assert!(
+            parsed.metrics.contains_key(key),
+            "{name}: observability must record metric {key}"
+        );
+    }
+    let disabled = parsed.metrics["disabled_overhead_ratio"];
+    assert!(
+        (1.0..1.05).contains(&disabled),
+        "{name}: disabled telemetry must cost < 5% on the matching hot \
+         path (and cannot be a speedup), got {disabled}"
+    );
+    let enabled = parsed.metrics["enabled_overhead_ratio"];
+    assert!(
+        enabled > 0.0,
+        "{name}: enabled_overhead_ratio must be positive, got {enabled}"
+    );
+    let eps = parsed.metrics["events_per_sec"];
+    assert!(
+        eps > 0.0,
+        "{name}: events_per_sec must be positive, got {eps}"
     );
 }
 
@@ -195,6 +231,39 @@ fn validator_enforces_par_matching_contract() {
         );
         assert!(
             std::panic::catch_unwind(|| validate("BENCH_par_matching.json", &text)).is_err(),
+            "must reject metrics: {bad_metrics}"
+        );
+    }
+}
+
+#[test]
+fn validator_enforces_observability_contract() {
+    let row = r#"[{"id":"a","median_ns":1.0,"iters_per_sec":2.0}]"#;
+    let ok = format!(
+        r#"{{"bench":"observability","smoke":true,"results":{row},"metrics":{{
+            "disabled_overhead_ratio":1.001,"enabled_overhead_ratio":1.4,
+            "events_per_sec":1000000.0}}}}"#
+    );
+    validate("BENCH_observability.json", &ok);
+    for bad_metrics in [
+        // Missing the headline disabled-overhead number.
+        r#""enabled_overhead_ratio":1.4,"events_per_sec":1e6"#,
+        // Missing the enabled ratio.
+        r#""disabled_overhead_ratio":1.001,"events_per_sec":1e6"#,
+        // Missing throughput.
+        r#""disabled_overhead_ratio":1.001,"enabled_overhead_ratio":1.4"#,
+        // Disabled overhead past the 5% budget.
+        r#""disabled_overhead_ratio":1.2,"enabled_overhead_ratio":1.4,"events_per_sec":1e6"#,
+        // A disabled "speedup" is a measurement bug, not a win.
+        r#""disabled_overhead_ratio":0.8,"enabled_overhead_ratio":1.4,"events_per_sec":1e6"#,
+        // Zero throughput.
+        r#""disabled_overhead_ratio":1.001,"enabled_overhead_ratio":1.4,"events_per_sec":0.0"#,
+    ] {
+        let text = format!(
+            r#"{{"bench":"observability","smoke":true,"results":{row},"metrics":{{{bad_metrics}}}}}"#
+        );
+        assert!(
+            std::panic::catch_unwind(|| validate("BENCH_observability.json", &text)).is_err(),
             "must reject metrics: {bad_metrics}"
         );
     }

@@ -137,6 +137,26 @@ impl Args {
     }
 }
 
+/// Arm span tracing when `--trace FILE` was given. Any spans already
+/// buffered by earlier work in this process are discarded so the export
+/// covers exactly this command. Returns the output path.
+fn trace_arg(args: &Args) -> Option<String> {
+    let path = args.get(&["trace"])?.to_owned();
+    grepair_obs::take_events();
+    grepair_obs::set_tracing(true);
+    Some(path)
+}
+
+/// Disarm tracing and export the buffered spans as a Chrome trace file
+/// (load it in `chrome://tracing` or Perfetto).
+fn write_trace(path: &str, out: &mut String) -> Result<(), CliError> {
+    grepair_obs::set_tracing(false);
+    let events = grepair_obs::take_events();
+    write_atomic(path, &grepair_obs::chrome_trace_json(&events))?;
+    writeln!(out, "wrote trace ({} events) to {path}", events.len()).unwrap();
+    Ok(())
+}
+
 fn load_graph(path: &str) -> Result<Graph, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::io(format!("cannot read {path}: {e}")))?;
@@ -282,11 +302,12 @@ commands:
   gen kg        --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
   gen social    --accounts N [--seed S] -o OUT
   stats         GRAPH
-  check         -r RULES (-g GRAPH | --store DIR) [--frozen]
+  check         -r RULES (-g GRAPH | --store DIR) [--frozen] [--trace FILE]
   explain       -r RULES (-g GRAPH | --store DIR)
-  repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R]
-  repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R]
-  watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N]
+  repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R] [--trace FILE]
+  repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R] [--trace FILE]
+  watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N] [--trace FILE]
+  metrics       [-r RULES (-g GRAPH | --store DIR)] [--format json]
   lint          -r RULES [--format json] [--deny CODE] [--warn CODE] [--allow CODE]
   analyze       -r RULES
   mine          -g GRAPH [-o RULES.grr] [--min-support N] [--min-confidence C]
@@ -326,7 +347,17 @@ A store (--store/-d DIR) is a durable graph: every mutation and every
 applied repair is journaled to a checksummed write-ahead log with
 periodic binary snapshots, and reopening recovers the exact committed
 state even after a crash mid-write. `repair --store` commits repairs
-durably and compacts the log when it outgrows its threshold.";
+durably and compacts the log when it outgrows its threshold.
+
+Observability: --trace FILE (on check/repair/watch) records spans from
+every layer — engine rounds, matching, planning, freezes, WAL writes —
+and exports them as a Chrome trace (load in chrome://tracing or
+Perfetto). `metrics` prints the process-wide metrics registry (counters,
+gauges, latency histograms with p50/p90/p99, warn events) as text or,
+with --format json, in a stable JSON schema; given -r plus a graph or
+store it first runs a read-only check pass with telemetry armed so every
+layer contributes fresh samples. `watch` appends a per-run metrics
+line with that run's round and match counts.";
 
 /// Dispatch a command line (without the program name). Returns the text
 /// to print on stdout.
@@ -347,6 +378,7 @@ pub fn dispatch(tokens: &[String]) -> CliResult {
         "mine" => cmd_mine(rest),
         "fmt" => cmd_fmt(rest),
         "store" => cmd_store(rest),
+        "metrics" => cmd_metrics(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -463,6 +495,7 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         .to_owned();
     let (rules, spans) = load_rules_spanned(&rules_path)?;
     lint_preflight("check", &rules_path, &rules, &spans, &args)?;
+    let trace = trace_arg(&args);
     let mut header = String::new();
     let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
         (Some(path), None) => load_graph(path)?,
@@ -499,6 +532,9 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         writeln!(out, "{:<40} {:>6}", r.name, n).unwrap();
     }
     writeln!(out, "{:<40} {:>6}", "TOTAL", total).unwrap();
+    if let Some(path) = &trace {
+        write_trace(path, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -587,8 +623,22 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
     let (rules, spans) = load_rules_spanned(&rules_path)?;
     lint_preflight("watch", &rules_path, &rules, &spans, &args)?;
     let runs = args.get_usize(&["runs"], 2)?.max(1);
+    let trace = trace_arg(&args);
     let engine = RepairEngine::new(EngineConfig::default());
     let mut out = String::new();
+    // Per-update metrics: global counters sampled around each run so the
+    // line shows this run's delta.
+    let rounds_ctr = grepair_obs::counter("engine.rounds");
+    let matches_ctr = grepair_obs::counter("match.matches_found");
+    let print_metrics = |out: &mut String, r0: u64, m0: u64| {
+        writeln!(
+            out,
+            "  metrics: {} rounds, {} matches found",
+            grepair_obs::counter("engine.rounds").get() - r0,
+            grepair_obs::counter("match.matches_found").get() - m0,
+        )
+        .unwrap();
+    };
     let print_run = |out: &mut String, i: usize, report: &grepair_core::RepairReport| {
         writeln!(
             out,
@@ -613,8 +663,10 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
             // every run, so run 2+ plans entirely from cache.
             let planner = Planner::new();
             for i in 0..runs {
+                let (r0, m0) = (rounds_ctr.get(), matches_ctr.get());
                 let report = engine.repair_with_planner(&mut g, &rules.rules, &planner);
                 print_run(&mut out, i, &report);
+                print_metrics(&mut out, r0, m0);
             }
             if let Some(out_path) = args.get(&["o", "out"]) {
                 save_graph(&g, out_path)?;
@@ -625,10 +677,12 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
             let mut store = open_store(dir)?;
             writeln!(out, "{}", recovery_summary(&store)).unwrap();
             for i in 0..runs {
+                let (r0, m0) = (rounds_ctr.get(), matches_ctr.get());
                 let report = store
                     .repair(&engine, &rules.rules)
                     .map_err(|e| CliError::io(format!("durable repair failed: {e}")))?;
                 print_run(&mut out, i, &report);
+                print_metrics(&mut out, r0, m0);
             }
             writeln!(out, "last seq {}", store.last_seq()).unwrap();
         }
@@ -637,6 +691,9 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
                 "watch: need exactly one of -g GRAPH or --store DIR",
             ))
         }
+    }
+    if let Some(path) = &trace {
+        write_trace(path, &mut out)?;
     }
     out.truncate(out.trim_end().len());
     Ok(out)
@@ -650,6 +707,7 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
         .to_owned();
     let (rules, spans) = load_rules_spanned(&rules_path)?;
     lint_preflight("repair", &rules_path, &rules, &spans, &args)?;
+    let trace = trace_arg(&args);
     let mut config = if args.has("naive") {
         EngineConfig::naive_with_indexes()
     } else {
@@ -721,8 +779,31 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     for s in report.per_rule.iter().filter(|s| s.repairs_applied > 0) {
         writeln!(out, "  {:<40} {:>6}", s.name, s.repairs_applied).unwrap();
     }
+    if let Some(path) = &trace {
+        write_trace(path, &mut out)?;
+    }
     out.truncate(out.trim_end().len());
     Ok(out)
+}
+
+/// `metrics` — print the global metrics registry. With `-r RULES` and a
+/// graph (or store) a read-only check pass runs first with telemetry
+/// armed, so the snapshot carries fresh counters, histograms and spans
+/// from every layer; bare `metrics` prints whatever the process has
+/// accumulated so far.
+fn cmd_metrics(tokens: &[String]) -> CliResult {
+    let args = Args::parse(tokens);
+    if args.get(&["r", "rules"]).is_some() {
+        grepair_obs::set_tracing(true);
+        let pass = cmd_check(tokens);
+        grepair_obs::set_tracing(false);
+        grepair_obs::take_events();
+        pass?;
+    }
+    Ok(match args.get(&["format"]) {
+        Some("json") => grepair_obs::snapshot_json(),
+        _ => grepair_obs::snapshot_text(),
+    })
 }
 
 fn cmd_store(tokens: &[String]) -> CliResult {
@@ -1506,6 +1587,89 @@ repair set x.seen = true
         ]))
         .unwrap();
         assert!(out.contains("TOTAL"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Typed mirror of the Chrome trace file schema — parsing into it *is*
+    /// the schema check (the derive rejects missing required fields).
+    #[derive(serde::Deserialize)]
+    #[allow(non_snake_case)]
+    struct TraceFile {
+        traceEvents: Vec<TraceRow>,
+    }
+
+    #[derive(serde::Deserialize)]
+    struct TraceRow {
+        name: String,
+        cat: String,
+        ph: char,
+        ts: f64,
+        /// Complete (`X`) spans carry a duration…
+        dur: Option<f64>,
+        /// …instants carry a scope instead.
+        s: Option<String>,
+        pid: u64,
+        tid: u64,
+    }
+
+    /// One combined test for `--trace` and `metrics`: tracing state is
+    /// process-global, so splitting this across tests would let the
+    /// parallel test harness interleave enable/disable calls.
+    #[test]
+    fn trace_export_and_metrics_snapshot() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-trace.json");
+        let repaired = dir.join("repaired-trace.json");
+        let rules = dir.join("rules-trace.grr");
+        let trace = dir.join("trace.json");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "200", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+
+        let out = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", repaired.to_str().unwrap(), "--trace", trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("converged: true"), "{out}");
+        assert!(out.contains("wrote trace"), "{out}");
+
+        // The exported file is valid Chrome trace format.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let parsed: TraceFile = serde_json::from_str(&text).expect("trace must parse");
+        assert!(!parsed.traceEvents.is_empty());
+        let names: Vec<&str> = parsed.traceEvents.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"engine.repair"), "{names:?}");
+        assert!(names.contains(&"match.find_all"), "{names:?}");
+        for e in &parsed.traceEvents {
+            assert!(!e.cat.is_empty());
+            assert_eq!(e.pid, 1);
+            assert!(e.ts >= 0.0, "negative ts on tid {}", e.tid);
+            match e.ph {
+                'X' => assert!(e.dur.is_some(), "complete span {} missing dur", e.name),
+                'i' => assert_eq!(e.s.as_deref(), Some("t"), "instant {} missing scope", e.name),
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+
+        // metrics with a run (-r/-g) produces a populated text snapshot…
+        let out = dispatch(&toks(&[
+            "metrics", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("counter   engine.rounds"), "{out}");
+        assert!(out.contains("histogram match.find_all_ns"), "{out}");
+
+        // …and the JSON form carries the stable schema.
+        let out = dispatch(&toks(&["metrics", "--format", "json"])).unwrap();
+        for key in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"events\""] {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        assert!(out.contains("\"engine.rounds\""), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
     }

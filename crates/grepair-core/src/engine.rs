@@ -46,6 +46,7 @@ use crate::cost::estimate_cost;
 use crate::rule::Grr;
 use grepair_graph::{EditCosts, FrozenGraph, Graph, NodeId};
 use grepair_match::{GraphView, Match, MatchConfig, Matcher, Planner, TouchSet};
+use grepair_obs as obs;
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -199,6 +200,33 @@ pub struct RepairReport {
     /// Wall-clock duration.
     #[serde(skip)]
     pub wall: Duration,
+}
+
+/// Per-run engine telemetry: child counters of the global registry's
+/// `engine.*` series, so a run's deltas both roll up into the
+/// process-wide totals and serve as the authoritative source for the
+/// corresponding [`RepairReport`] fields (`strata`, per-rule `scans`) —
+/// the report is a *view* over these counters, not a parallel tally.
+struct EngineTelemetry {
+    rounds: obs::Counter,
+    repairs_applied: obs::Counter,
+    strata: obs::Counter,
+    rule_scans: Vec<obs::Counter>,
+    rule_repair_ns: std::sync::Arc<obs::Histogram>,
+}
+
+impl EngineTelemetry {
+    fn for_run(n_rules: usize) -> Self {
+        EngineTelemetry {
+            rounds: obs::counter("engine.rounds").child(),
+            repairs_applied: obs::counter("engine.repairs_applied").child(),
+            strata: obs::counter("engine.strata").child(),
+            rule_scans: (0..n_rules)
+                .map(|_| obs::counter("engine.rule_scans").child())
+                .collect(),
+            rule_repair_ns: obs::histogram("engine.rule_repair_ns"),
+        }
+    }
 }
 
 /// One discovered violation, ordered for the arbitration queue.
@@ -356,6 +384,8 @@ impl RepairEngine {
         mut sink: impl FnMut(&AppliedOp),
     ) -> RepairReport {
         let start = Instant::now();
+        let _span = obs::span("engine.repair", "engine");
+        let tel = EngineTelemetry::for_run(rules.len());
         let mut report = RepairReport {
             per_rule: rules
                 .iter()
@@ -399,17 +429,26 @@ impl RepairEngine {
         };
         match schedule {
             Some(strata) => {
-                report.strata = strata.len();
-                self.run_stratified(g, rules, &strata, &mut report, max_repairs, &mut sink, planner)
+                tel.strata.add(strata.len() as u64);
+                self.run_stratified(
+                    g, rules, &strata, &mut report, max_repairs, &mut sink, planner, &tel,
+                )
             }
             None => match self.config.mode {
                 EngineMode::Naive => {
-                    self.run_naive(g, rules, &mut report, max_repairs, &mut sink, planner)
+                    self.run_naive(g, rules, &mut report, max_repairs, &mut sink, planner, &tel)
                 }
                 EngineMode::Incremental => {
-                    self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, planner)
+                    self.run_incremental(g, rules, &mut report, max_repairs, &mut sink, planner, &tel)
                 }
             },
+        }
+        // The report's scheduling counters are read back from the run's
+        // registry-backed telemetry (per-run children, so the values are
+        // exact per-run deltas).
+        report.strata = tel.strata.get() as usize;
+        for (stats, scans) in report.per_rule.iter_mut().zip(&tel.rule_scans) {
+            stats.scans = scans.get() as usize;
         }
 
         if self.config.verify_fixpoint {
@@ -575,6 +614,7 @@ impl RepairEngine {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_naive(
         &self,
         g: &mut Graph,
@@ -583,6 +623,7 @@ impl RepairEngine {
         max_repairs: usize,
         sink: &mut dyn FnMut(&AppliedOp),
         planner: &Planner,
+        tel: &EngineTelemetry,
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
         // Label-keyed dirty-rule worklist. A rule is rescanned in round
@@ -598,7 +639,9 @@ impl RepairEngine {
         let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
         let mut dirty = vec![true; rules.len()];
         for _round in 0..self.config.max_rounds {
+            let _round_span = obs::span("engine.round", "engine");
             report.rounds += 1;
+            tel.rounds.inc();
             // Repairs drift the distributions; re-snapshot statistics
             // once the drift is large enough to matter. Small drifts keep
             // the statistics epoch — and with it every cached plan.
@@ -607,7 +650,7 @@ impl RepairEngine {
             }
             for (ri, d) in dirty.iter().enumerate() {
                 if *d {
-                    report.per_rule[ri].scans += 1;
+                    tel.rule_scans[ri].inc();
                 }
             }
             let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
@@ -632,7 +675,7 @@ impl RepairEngine {
                 if !self.admit(&mut churn, &v) {
                     continue;
                 }
-                if self.apply_one(g, rules, &v, report, sink) {
+                if self.apply_one(g, rules, &v, report, sink, tel) {
                     applied_any = true;
                 }
                 // Persisting match after its own repair: the rule must be
@@ -677,6 +720,7 @@ impl RepairEngine {
         max_repairs: usize,
         sink: &mut dyn FnMut(&AppliedOp),
         planner: &Planner,
+        tel: &EngineTelemetry,
     ) {
         let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
         for stratum in strata {
@@ -685,13 +729,15 @@ impl RepairEngine {
                 dirty[ri] = true;
             }
             loop {
+                let _round_span = obs::span("engine.round", "engine");
                 report.rounds += 1;
+                tel.rounds.inc();
                 if self.wants_stats() {
                     planner.refresh_if_drifted(g);
                 }
                 for (ri, d) in dirty.iter().enumerate() {
                     if *d {
-                        report.per_rule[ri].scans += 1;
+                        tel.rule_scans[ri].inc();
                     }
                 }
                 let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
@@ -714,7 +760,7 @@ impl RepairEngine {
                     if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
                         continue;
                     }
-                    if self.apply_one(g, rules, &v, report, sink) {
+                    if self.apply_one(g, rules, &v, report, sink, tel) {
                         applied_any = true;
                     }
                     if revalidate(g, &rules[v.rule].pattern, &mut v.m) {
@@ -743,6 +789,7 @@ impl RepairEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_incremental(
         &self,
         g: &mut Graph,
@@ -751,18 +798,23 @@ impl RepairEngine {
         max_repairs: usize,
         sink: &mut dyn FnMut(&AppliedOp),
         planner: &Planner,
+        tel: &EngineTelemetry,
     ) {
         let mut churn: FxHashMap<u64, u32> = FxHashMap::default();
         report.rounds = 1;
+        tel.rounds.inc();
         // Trigger filter: label-level preconditions per rule. After a
         // repair, only rules whose preconditions the applied operations
         // could have *enabled* are re-matched — the rule-dependency
         // pruning that keeps per-repair work independent of |Σ|.
         let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
-        for s in report.per_rule.iter_mut() {
-            s.scans = 1;
+        for scans in tel.rule_scans.iter() {
+            scans.inc();
         }
-        let mut queue: BinaryHeap<Violation> = self.full_scan(g, rules, planner).into();
+        let mut queue: BinaryHeap<Violation> = {
+            let _seed_span = obs::span("engine.round", "engine");
+            self.full_scan(g, rules, planner).into()
+        };
         for v in queue.iter() {
             report.per_rule[v.rule].matches_found += 1;
         }
@@ -778,7 +830,7 @@ impl RepairEngine {
                 continue;
             }
             last_ops_start = report.ops.len();
-            let Some(touched) = self.apply_one_touched(g, rules, &v, report, sink) else {
+            let Some(touched) = self.apply_one_touched(g, rules, &v, report, sink, tel) else {
                 continue;
             };
             let new_ops = &report.ops[last_ops_start..];
@@ -839,8 +891,9 @@ impl RepairEngine {
         v: &Violation,
         report: &mut RepairReport,
         sink: &mut dyn FnMut(&AppliedOp),
+        tel: &EngineTelemetry,
     ) -> bool {
-        self.apply_one_touched(g, rules, v, report, sink).is_some()
+        self.apply_one_touched(g, rules, v, report, sink, tel).is_some()
     }
 
     /// Apply; returns the touched set if the repair changed anything.
@@ -851,13 +904,17 @@ impl RepairEngine {
         v: &Violation,
         report: &mut RepairReport,
         sink: &mut dyn FnMut(&AppliedOp),
+        tel: &EngineTelemetry,
     ) -> Option<TouchSet> {
+        let repair_started = obs::timer();
         let applied: Applied = apply_rule(g, &rules[v.rule], &v.m, &self.config.costs)
             .expect("validated rule on revalidated match cannot fail");
+        obs::record_since(&tel.rule_repair_ns, repair_started);
         if applied.is_noop() {
             return None;
         }
         report.repairs_applied += 1;
+        tel.repairs_applied.inc();
         report.total_cost += applied.cost;
         report.per_rule[v.rule].repairs_applied += 1;
         report.per_rule[v.rule].cost += applied.cost;

@@ -185,6 +185,8 @@ pub fn evaluate_repair(
     truth: &GroundTruth,
     ops: &[AppliedOp],
 ) -> RepairQuality {
+    let _span = grepair_obs::span("eval.evaluate_repair", "eval");
+    grepair_obs::counter("eval.evaluations").inc();
     let canon = CanonMap::new(truth, ops);
     let c = triples(clean, &canon);
     let d = triples(dirty, &canon);

@@ -91,6 +91,8 @@ pub struct KgRefs {
 
 /// Generate a clean knowledge graph.
 pub fn generate_kg(cfg: &KgConfig) -> (Graph, KgRefs) {
+    let _span = grepair_obs::span("gen.generate_kg", "gen");
+    grepair_obs::counter("gen.graphs_generated").inc();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut g = Graph::new();
     let (n_cities, n_countries, n_companies) = cfg.resolved();

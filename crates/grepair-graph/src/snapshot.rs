@@ -102,6 +102,14 @@ impl FrozenGraph {
     /// Build a snapshot of `g`. One pass over live elements plus a
     /// per-node sort of adjacency runs: `O(V + E log d_max)`.
     pub fn freeze(g: &Graph) -> Self {
+        let _span = grepair_obs::span("graph.freeze", "graph");
+        let freeze_started = grepair_obs::timer();
+        let frozen = Self::freeze_inner(g);
+        grepair_obs::record_since_named("graph.freeze_ns", freeze_started);
+        frozen
+    }
+
+    fn freeze_inner(g: &Graph) -> Self {
         let n = g.num_nodes();
         let slot_cap = g.nodes().last().map(|id| id.index() + 1).unwrap_or(0);
         let mut dense_of = vec![DEAD; slot_cap];
@@ -227,6 +235,15 @@ impl FrozenGraph {
     /// snapshot (verifiable with [`FrozenGraph::check_against`]).
     #[cfg(feature = "parallel")]
     pub fn par_freeze(g: &Graph) -> Self {
+        let _span = grepair_obs::span("graph.freeze", "graph");
+        let freeze_started = grepair_obs::timer();
+        let frozen = Self::par_freeze_inner(g);
+        grepair_obs::record_since_named("graph.freeze_ns", freeze_started);
+        frozen
+    }
+
+    #[cfg(feature = "parallel")]
+    fn par_freeze_inner(g: &Graph) -> Self {
         use rayon::prelude::*;
 
         /// Nodes per freeze chunk: large enough to amortize scheduling,

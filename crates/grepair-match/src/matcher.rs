@@ -24,6 +24,7 @@
 use crate::pattern::{CmpOp, Constraint, Pattern, Rhs, Var};
 use crate::plan::Planner;
 use crate::view::GraphView;
+use grepair_obs as obs;
 use grepair_graph::{
     sig_bit, AttrKeyId, CardinalityStats, Direction, EdgeId, Graph, LabelId, NodeId, Value,
 };
@@ -408,11 +409,15 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
 
     /// All matches of `pattern`.
     pub fn find_all(&self, pattern: &Pattern) -> Vec<Match> {
+        let _span = obs::span("match.find_all", "match");
+        let started = obs::timer();
         let mut out = Vec::new();
         self.for_each_state(pattern, &mut |st| {
             out.push(st.to_match());
             true
         });
+        obs::record_since_named("match.find_all_ns", started);
+        obs::counter("match.matches_found").add(out.len() as u64);
         out
     }
 
@@ -520,11 +525,14 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         let slots: Vec<Mutex<Vec<Match>>> =
             (0..morsels.len()).map(|_| Mutex::new(Vec::new())).collect();
         let cursor = AtomicUsize::new(0);
+        let _span = obs::span("match.par_find_all_many", "match");
+        let morsel_hist = obs::histogram("match.morsel_drain_ns");
         let preps_ref = &preps;
         let morsels_ref = &morsels;
         let slots_ref = &slots;
         let cursor_ref = &cursor;
         let empty_ref = &empty;
+        let morsel_hist_ref = &morsel_hist;
         let n_workers = workers.min(morsels.len().max(1));
         (0..n_workers).into_par_iter().for_each(|_| {
             // One pooled backtracking state per worker, reused across
@@ -548,6 +556,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                     }
                     None => self.acquire_state(comp.plan.len(), comp.edges.len()),
                 };
+                let drain_started = obs::timer();
                 let mut out = Vec::new();
                 self.run_roots(
                     comp,
@@ -559,6 +568,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                     },
                     empty_ref,
                 );
+                obs::record_since(morsel_hist_ref, drain_started);
                 *slots_ref[m].lock().expect("morsel slot poisoned") = out;
                 held = Some((pattern, st));
             }
@@ -577,9 +587,16 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
                 Prep::Scan { .. } => Vec::new(),
             })
             .collect();
+        let mut scan_matches = 0u64;
         for (morsel, slot) in morsels.iter().zip(slots) {
-            results[morsel.pattern].append(&mut slot.into_inner().expect("morsel slot poisoned"));
+            let mut drained = slot.into_inner().expect("morsel slot poisoned");
+            scan_matches += drained.len() as u64;
+            results[morsel.pattern].append(&mut drained);
         }
+        // Matches found on the morsel path; the serial fallback and
+        // `Prep::Done` paths already count through `find_all`, so the
+        // `match.matches_found` total is invariant across thread counts.
+        obs::counter("match.matches_found").add(scan_matches);
         results
     }
 
@@ -1331,6 +1348,21 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             }
             if !root_blowup {
                 self.run_roots(comp, &mut st, &roots, emit, touched);
+            }
+        }
+        // Per-plan-step estimated-vs-observed cardinality, as a percent
+        // ratio (100 = spot-on). Only meaningful while the adaptive
+        // monitor was tracking frontiers, and only sampled when tracing
+        // is on — the frontier loop must stay free of registry traffic
+        // in the default configuration.
+        if st.adapt && obs::tracing_enabled() {
+            let h = obs::histogram("plan.step_obs_vs_est_pct");
+            for (depth, &generated) in st.gen.iter().enumerate() {
+                if generated == 0 {
+                    continue;
+                }
+                let est = comp.est_gen[depth].max(1.0);
+                h.record((generated as f64 / est * 100.0) as u64);
             }
         }
         let info = st.replan_at.take().map(|depth| ReplanInfo {

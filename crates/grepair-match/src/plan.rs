@@ -64,8 +64,8 @@ use crate::matcher::{Compiled, Matcher, SearchState, TouchSet};
 use crate::pattern::Pattern;
 use crate::view::GraphView;
 use grepair_graph::{CardinalityStats, Graph};
+use grepair_obs as obs;
 use rustc_hash::FxHashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key of one compiled plan. See the module docs for why each
@@ -151,14 +151,34 @@ fn drift_ratio(s: &CardinalityStats, g: &Graph) -> f64 {
 
 /// Shared planning context: cardinality statistics, a compiled-plan
 /// cache, and a search-state pool. See the module docs.
-#[derive(Default)]
 pub struct Planner {
     cache: Mutex<FxHashMap<PlanKey, Option<Arc<Compiled>>>>,
     stats: Mutex<StatsSlot>,
-    compiles: AtomicU64,
-    hits: AtomicU64,
-    replans: AtomicU64,
+    /// Per-planner children of the global `planner.*` registry counters:
+    /// reading one gives this planner's own count (the per-run delta
+    /// semantics `RepairReport` depends on) while every increment also
+    /// propagates into the process-wide metrics registry.
+    compiles: obs::Counter,
+    hits: obs::Counter,
+    replans: obs::Counter,
+    /// Latency of cache-miss compiles (recorded only while telemetry is
+    /// enabled).
+    compile_ns: Arc<obs::Histogram>,
     pool: Mutex<Vec<SearchState>>,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Planner {
+            cache: Mutex::default(),
+            stats: Mutex::default(),
+            compiles: obs::counter("planner.pattern_compiles").child(),
+            hits: obs::counter("planner.plan_cache_hits").child(),
+            replans: obs::counter("planner.plan_replans").child(),
+            compile_ns: obs::histogram("plan.compile_ns"),
+            pool: Mutex::default(),
+        }
+    }
 }
 
 impl Planner {
@@ -317,30 +337,30 @@ impl Planner {
 
     /// Patterns actually compiled through this planner.
     pub fn compile_count(&self) -> u64 {
-        self.compiles.load(Ordering::Relaxed)
+        self.compiles.get()
     }
 
     /// Compiles avoided by the plan cache.
     pub fn cache_hit_count(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Adaptive re-plans triggered through this planner (a matcher
     /// observed a frontier blowing past its estimate, aborted, and
     /// re-planned with patched statistics).
     pub fn replan_count(&self) -> u64 {
-        self.replans.load(Ordering::Relaxed)
+        self.replans.get()
     }
 
     pub(crate) fn note_replan(&self) {
-        self.replans.fetch_add(1, Ordering::Relaxed);
+        self.replans.inc();
     }
 
     /// Count a compile that happened outside [`Planner::compiled`] (the
     /// adaptive re-plan path) so [`Planner::compile_count`] reflects all
     /// real compilation work.
     pub(crate) fn note_compile(&self) {
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compiles.inc();
     }
 
     /// Cached-or-fresh compile of `pattern` for `m`'s view and
@@ -356,11 +376,14 @@ impl Planner {
     ) -> Option<Arc<Compiled>> {
         let key = self.plan_key(m, pattern, anchor);
         if let Some(found) = self.cache.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return found.clone();
         }
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compiles.inc();
+        let _span = obs::span("plan.compile", "plan");
+        let started = obs::timer();
         let comp = m.compile(pattern, anchor, touched).map(Arc::new);
+        obs::record_since(&self.compile_ns, started);
         let mut cache = self.cache.lock().unwrap();
         if cache.len() >= MAX_CACHED_PLANS {
             cache.clear();

@@ -101,6 +101,7 @@ impl Default for MinerConfig {
 /// Run every miner and return all mined rules, deterministically ordered
 /// by (kind, rule name).
 pub fn mine_all(g: &grepair_graph::Graph, cfg: &MinerConfig) -> Vec<MinedRule> {
+    let _span = grepair_obs::span("mine.mine_all", "mine");
     let mut out = Vec::new();
     out.extend(path_rules::mine_path_rules(g, cfg));
     out.extend(symmetry_rules::mine_symmetry_rules(g, cfg));
@@ -110,6 +111,7 @@ pub fn mine_all(g: &grepair_graph::Graph, cfg: &MinerConfig) -> Vec<MinedRule> {
             .cmp(&format!("{:?}", b.kind))
             .then_with(|| a.rule.name.cmp(&b.rule.name))
     });
+    grepair_obs::counter("mine.rules_mined").add(out.len() as u64);
     out
 }
 

@@ -36,6 +36,7 @@ use crate::wal::{
 };
 use grepair_core::{AppliedOp, Grr, Planner, RepairEngine, RepairReport};
 use grepair_graph::{EdgeId, Graph, MergeOutcome, NodeId, Value};
+use grepair_obs as obs;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -55,6 +56,14 @@ pub struct StoreConfig {
     /// the end of [`DurableGraph::repair`]). Disable only for bulk
     /// loads you are prepared to redo.
     pub sync_on_commit: bool,
+    /// [`DurableGraph::maybe_compact`] records a warn-level
+    /// `store.log_growth` event when it *defers* compaction while the
+    /// post-snapshot log already carries at least this many bytes.
+    /// Defaults to [`StoreConfig::compact_log_bytes`], under which the
+    /// warning can never fire (growth past the bound compacts instead);
+    /// set it lower to be told about log growth before compaction is
+    /// due.
+    pub log_growth_warn_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -64,6 +73,7 @@ impl Default for StoreConfig {
             compact_log_bytes: 32 * 1024 * 1024,
             keep_snapshots: 2,
             sync_on_commit: true,
+            log_growth_warn_bytes: 32 * 1024 * 1024,
         }
     }
 }
@@ -106,6 +116,11 @@ pub struct StoreStatus {
     pub live_nodes: usize,
     /// Live edges in the graph.
     pub live_edges: usize,
+    /// Journaled sequences not yet covered by a snapshot
+    /// (`last_seq - snapshot_seq`) — how much replay a recovery pays.
+    pub snapshot_age_seqs: u64,
+    /// Bytes in the active (append) segment.
+    pub active_log_bytes: u64,
 }
 
 impl std::fmt::Display for StoreStatus {
@@ -120,10 +135,15 @@ impl std::fmt::Display for StoreStatus {
             "segments: {} ({} bytes), snapshots: {} ({} bytes)",
             self.segments, self.segment_bytes, self.snapshots, self.snapshot_bytes
         )?;
-        write!(
+        writeln!(
             f,
             "log bytes since snapshot: {}",
             self.log_bytes_since_snapshot
+        )?;
+        write!(
+            f,
+            "snapshot age: {} seqs, active log: {} bytes",
+            self.snapshot_age_seqs, self.active_log_bytes
         )
     }
 }
@@ -141,6 +161,32 @@ pub struct CompactionStats {
     pub bytes_reclaimed: u64,
 }
 
+/// Pre-interned handles into the global metrics registry, held for the
+/// store's lifetime so the per-record write path pays atomic updates
+/// only — never a registry lookup.
+struct StoreTelemetry {
+    append_ns: std::sync::Arc<obs::Histogram>,
+    snapshot_age: std::sync::Arc<obs::Gauge>,
+    active_log_bytes: std::sync::Arc<obs::Gauge>,
+}
+
+impl Default for StoreTelemetry {
+    fn default() -> Self {
+        StoreTelemetry {
+            append_ns: obs::histogram("wal.append_ns"),
+            snapshot_age: obs::gauge("store.snapshot_age_seqs"),
+            active_log_bytes: obs::gauge("store.active_log_bytes"),
+        }
+    }
+}
+
+impl StoreTelemetry {
+    fn set_gauges(&self, last_seq: u64, snapshot_seq: u64, active_log_bytes: u64) {
+        self.snapshot_age.set((last_seq - snapshot_seq) as i64);
+        self.active_log_bytes.set(active_log_bytes as i64);
+    }
+}
+
 /// A [`Graph`] whose every mutation is journaled to a checksummed WAL,
 /// with snapshot-based compaction and crash recovery.
 ///
@@ -156,6 +202,7 @@ pub struct DurableGraph {
     config: StoreConfig,
     graph: Graph,
     writer: SegmentWriter,
+    telemetry: StoreTelemetry,
     /// Long-lived planning state for [`DurableGraph::repair`]: plans
     /// compiled in one repair run serve every later run against this
     /// store, and statistics come free off the graph's write path (the
@@ -194,6 +241,7 @@ impl DurableGraph {
             config,
             graph,
             writer,
+            telemetry: StoreTelemetry::default(),
             planner: Planner::new(),
             last_seq: 0,
             snapshot_seq: 0,
@@ -218,6 +266,8 @@ impl DurableGraph {
     /// log replay + torn-tail truncation).
     pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
         let start = Instant::now();
+        let _span = obs::span("store.recovery", "store");
+        let recovery_started = obs::timer();
         if !dir.is_dir() {
             return Err(StoreError::NotAStore(dir.to_path_buf()));
         }
@@ -354,21 +404,27 @@ impl DurableGraph {
         };
 
         stats.wall = start.elapsed();
+        obs::record_since_named("store.recovery_ns", recovery_started);
+        obs::counter("wal.records_replayed").add(stats.records_replayed);
         // Statistics maintenance starts *after* replay (one compute over
         // the recovered state) so the replay loop itself stays lean.
         graph.maintain_stats(true);
-        Ok(Self {
+        let s = Self {
             dir: dir.to_path_buf(),
             config,
             graph,
             writer,
+            telemetry: StoreTelemetry::default(),
             planner: Planner::new(),
             last_seq,
             snapshot_seq: snap_seq,
             bytes_since_snapshot,
             last_recovery: stats,
             poisoned: false,
-        })
+        };
+        s.telemetry
+            .set_gauges(s.last_seq, s.snapshot_seq, s.writer.len());
+        Ok(s)
     }
 
     /// Open `dir` if it holds a store, otherwise create one.
@@ -420,6 +476,8 @@ impl DurableGraph {
             log_bytes_since_snapshot: self.bytes_since_snapshot,
             live_nodes: self.graph.num_nodes(),
             live_edges: self.graph.num_edges(),
+            snapshot_age_seqs: self.last_seq - self.snapshot_seq,
+            active_log_bytes: self.writer.len(),
             ..StoreStatus::default()
         };
         for (_, path) in list_segments(&self.dir)? {
@@ -450,6 +508,7 @@ impl DurableGraph {
 
     fn append(&mut self, m: &Mutation) -> Result<()> {
         let seq = self.last_seq + 1;
+        let append_started = obs::timer();
         match append_with_rotation(
             &mut self.writer,
             &self.dir,
@@ -458,8 +517,11 @@ impl DurableGraph {
             m,
         ) {
             Ok(written) => {
+                obs::record_since(&self.telemetry.append_ns, append_started);
                 self.last_seq = seq;
                 self.bytes_since_snapshot += written;
+                self.telemetry
+                    .set_gauges(self.last_seq, self.snapshot_seq, self.writer.len());
                 Ok(())
             }
             Err(e) => {
@@ -475,9 +537,13 @@ impl DurableGraph {
     /// `fsync` the active segment — everything journaled so far is
     /// durable once this returns.
     pub fn commit(&mut self) -> Result<()> {
+        let commit_started = obs::timer();
         if self.config.sync_on_commit {
+            let fsync_started = obs::timer();
             self.writer.sync()?;
+            obs::record_since_named("wal.fsync_ns", fsync_started);
         }
+        obs::record_since_named("store.commit_ns", commit_started);
         Ok(())
     }
 
@@ -645,6 +711,7 @@ impl DurableGraph {
             planner,
             last_seq,
             bytes_since_snapshot,
+            telemetry,
             ..
         } = self;
         let mut io_err: Option<StoreError> = None;
@@ -653,6 +720,7 @@ impl DurableGraph {
                 return;
             }
             let seq = *last_seq + 1;
+            let append_started = obs::timer();
             match append_with_rotation(
                 writer,
                 dir,
@@ -661,6 +729,7 @@ impl DurableGraph {
                 &Mutation::from_applied(op),
             ) {
                 Ok(written) => {
+                    obs::record_since(&telemetry.append_ns, append_started);
                     *last_seq = seq;
                     *bytes_since_snapshot += written;
                 }
@@ -672,6 +741,8 @@ impl DurableGraph {
             return Err(e);
         }
         self.commit()?;
+        self.telemetry
+            .set_gauges(self.last_seq, self.snapshot_seq, self.writer.len());
         Ok(report)
     }
 
@@ -680,6 +751,8 @@ impl DurableGraph {
     /// Snapshot the current state, rotate the log, and retire segments
     /// and snapshots that recovery no longer needs.
     pub fn compact(&mut self) -> Result<CompactionStats> {
+        let _span = obs::span("store.compaction", "store");
+        let compaction_started = obs::timer();
         // A poisoned store must not snapshot: the in-memory graph may
         // hold unjournaled mutations, and persisting them would launder
         // the drift into a recovery point.
@@ -731,14 +804,33 @@ impl DurableGraph {
         }
         self.snapshot_seq = self.last_seq;
         self.bytes_since_snapshot = 0;
+        self.telemetry
+            .set_gauges(self.last_seq, self.snapshot_seq, self.writer.len());
+        obs::record_since_named("store.compaction_ns", compaction_started);
         Ok(stats)
     }
 
     /// Compact if the post-snapshot log exceeds
-    /// [`StoreConfig::compact_log_bytes`].
+    /// [`StoreConfig::compact_log_bytes`]; otherwise, if the log has
+    /// already grown past [`StoreConfig::log_growth_warn_bytes`], record
+    /// a warn-level `store.log_growth` event instead of deferring
+    /// silently.
     pub fn maybe_compact(&mut self) -> Result<Option<CompactionStats>> {
         if self.bytes_since_snapshot >= self.config.compact_log_bytes {
             return self.compact().map(Some);
+        }
+        if self.bytes_since_snapshot >= self.config.log_growth_warn_bytes {
+            obs::event(
+                obs::Level::Warn,
+                "store.log_growth",
+                format!(
+                    "compaction deferred with {} post-snapshot log bytes \
+                     (warn bound {}, compaction bound {})",
+                    self.bytes_since_snapshot,
+                    self.config.log_growth_warn_bytes,
+                    self.config.compact_log_bytes
+                ),
+            );
         }
         Ok(None)
     }
@@ -781,6 +873,7 @@ mod tests {
             compact_log_bytes: 1024,
             keep_snapshots: 2,
             sync_on_commit: true,
+            log_growth_warn_bytes: 1024,
         }
     }
 
@@ -1036,8 +1129,37 @@ mod tests {
         assert_eq!(st.last_seq, s.last_seq());
         assert!(st.log_bytes_since_snapshot > 0);
         assert!(st.segment_bytes > 0);
+        assert_eq!(st.snapshot_age_seqs, s.last_seq(), "no snapshot yet");
+        assert!(st.active_log_bytes > 0);
         let text = st.to_string();
         assert!(text.contains("|V|=9"), "{text}");
+        assert!(text.contains("snapshot age:"), "{text}");
+
+        // After compaction the snapshot covers everything journaled.
+        s.compact().unwrap();
+        let st = s.status().unwrap();
+        assert_eq!(st.snapshot_age_seqs, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deferred_compaction_over_warn_bound_records_event() {
+        let dir = tmpdir("warnbound");
+        let mut s = DurableGraph::create(
+            &dir,
+            StoreConfig {
+                log_growth_warn_bytes: 64, // warn well before the 1 KiB compact bound
+                ..small_config()
+            },
+        )
+        .unwrap();
+        populate(&mut s, 3); // a few hundred log bytes: past warn, under compact
+        let before = grepair_obs::snapshot_json();
+        assert!(s.maybe_compact().unwrap().is_none(), "under compact bound");
+        let after = grepair_obs::snapshot_json();
+        let grew = after.matches("store.log_growth").count()
+            > before.matches("store.log_growth").count();
+        assert!(grew, "deferral past the warn bound must record an event");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -261,6 +261,8 @@ fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R
     if budget <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
+    grepair_obs::counter("rayon.passes").inc();
+    let pass_started = grepair_obs::timer();
     // Oversplit relative to the budget so uneven per-chunk cost
     // balances via the shared claim counter.
     let n = items.len();
@@ -321,6 +323,7 @@ fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R
     if let Some(p) = ctx.panic.into_inner().expect("rayon shim panic slot poisoned") {
         resume_unwind(p);
     }
+    grepair_obs::record_since_named("rayon.pass_ns", pass_started);
     ctx.outs
         .into_iter()
         .flat_map(|m| m.into_inner().expect("rayon shim slot poisoned"))

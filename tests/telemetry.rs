@@ -1,0 +1,275 @@
+//! End-to-end telemetry: every layer of the stack contributes spans and
+//! histograms to a full `repair --store` run, and the counters the
+//! observability layer reports are *deterministic* — identical totals
+//! whether matching and WAL replay run on 1, 2, or 8 worker threads.
+//!
+//! Tracing state is process-global, so every test here serialises on one
+//! mutex and works in counter/histogram *deltas* (the registry is
+//! cumulative and shared with whatever ran before).
+
+use grepair_core::{EngineConfig, RepairEngine};
+use grepair_gen::{generate_kg, gold_kg_rules, inject_kg_noise, KgConfig, NoiseConfig};
+use grepair_obs::TraceEvent;
+use grepair_store::{DurableGraph, StoreConfig};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "grepair-telemetry-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run `f` with tracing enabled and return its result plus the span
+/// buffer it produced (cleared of anything buffered beforehand).
+fn with_tracing<T>(f: impl FnOnce() -> T) -> (T, Vec<TraceEvent>) {
+    grepair_obs::take_events();
+    grepair_obs::set_tracing(true);
+    let out = f();
+    grepair_obs::set_tracing(false);
+    (out, grepair_obs::take_events())
+}
+
+/// The tentpole acceptance check: a full repair over a durable store,
+/// with frozen scans, leaves ≥ 1 span and ≥ 1 histogram sample from
+/// every layer — engine, matcher, planner, freeze, and WAL.
+#[test]
+fn every_layer_contributes_spans_and_histograms() {
+    let _lock = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("layers");
+
+    let (clean, refs) = generate_kg(&KgConfig::with_persons(200));
+    let mut dirty = clean.clone();
+    inject_kg_noise(&mut dirty, &refs, &NoiseConfig::default());
+    let rules = gold_kg_rules();
+    let engine = RepairEngine::new(EngineConfig {
+        freeze_scans: true, // pull the snapshot layer into the run
+        ..EngineConfig::default()
+    });
+
+    let layer_histograms = [
+        ("engine", "engine.rule_repair_ns"),
+        ("matcher", "match.find_all_ns"),
+        ("planner", "plan.compile_ns"),
+        ("freeze", "graph.freeze_ns"),
+        ("wal", "wal.append_ns"),
+        ("wal", "store.recovery_ns"),
+    ];
+    let before: Vec<u64> = layer_histograms
+        .iter()
+        .map(|(_, n)| grepair_obs::histogram(n).count())
+        .collect();
+
+    let ((), events) = with_tracing(|| {
+        let mut store = DurableGraph::create_with(&dir, StoreConfig::default(), dirty).unwrap();
+        let report = store.repair(&engine, &rules.rules).unwrap();
+        assert!(report.converged, "gold rules must converge");
+        assert!(report.repairs_applied > 0, "noise must need repairs");
+        drop(store);
+        // Reopen so recovery (WAL replay) contributes too.
+        let reopened = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert!(reopened.last_recovery().records_replayed > 0);
+    });
+
+    let layer_spans = [
+        ("engine", "engine.repair"),
+        ("engine", "engine.round"),
+        ("matcher", "match.find_all"),
+        ("planner", "plan.compile"),
+        ("freeze", "graph.freeze"),
+        ("wal", "store.recovery"),
+    ];
+    for (layer, span) in layer_spans {
+        assert!(
+            events.iter().any(|e| e.ph == 'X' && e.name == span),
+            "layer {layer} contributed no {span} span"
+        );
+    }
+    grepair_obs::spans_well_formed(&events).expect("trace must nest properly");
+
+    for ((layer, name), before) in layer_histograms.iter().zip(before) {
+        let after = grepair_obs::histogram(name).count();
+        assert!(
+            after > before,
+            "layer {layer} recorded no {name} samples ({before} -> {after})"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Typed mirror of the Chrome trace schema — the derive rejects missing
+/// required fields, so parsing *is* the schema check.
+#[derive(serde::Deserialize)]
+#[allow(non_snake_case)]
+struct TraceFile {
+    traceEvents: Vec<TraceRow>,
+}
+
+#[derive(serde::Deserialize)]
+struct TraceRow {
+    name: String,
+    cat: String,
+    ph: char,
+    ts: f64,
+    /// Complete (`X`) spans carry a duration…
+    dur: Option<f64>,
+    /// …instants carry a scope instead.
+    s: Option<String>,
+    pid: u64,
+    tid: u64,
+}
+
+/// The example trace committed at `examples/trace_repair.json` (produced
+/// by `grepair repair --trace` over a noisy 150-person KG) stays valid
+/// Chrome trace format: loadable in `chrome://tracing` / Perfetto, spans
+/// from every hot layer, proper nesting per thread.
+#[test]
+fn committed_example_trace_is_valid_chrome_trace() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/trace_repair.json");
+    let text = std::fs::read_to_string(path).expect("examples/trace_repair.json must exist");
+    let parsed: TraceFile = serde_json::from_str(&text).expect("must parse as Chrome trace");
+    assert!(!parsed.traceEvents.is_empty());
+
+    let mut spans: Vec<(u64, u64, u64)> = Vec::new(); // (tid, ts_ns, end_ns)
+    for e in &parsed.traceEvents {
+        assert!(!e.name.is_empty() && !e.cat.is_empty());
+        assert_eq!(e.pid, 1);
+        assert!(e.ts >= 0.0);
+        match e.ph {
+            'X' => {
+                let dur = e.dur.unwrap_or_else(|| panic!("span {} missing dur", e.name));
+                let ts_ns = (e.ts * 1_000.0) as u64;
+                spans.push((e.tid, ts_ns, ts_ns + (dur * 1_000.0) as u64));
+            }
+            'i' => assert_eq!(e.s.as_deref(), Some("t"), "instant {} missing scope", e.name),
+            other => panic!("unexpected phase {other:?} on {}", e.name),
+        }
+    }
+
+    // Every hot layer shows up.
+    let names: Vec<&str> = parsed.traceEvents.iter().map(|e| e.name.as_str()).collect();
+    for span in ["engine.repair", "engine.round", "match.find_all", "plan.compile"] {
+        assert!(names.contains(&span), "missing {span} in {names:?}");
+    }
+
+    // Per-tid spans nest (disjoint or strictly contained).
+    spans.sort_by_key(|&(tid, ts, end)| (tid, ts, std::cmp::Reverse(end)));
+    let mut stack: Vec<(u64, u64)> = Vec::new(); // (end, tid)
+    for (tid, ts, end) in spans {
+        while matches!(stack.last(), Some(&(top_end, top_tid)) if top_tid != tid || top_end <= ts)
+        {
+            stack.pop();
+        }
+        if let Some(&(top_end, _)) = stack.last() {
+            assert!(end <= top_end, "span [{ts}, {end}) straddles parent end {top_end}");
+        }
+        stack.push((end, tid));
+    }
+}
+
+/// Counter totals and span well-formedness must not depend on how many
+/// workers the morsel-driven matcher fans out to.
+#[cfg(feature = "parallel")]
+#[test]
+fn par_matching_telemetry_invariant_across_thread_counts() {
+    use grepair_match::{Matcher, Pattern};
+
+    let _lock = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (mut g, refs) = generate_kg(&KgConfig::with_persons(300));
+    // The gold patterns match *violations* — noise makes them non-empty.
+    inject_kg_noise(&mut g, &refs, &NoiseConfig::default());
+    let rules = gold_kg_rules();
+    let patterns: Vec<&Pattern> = rules.rules.iter().map(|r| &r.pattern).collect();
+    let matcher = Matcher::new(&g);
+    let matches_found = grepair_obs::counter("match.matches_found");
+
+    let mut deltas: Vec<u64> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let before = matches_found.get();
+        let (results, events) = with_tracing(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| matcher.par_find_all_many(&patterns))
+        });
+        grepair_obs::spans_well_formed(&events)
+            .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        let total: u64 = results.iter().map(|v| v.len() as u64).sum();
+        assert!(total > 0, "gold patterns must match something");
+        let delta = matches_found.get() - before;
+        assert_eq!(delta, total, "{threads} threads: counter vs matches");
+        deltas.push(delta);
+    }
+    assert!(
+        deltas.windows(2).all(|w| w[0] == w[1]),
+        "match.matches_found depends on thread count: {deltas:?}"
+    );
+}
+
+/// WAL replay telemetry is identical whether segment decode-ahead runs
+/// on 1, 2, or 8 workers: same records_replayed total, well-formed
+/// recovery spans.
+#[cfg(feature = "parallel")]
+#[test]
+fn wal_replay_telemetry_invariant_across_thread_counts() {
+    let _lock = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("replay");
+
+    // Small segments force several files, so parallel decode-ahead has
+    // real fan-out.
+    let config = StoreConfig {
+        segment_max_bytes: 4096,
+        sync_on_commit: false,
+        ..StoreConfig::default()
+    };
+    let mut store = DurableGraph::create(&dir, config.clone()).unwrap();
+    let mut nodes = Vec::new();
+    for _ in 0..300 {
+        nodes.push(store.add_node("Person").unwrap());
+    }
+    for w in nodes.windows(2) {
+        store.add_edge(w[0], w[1], "knows").unwrap();
+    }
+    store.commit().unwrap();
+    let expected = store.last_seq();
+    drop(store);
+    assert!(expected >= 599, "test must generate a real log");
+
+    let replayed_ctr = grepair_obs::counter("wal.records_replayed");
+    let mut deltas: Vec<u64> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let before = replayed_ctr.get();
+        let (store, events) = with_tracing(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| DurableGraph::open(&dir, config.clone()))
+                .unwrap()
+        });
+        assert_eq!(store.last_recovery().records_replayed, expected);
+        assert_eq!(store.graph().nodes().count(), 300, "{threads} threads");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.ph == 'X' && e.name == "store.recovery"),
+            "{threads} threads: no recovery span"
+        );
+        grepair_obs::spans_well_formed(&events)
+            .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        deltas.push(replayed_ctr.get() - before);
+    }
+    assert_eq!(deltas, vec![expected, expected, expected]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
