@@ -1,0 +1,257 @@
+//! Fault-path benchmarks for the durable store: recovery latency as a
+//! function of fault density (damaged snapshots recovery must skip plus
+//! a torn tail it must truncate), degraded read-only open on a store a
+//! writable open refuses, and `fsck` throughput on clean and damaged
+//! directories.
+//!
+//! Set `GREPAIR_BENCH_SMOKE=1` for a minimal configuration so CI can
+//! exercise the whole path in seconds; smoke mode also writes
+//! `BENCH_store_faults.json` at the repo root.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::{RepairEngine, RuleSet};
+use grepair_gen::gold_kg_rules;
+use grepair_graph::Value;
+use grepair_store::{fsck, DurableGraph, ReadOnlyStore, StoreConfig};
+use std::path::{Path, PathBuf};
+
+/// Snapshots to keep, and therefore the deepest snapshot-fallback chain
+/// recovery can be asked to walk: densities 0..=FAULT_DENSITY_MAX.
+const FAULT_DENSITY_MAX: usize = 2;
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn fixture_persons() -> usize {
+    if smoke() {
+        300
+    } else {
+        5_000
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "grepair-bench-faults-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        // One snapshot per compaction below; keeping density_max + 1
+        // lets recovery fall back across density_max damaged ones.
+        keep_snapshots: FAULT_DENSITY_MAX + 1,
+        ..StoreConfig::default()
+    }
+}
+
+/// Build a store whose history spans several snapshots with live log
+/// segments between them: import, repair, and attribute churn, each
+/// phase sealed by a compaction, plus a committed tail after the last
+/// snapshot. Damaging the newest k snapshots then forces recovery to
+/// fall back k times and replay the intervening segments.
+fn build_store(tag: &str) -> (PathBuf, u64) {
+    let dir = tmpdir(tag);
+    let g = dirty_kg_fixture(fixture_persons());
+    let doc = g.to_doc();
+    let mut store = DurableGraph::create(&dir, config()).unwrap();
+    let mut ids = Vec::with_capacity(doc.nodes.len());
+    for n in &doc.nodes {
+        let attrs: Vec<_> = n.attrs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        ids.push(store.add_node_with_attrs(&n.label, &attrs).unwrap());
+    }
+    for e in &doc.edges {
+        store
+            .add_edge(ids[e.src as usize], ids[e.dst as usize], &e.label)
+            .unwrap();
+    }
+    store.commit().unwrap();
+    store.compact().unwrap(); // snapshot 1: the imported graph
+
+    let rules: RuleSet = gold_kg_rules();
+    store.repair(&RepairEngine::default(), &rules.rules).unwrap();
+    store.compact().unwrap(); // snapshot 2: repairs journaled between 1 and 2
+
+    let churn = ids.len() / 10;
+    for (i, id) in ids.iter().take(churn).enumerate() {
+        store.set_attr(*id, "audited", Value::Int(i as i64)).unwrap();
+    }
+    store.commit().unwrap();
+    store.compact().unwrap(); // snapshot 3: churn journaled between 2 and 3
+
+    for (i, id) in ids.iter().take(churn).enumerate() {
+        store.set_attr(*id, "rechecked", Value::Int(i as i64)).unwrap();
+    }
+    store.commit().unwrap(); // committed tail after the newest snapshot
+    let records = store.last_seq();
+    (dir, records)
+}
+
+fn copy_store(src: &Path, tag: &str) -> PathBuf {
+    let dst = tmpdir(tag);
+    std::fs::create_dir_all(&dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+/// Append a torn half-record to the active segment.
+fn tear_tail(dir: &Path) {
+    use std::io::Write as _;
+    let (_, seg) = grepair_store::wal::list_segments(dir).unwrap().pop().unwrap();
+    let mut f = std::fs::OpenOptions::new().append(true).open(seg).unwrap();
+    f.write_all(&[0xC4; 21]).unwrap();
+}
+
+/// Corrupt the newest `count` snapshots (one flipped payload byte each)
+/// so recovery must skip them and fall back.
+fn damage_snapshots(dir: &Path, count: usize) {
+    let snaps = grepair_store::snapshot::list_snapshots(dir).unwrap();
+    assert!(snaps.len() > count, "need a loadable snapshot to fall back to");
+    for (_, path) in snaps.iter().rev().take(count) {
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(path, bytes).unwrap();
+    }
+}
+
+/// Mid-log damage on the active segment: flip a byte in the first frame
+/// and re-append the original frames so CRC-valid records follow the
+/// damage point. A writable open refuses this (truncating would drop
+/// committed records); only the degraded read-only open can serve it.
+fn damage_mid_log(dir: &Path) {
+    let (_, seg) = grepair_store::wal::list_segments(dir).unwrap().pop().unwrap();
+    let clean = std::fs::read(&seg).unwrap();
+    let header = grepair_store::wal::SEGMENT_HEADER_LEN as usize;
+    let mut bytes = clean.clone();
+    bytes[header + 10] ^= 0xFF;
+    bytes.extend_from_slice(&clean[header..]);
+    std::fs::write(&seg, bytes).unwrap();
+}
+
+fn open_with_faults(dir: &Path, density: usize) -> DurableGraph {
+    let s = DurableGraph::open(dir, config()).unwrap();
+    let r = s.last_recovery();
+    assert_eq!(r.snapshots_skipped, density, "fault density drifted");
+    assert!(r.torn_tail_bytes > 0, "torn tail healed away");
+    s
+}
+
+fn bench_store_faults(c: &mut Criterion) {
+    let (clean_dir, records) = build_store("fixture");
+
+    // One copy per fault density: newest `k` snapshots flipped, tail
+    // torn. Recovery heals the tail (truncates it), so each iteration
+    // re-tears before opening, like store_recovery's crash bench.
+    let faulted: Vec<PathBuf> = (0..=FAULT_DENSITY_MAX)
+        .map(|k| {
+            let d = copy_store(&clean_dir, &format!("density{k}"));
+            damage_snapshots(&d, k);
+            tear_tail(&d);
+            d
+        })
+        .collect();
+    let midlog = {
+        let d = copy_store(&clean_dir, "midlog");
+        damage_mid_log(&d);
+        d
+    };
+    // The degraded store must refuse a writable open and serve read-only.
+    assert!(DurableGraph::open(&midlog, config()).is_err());
+    assert!(ReadOnlyStore::open(&midlog).unwrap().degraded());
+
+    let mut group = c.benchmark_group("store_faults");
+    group.sample_size(if smoke() { 2 } else { 10 });
+    for (k, dir) in faulted.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("open", format!("faults_{k}")),
+            dir,
+            |b, d| {
+                b.iter(|| {
+                    tear_tail(d);
+                    open_with_faults(d, k).last_seq()
+                })
+            },
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("open_read_only", "midlog"),
+        &midlog,
+        |b, d| b.iter(|| ReadOnlyStore::open(d).unwrap().last_seq()),
+    );
+    group.bench_with_input(BenchmarkId::new("fsck", "clean"), &clean_dir, |b, d| {
+        b.iter(|| fsck(d).unwrap().last_seq)
+    });
+    group.bench_with_input(
+        BenchmarkId::new("fsck", "damaged"),
+        faulted.last().unwrap(),
+        |b, d| {
+            b.iter(|| {
+                tear_tail(d);
+                fsck(d).unwrap().last_seq
+            })
+        },
+    );
+    group.finish();
+
+    summary(&clean_dir, &faulted, records);
+    std::fs::remove_dir_all(&clean_dir).ok();
+    for d in &faulted {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_dir_all(&midlog).ok();
+}
+
+fn summary(clean_dir: &Path, faulted: &[PathBuf], records: u64) {
+    let samples = if smoke() { 1 } else { 7 };
+
+    // All fault densities must recover the same graph.
+    let nodes = DurableGraph::open(clean_dir, config()).unwrap().graph().num_nodes();
+    for (k, d) in faulted.iter().enumerate() {
+        tear_tail(d);
+        assert_eq!(open_with_faults(d, k).graph().num_nodes(), nodes);
+    }
+
+    let open_at = |k: usize| {
+        criterion::median_time(samples, || {
+            tear_tail(&faulted[k]);
+            open_with_faults(&faulted[k], k).last_seq()
+        })
+    };
+    let base = open_at(0);
+    let worst = open_at(FAULT_DENSITY_MAX);
+    let slowdown = worst.as_secs_f64() / base.as_secs_f64().max(1e-12);
+
+    let report = fsck(clean_dir).unwrap();
+    let fsck_time = criterion::median_time(samples, || fsck(clean_dir).unwrap().last_seq);
+    let fsck_records_per_sec =
+        report.records_replayable as f64 / fsck_time.as_secs_f64().max(1e-12);
+
+    criterion::record_metric("fault_density_max", FAULT_DENSITY_MAX as f64);
+    criterion::record_metric("recovery_slowdown_faults", slowdown);
+    criterion::record_metric("fsck_records_per_sec", fsck_records_per_sec);
+
+    println!(
+        "\nstore-faults summary ({} persons, {nodes} live nodes, {records} log records):\n\
+         \x20 open with 0 faults {base:?}\n\
+         \x20 open with {FAULT_DENSITY_MAX} damaged snapshots + torn tail {worst:?} \
+         ({slowdown:.2}x the clean open)\n\
+         \x20 fsck {fsck_time:?} = {fsck_records_per_sec:.0} records/s dry-run replay",
+        fixture_persons(),
+    );
+}
+
+criterion_group!(benches, bench_store_faults);
+
+fn main() {
+    benches();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
+}

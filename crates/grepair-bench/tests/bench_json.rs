@@ -73,6 +73,9 @@ fn validate(name: &str, text: &str) {
     if parsed.bench == "observability" {
         validate_observability(name, &parsed);
     }
+    if parsed.bench == "store_faults" {
+        validate_store_faults(name, &parsed);
+    }
 }
 
 /// Extra contract for the parallel-matching bench, introduced with the
@@ -152,6 +155,51 @@ fn validate_observability(name: &str, parsed: &BenchJson) {
         eps > 0.0,
         "{name}: events_per_sec must be positive, got {eps}"
     );
+}
+
+/// Extra contract for the fault-path bench: the fault-density axis and
+/// fsck throughput must be present and sane. A recovery "speedup" under
+/// injected faults (slowdown < 1) is a measurement bug — skipping
+/// snapshots and replaying more log can only cost time — and zero fsck
+/// throughput means the dry-run replay never ran.
+fn validate_store_faults(name: &str, parsed: &BenchJson) {
+    for key in [
+        "fault_density_max",
+        "recovery_slowdown_faults",
+        "fsck_records_per_sec",
+    ] {
+        assert!(
+            parsed.metrics.contains_key(key),
+            "{name}: store_faults must record metric {key}"
+        );
+    }
+    let density = parsed.metrics["fault_density_max"];
+    assert!(
+        density >= 1.0 && density.fract() == 0.0,
+        "{name}: fault_density_max must be a positive integer, got {density}"
+    );
+    let slowdown = parsed.metrics["recovery_slowdown_faults"];
+    // >= 1 in principle (skipping snapshots and replaying more log only
+    // costs time); 0.9 leaves room for timing noise in smoke runs.
+    assert!(
+        slowdown >= 0.9,
+        "{name}: recovery under {density} faults cannot beat the clean \
+         open, got slowdown {slowdown}"
+    );
+    let fsck_rps = parsed.metrics["fsck_records_per_sec"];
+    assert!(
+        fsck_rps > 0.0,
+        "{name}: fsck_records_per_sec must be positive, got {fsck_rps}"
+    );
+    // The density axis itself must have been measured, fault-free open
+    // included.
+    for k in 0..=(density as u64) {
+        let id = format!("store_faults/open/faults_{k}");
+        assert!(
+            parsed.results.iter().any(|r| r.id == id),
+            "{name}: missing result row {id}"
+        );
+    }
 }
 
 #[test]
@@ -234,6 +282,53 @@ fn validator_enforces_par_matching_contract() {
             "must reject metrics: {bad_metrics}"
         );
     }
+}
+
+#[test]
+fn validator_enforces_store_faults_contract() {
+    let rows = r#"[
+        {"id":"store_faults/open/faults_0","median_ns":1.0,"iters_per_sec":2.0},
+        {"id":"store_faults/open/faults_1","median_ns":1.5,"iters_per_sec":2.0},
+        {"id":"store_faults/open/faults_2","median_ns":2.0,"iters_per_sec":2.0}]"#;
+    let ok = format!(
+        r#"{{"bench":"store_faults","smoke":true,"results":{rows},"metrics":{{
+            "fault_density_max":2.0,"recovery_slowdown_faults":1.4,
+            "fsck_records_per_sec":10000.0}}}}"#
+    );
+    validate("BENCH_store_faults.json", &ok);
+    for bad_metrics in [
+        // Missing the density axis.
+        r#""recovery_slowdown_faults":1.4,"fsck_records_per_sec":1e4"#,
+        // Missing the headline slowdown.
+        r#""fault_density_max":2.0,"fsck_records_per_sec":1e4"#,
+        // Missing fsck throughput.
+        r#""fault_density_max":2.0,"recovery_slowdown_faults":1.4"#,
+        // A recovery "speedup" under injected faults is a measurement bug.
+        r#""fault_density_max":2.0,"recovery_slowdown_faults":0.5,"fsck_records_per_sec":1e4"#,
+        // Zero fsck throughput means the dry-run replay never ran.
+        r#""fault_density_max":2.0,"recovery_slowdown_faults":1.4,"fsck_records_per_sec":0.0"#,
+        // Fractional density is nonsense.
+        r#""fault_density_max":1.5,"recovery_slowdown_faults":1.4,"fsck_records_per_sec":1e4"#,
+    ] {
+        let text = format!(
+            r#"{{"bench":"store_faults","smoke":true,"results":{rows},"metrics":{{{bad_metrics}}}}}"#
+        );
+        assert!(
+            std::panic::catch_unwind(|| validate("BENCH_store_faults.json", &text)).is_err(),
+            "must reject metrics: {bad_metrics}"
+        );
+    }
+    // A density claimed but not measured (missing faults_2 row) fails.
+    let short_rows = r#"[{"id":"store_faults/open/faults_0","median_ns":1.0,"iters_per_sec":2.0}]"#;
+    let text = format!(
+        r#"{{"bench":"store_faults","smoke":true,"results":{short_rows},"metrics":{{
+            "fault_density_max":2.0,"recovery_slowdown_faults":1.4,
+            "fsck_records_per_sec":1e4}}}}"#
+    );
+    assert!(
+        std::panic::catch_unwind(|| validate("BENCH_store_faults.json", &text)).is_err(),
+        "must reject a density axis without its result rows"
+    );
 }
 
 #[test]

@@ -33,7 +33,7 @@ use grepair_gen::{
 };
 use grepair_graph::{Graph, GraphDoc, GraphStats};
 use grepair_mine::{mine_all, MinerConfig};
-use grepair_store::{DurableGraph, StoreConfig};
+use grepair_store::{fsck, DurableGraph, FsckVerdict, StoreConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -75,7 +75,9 @@ impl Args {
     /// Parse a raw token list. Tokens starting with `--` take the next
     /// token as value unless they are known boolean switches.
     pub fn parse(tokens: &[String]) -> Self {
-        const SWITCHES: &[&str] = &["--naive", "--quick", "--parallel", "--frozen", "--lint"];
+        const SWITCHES: &[&str] = &[
+            "--naive", "--quick", "--parallel", "--frozen", "--lint", "--read-only",
+        ];
         let mut out = Args::default();
         let mut i = 0;
         while i < tokens.len() {
@@ -302,8 +304,8 @@ commands:
   gen kg        --persons N [--seed S] [--noise RATE] -o OUT [--clean C] [--ledger L]
   gen social    --accounts N [--seed S] -o OUT
   stats         GRAPH
-  check         -r RULES (-g GRAPH | --store DIR) [--frozen] [--trace FILE]
-  explain       -r RULES (-g GRAPH | --store DIR)
+  check         -r RULES (-g GRAPH | --store DIR [--read-only]) [--frozen] [--trace FILE]
+  explain       -r RULES (-g GRAPH | --store DIR [--read-only])
   repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R] [--trace FILE]
   repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R] [--trace FILE]
   watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N] [--trace FILE]
@@ -316,6 +318,7 @@ commands:
   store status  -d DIR
   store compact -d DIR
   store export  -d DIR -o OUT
+  store fsck    -d DIR [--format json]
 
 Graph files are .json (GraphDoc) or .txt (fixture format); rule files are
 .grr DSL or .json. --frozen runs full scans over a compacted CSR snapshot
@@ -348,6 +351,17 @@ applied repair is journaled to a checksummed write-ahead log with
 periodic binary snapshots, and reopening recovers the exact committed
 state even after a crash mid-write. `repair --store` commits repairs
 durably and compacts the log when it outgrows its threshold.
+
+`store fsck` is a dry-run recovery: it walks the directory exactly the
+way open would — newest loadable snapshot, ordered replay, torn-tail
+detection — and reports per-file health, where valid data ends, and the
+lock state, without modifying anything. Verdict 'clean' or 'torn-tail'
+exits 0 (a writable open succeeds); 'degraded' (damage open refuses to
+absorb) prints the report on stderr and exits 4. check/explain accept
+--read-only alongside --store: the store opens without taking the lock
+(safe beside a live writer) and, when degraded, serves the newest
+loadable snapshot plus the longest clean log prefix instead of
+refusing.
 
 Observability: --trace FILE (on check/repair/watch) records spans from
 every layer — engine rounds, matching, planning, freezes, WAL writes —
@@ -487,6 +501,40 @@ fn recovery_summary(store: &DurableGraph) -> String {
     out
 }
 
+/// Open a store as a graph for a read path. With `--read-only` the
+/// degraded open is used: no lock is taken (works beside a live
+/// writer) and a damaged tail is served as the newest loadable prefix
+/// instead of refusing. The summary of what was (or wasn't) recovered
+/// goes into `header`.
+fn store_graph(dir: &str, read_only: bool, header: &mut String) -> Result<Graph, CliError> {
+    if !read_only {
+        let store = open_store(dir)?;
+        writeln!(header, "{}", recovery_summary(&store)).unwrap();
+        return Ok(store.into_graph());
+    }
+    let ro = DurableGraph::open_read_only(Path::new(dir))
+        .map_err(|e| CliError::io(format!("cannot open store {dir} read-only: {e}")))?;
+    writeln!(
+        header,
+        "opened store read-only: last seq {} (snapshot {}, {} records replayed)",
+        ro.last_seq(),
+        ro.snapshot_seq(),
+        ro.records_replayed()
+    )
+    .unwrap();
+    if ro.degraded() {
+        writeln!(
+            header,
+            "DEGRADED: serving newest loadable prefix; run `grepair store fsck -d {dir}` for details"
+        )
+        .unwrap();
+        for issue in ro.issues() {
+            writeln!(header, "  issue: {issue}").unwrap();
+        }
+    }
+    Ok(ro.into_graph())
+}
+
 fn cmd_check(tokens: &[String]) -> CliResult {
     let args = Args::parse(tokens);
     let rules_path = args
@@ -499,11 +547,7 @@ fn cmd_check(tokens: &[String]) -> CliResult {
     let mut header = String::new();
     let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
         (Some(path), None) => load_graph(path)?,
-        (None, Some(dir)) => {
-            let store = open_store(dir)?;
-            writeln!(header, "{}", recovery_summary(&store)).unwrap();
-            store.into_graph()
-        }
+        (None, Some(dir)) => store_graph(dir, args.has("read-only"), &mut header)?,
         _ => {
             return Err(CliError::usage(
                 "check: need exactly one of -g GRAPH or --store DIR",
@@ -547,11 +591,7 @@ fn cmd_explain(tokens: &[String]) -> CliResult {
     let mut out = String::new();
     let g = match (args.get(&["g", "graph"]), args.get(&["store"])) {
         (Some(path), None) => load_graph(path)?,
-        (None, Some(dir)) => {
-            let store = open_store(dir)?;
-            writeln!(out, "{}", recovery_summary(&store)).unwrap();
-            store.into_graph()
-        }
+        (None, Some(dir)) => store_graph(dir, args.has("read-only"), &mut out)?,
         _ => {
             return Err(CliError::usage(
                 "explain: need exactly one of -g GRAPH or --store DIR",
@@ -809,7 +849,7 @@ fn cmd_metrics(tokens: &[String]) -> CliResult {
 fn cmd_store(tokens: &[String]) -> CliResult {
     let Some(sub) = tokens.first().map(String::as_str) else {
         return Err(CliError::usage(
-            "store: expected 'init', 'status', 'compact' or 'export'",
+            "store: expected 'init', 'status', 'compact', 'export' or 'fsck'",
         ));
     };
     let args = Args::parse(&tokens[1..]);
@@ -855,6 +895,31 @@ fn cmd_store(tokens: &[String]) -> CliResult {
             let store = open_store(dir)?;
             save_graph(store.graph(), out_path)?;
             Ok(format!("exported store {dir} to {out_path}"))
+        }
+        "fsck" => {
+            let report = fsck(Path::new(dir))
+                .map_err(|e| CliError::io(format!("cannot fsck store {dir}: {e}")))?;
+            let rendered = match args.get(&["format"]) {
+                None | Some("text") => report.render_text(),
+                Some("json") => report.to_json(),
+                Some(other) => {
+                    return Err(CliError::usage(format!(
+                        "store fsck: unknown format {other:?} (expected 'text' or 'json')"
+                    )))
+                }
+            };
+            if report.verdict == FsckVerdict::Degraded {
+                // A store a writable open would refuse fails the check:
+                // the report goes to stderr with a distinct exit code so
+                // scripts and CI can gate on it. A torn tail is not a
+                // failure — it is the normal residue of a crash and a
+                // writable open absorbs it.
+                return Err(CliError {
+                    message: rendered,
+                    code: 4,
+                });
+            }
+            Ok(rendered)
         }
         other => Err(CliError::usage(format!("store: unknown subcommand {other:?}"))),
     }
@@ -1250,6 +1315,7 @@ mod tests {
             vec!["store", "init"],
             vec!["store", "frobnicate", "-d", "x"],
             vec!["store", "export", "-d", "x"],
+            vec!["store", "fsck"],
         ] {
             let err = dispatch(&toks(&cmd)).unwrap_err();
             assert!(err.code == 2 || err.code == 1, "{cmd:?}: {}", err.message);
@@ -1398,6 +1464,110 @@ mod tests {
         .unwrap();
         assert!(out.contains("torn tail"), "{out}");
         assert!(out.lines().any(|l| l.starts_with("TOTAL") && l.contains('0')), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_fsck_and_read_only_degraded_open() {
+        let dir = tmpdir();
+        let dirty = dir.join("dirty-fsck.json");
+        let store_dir = dir.join("fsck.store");
+        let rules = dir.join("rules-fsck.grr");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "120", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        dispatch(&toks(&[
+            "store", "init", "-d", store_dir.to_str().unwrap(),
+            "--from", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Healthy store: verdict clean, exit 0, both renderings.
+        let out = dispatch(&toks(&["store", "fsck", "-d", store_dir.to_str().unwrap()]))
+            .unwrap();
+        assert!(out.contains("clean"), "{out}");
+        assert!(out.contains("lock: unlocked"), "{out}");
+        assert!(out.contains("issues: none"), "{out}");
+        let out = dispatch(&toks(&[
+            "store", "fsck", "-d", store_dir.to_str().unwrap(), "--format", "json",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"verdict\":\"clean\""), "{out}");
+        assert!(out.contains("\"issues\":[]"), "{out}");
+        let err = dispatch(&toks(&[
+            "store", "fsck", "-d", store_dir.to_str().unwrap(), "--format", "yaml",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+
+        // --read-only works on a healthy store too (no lock, no
+        // degradation banner).
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(),
+            "--store", store_dir.to_str().unwrap(), "--read-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("opened store read-only"), "{out}");
+        assert!(!out.contains("DEGRADED"), "{out}");
+
+        // Torn tail (garbage past the last valid frame): still exit 0 —
+        // a writable open absorbs this — but the verdict and truncation
+        // point are reported.
+        let seg = std::fs::read_dir(&store_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+            .max()
+            .unwrap();
+        let clean_bytes = std::fs::read(&seg).unwrap();
+        let clean_len = clean_bytes.len();
+        let mut bytes = clean_bytes.clone();
+        bytes.extend_from_slice(&[0xEE; 9]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let out = dispatch(&toks(&["store", "fsck", "-d", store_dir.to_str().unwrap()]))
+            .unwrap();
+        assert!(out.contains("torn-tail"), "{out}");
+        assert!(
+            out.contains(&format!("valid data ends at byte {clean_len}")),
+            "{out}"
+        );
+
+        // Mid-log damage (valid frames after the corrupt byte): fsck
+        // fails with exit 4, a writable open refuses, and --read-only
+        // serves the recoverable prefix with a degradation banner. The
+        // damaged image is a flipped byte in the first frame followed by
+        // an intact, CRC-valid frame — truncating here would silently
+        // drop it, which is exactly what the store must refuse to do.
+        let header = grepair_store::wal::SEGMENT_HEADER_LEN as usize;
+        let mut bytes = clean_bytes.clone();
+        bytes[header + 10] ^= 0xFF;
+        bytes.extend_from_slice(&clean_bytes[header..]);
+        std::fs::write(&seg, &bytes).unwrap();
+        let err = dispatch(&toks(&["store", "fsck", "-d", store_dir.to_str().unwrap()]))
+            .unwrap_err();
+        assert_eq!(err.code, 4);
+        assert!(err.message.contains("degraded"), "{}", err.message);
+        let err = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "--store", store_dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1);
+        let out = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(),
+            "--store", store_dir.to_str().unwrap(), "--read-only",
+        ]))
+        .unwrap();
+        assert!(out.contains("DEGRADED"), "{out}");
+        assert!(out.contains("TOTAL"), "{out}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 

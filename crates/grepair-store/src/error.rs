@@ -37,6 +37,15 @@ pub enum StoreError {
     /// journaled now could reference state the log cannot reproduce).
     /// Reopen the directory to recover the last durable state.
     Poisoned,
+    /// Another live process holds the store's `LOCK` file. Stale locks
+    /// (dead pid, or a pid from a previous boot) are stolen silently;
+    /// this error means the holder looks genuinely alive.
+    Locked {
+        /// The lock file.
+        path: PathBuf,
+        /// Pid recorded in it.
+        pid: u32,
+    },
     /// The directory does not look like a store.
     NotAStore(PathBuf),
     /// `create` was pointed at a directory that already holds a store.
@@ -58,6 +67,13 @@ impl fmt::Display for StoreError {
                 f,
                 "store poisoned by an earlier journal failure; reopen to recover"
             ),
+            StoreError::Locked { path, pid } => {
+                write!(
+                    f,
+                    "store locked by live process {pid} (remove {} only if that process is gone)",
+                    path.display()
+                )
+            }
             StoreError::NotAStore(p) => {
                 write!(f, "{} is not a grepair store (no segments or snapshots)", p.display())
             }

@@ -50,13 +50,33 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 //!
+//! ## Fault tolerance
+//!
+//! Every file operation goes through the [`vfs::Vfs`] trait; production
+//! code uses the zero-cost [`StdFs`] passthrough (static dispatch via a
+//! default type parameter), while the fault-injection tests drive the
+//! identical code paths over an in-memory `FaultyFs` that can fail the
+//! Nth fsync, tear a write, or crash at any chosen operation. A failed
+//! fsync *poisons* the store (retrying an fsync after a failure can
+//! silently lose the pages the first call failed on); transient errors
+//! on metadata operations are retried with bounded backoff; a
+//! cross-process `LOCK` file (pid + boot id, staleness-detected)
+//! enforces the single-writer contract; and [`ReadOnlyStore`] /
+//! [`fsck::fsck`] serve and diagnose stores too damaged for a writable
+//! open.
+//!
 //! ## Module map
 //!
-//! - [`store`] — [`DurableGraph`], recovery, compaction, introspection.
+//! - [`store`] — [`DurableGraph`], recovery, compaction, introspection,
+//!   [`ReadOnlyStore`].
 //! - [`wal`] — segment files, framing, torn-tail detection.
 //! - [`snapshot`] — binary snapshot files.
 //! - [`record`] — the journaled [`Mutation`] vocabulary and codec.
 //! - [`codec`] — byte-level encoding and the CRC-32.
+//! - [`vfs`] — the storage backend trait, [`StdFs`], retry policy, and
+//!   the fault-injection backend (tests / `fault-injection` feature).
+//! - [`lock`] — the `LOCK` file and staleness detection.
+//! - [`fsck`] — dry-run recovery and health reporting.
 //! - [`error`] — [`StoreError`].
 
 #![forbid(unsafe_code)]
@@ -66,12 +86,22 @@
 
 pub mod codec;
 pub mod error;
+pub mod fsck;
+pub mod lock;
 pub mod record;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use error::{Result, StoreError};
+pub use fsck::{fsck, FsckReport, FsckVerdict, SegmentHealth, SnapshotHealth};
+pub use lock::LockStatus;
 pub use record::Mutation;
-pub use store::{CompactionStats, DurableGraph, RecoveryStats, StoreConfig, StoreStatus};
+pub use store::{
+    CompactionStats, DurableGraph, ReadOnlyStore, RecoveryStats, StoreConfig, StoreStatus,
+};
+pub use vfs::{StdFs, Vfs, VfsFile};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use vfs::{FaultOp, FaultOpCounts, FaultyFile, FaultyFs, InjectedError};
 pub use wal::{SegmentContents, SegmentWriter, WalRecord};

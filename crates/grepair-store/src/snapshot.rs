@@ -18,9 +18,8 @@
 use crate::codec::{crc32, ByteReader, ByteWriter, DecodeError};
 use crate::error::{Result, StoreError};
 use crate::record::{decode_value, encode_value};
+use crate::vfs::{with_retry, StdFs, Vfs, VfsFile};
 use grepair_graph::{EdgeDoc, NodeDoc, SlotDump};
-use std::fs::File;
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Snapshot file magic.
@@ -144,8 +143,18 @@ fn decode_dump(bytes: &[u8]) -> Result<SlotDump, DecodeError> {
 }
 
 /// Write a snapshot of `dump` at sequence `seq` into `dir`, atomically
-/// (temp file + rename + directory-entry durability best effort).
+/// (temp file + rename + durable directory entry).
 pub fn write_snapshot(dir: &Path, seq: u64, dump: &SlotDump) -> Result<PathBuf> {
+    write_snapshot_in(&StdFs, dir, seq, dump)
+}
+
+/// [`write_snapshot`] against an explicit backend.
+pub fn write_snapshot_in<V: Vfs>(
+    vfs: &V,
+    dir: &Path,
+    seq: u64,
+    dump: &SlotDump,
+) -> Result<PathBuf> {
     let payload = encode_dump(dump);
     let mut bytes = Vec::with_capacity(payload.len() + 32);
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
@@ -158,26 +167,31 @@ pub fn write_snapshot(dir: &Path, seq: u64, dump: &SlotDump) -> Result<PathBuf> 
     let final_path = dir.join(snapshot_file_name(seq));
     let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(seq)));
     {
-        let mut f = File::create(&tmp_path)?;
+        let mut f = with_retry("snapshot.create", || vfs.create(&tmp_path))?;
         f.write_all(&bytes)?;
         f.sync_data()?;
     }
-    std::fs::rename(&tmp_path, &final_path)?;
-    // Make the rename itself durable where the platform allows it.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    with_retry("snapshot.rename", || vfs.rename(&tmp_path, &final_path))?;
+    // Make the rename durable. This must propagate: the caller is about
+    // to retire the segments this snapshot replaces, and a crash that
+    // undoes an unsynced rename after those removals land would leave
+    // recovery with neither the snapshot nor the log that produced it.
+    vfs.sync_dir(dir)?;
     Ok(final_path)
 }
 
 /// Read and fully validate a snapshot file; returns `(seq, dump)`.
 pub fn read_snapshot(path: &Path) -> Result<(u64, SlotDump)> {
+    read_snapshot_in(&StdFs, path)
+}
+
+/// [`read_snapshot`] against an explicit backend.
+pub fn read_snapshot_in<V: Vfs>(vfs: &V, path: &Path) -> Result<(u64, SlotDump)> {
     let corrupt = |detail: String| StoreError::Corrupt {
         path: path.to_path_buf(),
         detail,
     };
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    let bytes = with_retry("snapshot.read", || vfs.read(path))?;
     if bytes.len() < 32 {
         return Err(corrupt(format!("{} bytes is too short", bytes.len())));
     }
@@ -207,12 +221,15 @@ pub fn read_snapshot(path: &Path) -> Result<(u64, SlotDump)> {
 
 /// Sorted `(seq, path)` list of the snapshot files in `dir`, ascending.
 pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    list_snapshots_in(&StdFs, dir)
+}
+
+/// [`list_snapshots`] against an explicit backend.
+pub fn list_snapshots_in<V: Vfs>(vfs: &V, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        if let Some(seq) = name.to_str().and_then(parse_snapshot_name) {
-            out.push((seq, entry.path()));
+    for name in vfs.list_dir(dir)? {
+        if let Some(seq) = parse_snapshot_name(&name) {
+            out.push((seq, dir.join(name)));
         }
     }
     out.sort_by_key(|(s, _)| *s);

@@ -27,18 +27,27 @@
 //! stay valid across compaction.
 
 use crate::error::{Result, StoreError};
+use crate::lock;
 use crate::record::Mutation;
-use crate::snapshot::{list_snapshots, read_snapshot, write_snapshot};
+use crate::snapshot::{list_snapshots_in, read_snapshot_in, write_snapshot_in};
+use crate::vfs::{with_retry, StdFs, Vfs};
 #[cfg(feature = "parallel")]
 use crate::wal::SegmentContents;
-use crate::wal::{
-    list_segments, read_segment, SegmentWriter, SEGMENT_HEADER_LEN,
-};
+use crate::wal::{list_segments_in, read_segment_in, SegmentWriter, SEGMENT_HEADER_LEN};
 use grepair_core::{AppliedOp, Grr, Planner, RepairEngine, RepairReport};
 use grepair_graph::{EdgeId, Graph, MergeOutcome, NodeId, Value};
 use grepair_obs as obs;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// Record a `store.fault` counter tick and warn event — the single
+/// funnel for "something on the durability path went wrong but was
+/// handled" (skipped snapshot, truncated tail, failed fsync, tolerated
+/// best-effort sync).
+pub(crate) fn record_fault(detail: impl Into<String>) {
+    obs::counter("store.fault").inc();
+    obs::event(obs::Level::Warn, "store.fault", detail);
+}
 
 /// Tuning knobs for a [`DurableGraph`].
 #[derive(Clone, Debug)]
@@ -194,14 +203,21 @@ impl StoreTelemetry {
 /// **by name** (interner numbering is process-local and therefore never
 /// journaled). Reads go through [`DurableGraph::graph`].
 ///
-/// Single-writer: the store performs no cross-process locking — opening
-/// the same directory from two processes concurrently is undefined (an
-/// open item tracked in the roadmap).
-pub struct DurableGraph {
+/// Single-writer, enforced: create/open take a `LOCK` file in the
+/// directory (pid + boot id); a second writable open fails with
+/// [`StoreError::Locked`] while the holder lives, and locks left by
+/// crashed processes or previous boots are detected as stale and
+/// stolen. [`ReadOnlyStore`] opens take no lock.
+///
+/// Generic over the storage backend [`Vfs`]; production code uses the
+/// default [`StdFs`] passthrough (static dispatch, zero overhead), and
+/// the fault-injection tests drive the same code over a `FaultyFs`.
+pub struct DurableGraph<V: Vfs = StdFs> {
+    vfs: V,
     dir: PathBuf,
     config: StoreConfig,
     graph: Graph,
-    writer: SegmentWriter,
+    writer: SegmentWriter<V>,
     telemetry: StoreTelemetry,
     /// Long-lived planning state for [`DurableGraph::repair`]: plans
     /// compiled in one repair run serve every later run against this
@@ -212,31 +228,79 @@ pub struct DurableGraph {
     snapshot_seq: u64,
     bytes_since_snapshot: u64,
     last_recovery: RecoveryStats,
-    /// Set when a journal append fails: the in-memory graph may be
-    /// ahead of the log, so any further journaled record could
-    /// reference state replay cannot reproduce. All mutators refuse
-    /// with [`StoreError::Poisoned`]; the on-disk log stays a valid
-    /// replayable prefix and reopening recovers it.
-    poisoned: bool,
+    poison: Option<Poison>,
+    locked: bool,
+}
+
+/// Why a store refuses further work (see [`StoreError::Poisoned`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Poison {
+    /// A journal append failed: the in-memory graph may be ahead of the
+    /// log, so any further journaled record could reference state
+    /// replay cannot reproduce. Mutators refuse; the on-disk log stays
+    /// a valid replayable prefix, [`DurableGraph::commit`] may still
+    /// sync it, and reopening recovers it.
+    Append,
+    /// An fsync failed: the kernel may have dropped the dirty pages
+    /// while clearing the error, so a later "successful" fsync could
+    /// acknowledge data that is gone (fsyncgate). Mutators *and*
+    /// [`DurableGraph::commit`] refuse; reopening re-reads the file and
+    /// recovers whatever truly landed.
+    Fsync,
 }
 
 /// `true` if the directory holds at least one segment or snapshot.
-fn dir_has_store(dir: &Path) -> Result<bool> {
-    Ok(!list_segments(dir)?.is_empty() || !list_snapshots(dir)?.is_empty())
+pub(crate) fn dir_has_store_in<V: Vfs>(vfs: &V, dir: &Path) -> Result<bool> {
+    Ok(!list_segments_in(vfs, dir)?.is_empty() || !list_snapshots_in(vfs, dir)?.is_empty())
 }
 
-impl DurableGraph {
+impl DurableGraph<StdFs> {
     /// Create a fresh, empty store in `dir` (created if missing; must
     /// not already contain a store).
     pub fn create(dir: &Path, config: StoreConfig) -> Result<Self> {
-        std::fs::create_dir_all(dir)?;
-        if dir_has_store(dir)? {
+        Self::create_on(StdFs, dir, config)
+    }
+
+    /// Create a store in `dir` seeded with `graph`, written as the
+    /// genesis snapshot (sequence 0) — the fast path for importing an
+    /// existing dataset.
+    pub fn create_with(dir: &Path, config: StoreConfig, graph: Graph) -> Result<Self> {
+        Self::create_with_on(StdFs, dir, config, graph)
+    }
+
+    /// Open an existing store, running full recovery (snapshot load +
+    /// log replay + torn-tail truncation).
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
+        Self::open_on(StdFs, dir, config)
+    }
+
+    /// Open `dir` if it holds a store, otherwise create one.
+    pub fn open_or_create(dir: &Path, config: StoreConfig) -> Result<Self> {
+        Self::open_or_create_on(StdFs, dir, config)
+    }
+
+    /// Open the store read-only and degradation-tolerant — see
+    /// [`ReadOnlyStore::open`].
+    pub fn open_read_only(dir: &Path) -> Result<ReadOnlyStore> {
+        ReadOnlyStore::open(dir)
+    }
+}
+
+impl<V: Vfs> DurableGraph<V> {
+    /// [`DurableGraph::create`] against an explicit backend.
+    pub fn create_on(vfs: V, dir: &Path, config: StoreConfig) -> Result<Self> {
+        vfs.create_dir_all(dir)?;
+        if dir_has_store_in(&vfs, dir)? {
             return Err(StoreError::AlreadyExists(dir.to_path_buf()));
         }
-        let writer = SegmentWriter::create(dir, 1)?;
+        lock::acquire(&vfs, dir)?;
+        let writer = SegmentWriter::create_in(&vfs, dir, 1).inspect_err(|_| {
+            lock::release(&vfs, dir);
+        })?;
         let mut graph = Graph::new();
         graph.maintain_stats(true);
         Ok(Self {
+            vfs,
             dir: dir.to_path_buf(),
             config,
             graph,
@@ -247,44 +311,81 @@ impl DurableGraph {
             snapshot_seq: 0,
             bytes_since_snapshot: 0,
             last_recovery: RecoveryStats::default(),
-            poisoned: false,
+            poison: None,
+            locked: true,
         })
     }
 
-    /// Create a store in `dir` seeded with `graph`, written as the
-    /// genesis snapshot (sequence 0) — the fast path for importing an
-    /// existing dataset.
-    pub fn create_with(dir: &Path, config: StoreConfig, mut graph: Graph) -> Result<Self> {
-        let mut s = Self::create(dir, config)?;
-        write_snapshot(&s.dir, 0, &graph.dump_slots())?;
+    /// [`DurableGraph::create_with`] against an explicit backend.
+    pub fn create_with_on(vfs: V, dir: &Path, config: StoreConfig, mut graph: Graph) -> Result<Self> {
+        let mut s = Self::create_on(vfs, dir, config)?;
+        write_snapshot_in(&s.vfs, &s.dir, 0, &graph.dump_slots())?;
         graph.maintain_stats(true);
         s.graph = graph;
         Ok(s)
     }
 
-    /// Open an existing store, running full recovery (snapshot load +
-    /// log replay + torn-tail truncation).
-    pub fn open(dir: &Path, config: StoreConfig) -> Result<Self> {
-        let start = Instant::now();
-        let _span = obs::span("store.recovery", "store");
-        let recovery_started = obs::timer();
-        if !dir.is_dir() {
+    /// [`DurableGraph::open`] against an explicit backend.
+    pub fn open_on(vfs: V, dir: &Path, config: StoreConfig) -> Result<Self> {
+        if !vfs.is_dir(dir) {
             return Err(StoreError::NotAStore(dir.to_path_buf()));
         }
         // Propagate real listing failures (permissions, fd exhaustion):
         // mislabelling them NotAStore invites the user to re-init over a
         // perfectly valid store.
-        if !dir_has_store(dir)? {
+        if !dir_has_store_in(&vfs, dir)? {
             return Err(StoreError::NotAStore(dir.to_path_buf()));
         }
+        lock::acquire(&vfs, dir)?;
+        match Self::recover(&vfs, dir, &config) {
+            Ok((graph, writer, stats, last_seq, snap_seq, bytes_since_snapshot)) => {
+                let s = Self {
+                    vfs,
+                    dir: dir.to_path_buf(),
+                    config,
+                    graph,
+                    writer,
+                    telemetry: StoreTelemetry::default(),
+                    planner: Planner::new(),
+                    last_seq,
+                    snapshot_seq: snap_seq,
+                    bytes_since_snapshot,
+                    last_recovery: stats,
+                    poison: None,
+                    locked: true,
+                };
+                s.telemetry
+                    .set_gauges(s.last_seq, s.snapshot_seq, s.writer.len());
+                Ok(s)
+            }
+            Err(e) => {
+                lock::release(&vfs, dir);
+                Err(e)
+            }
+        }
+    }
+
+    /// Recovery proper: newest loadable snapshot + ordered replay +
+    /// torn-tail truncation. Split out of [`DurableGraph::open_on`] so
+    /// a failure can release the lock before returning.
+    #[allow(clippy::type_complexity)]
+    fn recover(
+        vfs: &V,
+        dir: &Path,
+        config: &StoreConfig,
+    ) -> Result<(Graph, SegmentWriter<V>, RecoveryStats, u64, u64, u64)> {
+        let _ = config;
+        let start = Instant::now();
+        let _span = obs::span("store.recovery", "store");
+        let recovery_started = obs::timer();
         let mut stats = RecoveryStats::default();
 
         // Newest loadable snapshot wins; damaged ones are skipped.
         let mut graph = Graph::new();
         let mut snap_seq = 0u64;
-        let snapshots = list_snapshots(dir)?;
+        let snapshots = list_snapshots_in(vfs, dir)?;
         for (seq, path) in snapshots.iter().rev() {
-            match read_snapshot(path).and_then(|(s, dump)| {
+            match read_snapshot_in(vfs, path).and_then(|(s, dump)| {
                 Graph::restore_slots(&dump)
                     .map(|g| (s, g))
                     .map_err(|e| StoreError::Corrupt {
@@ -298,13 +399,16 @@ impl DurableGraph {
                     snap_seq = s;
                     break;
                 }
-                Err(_) => stats.snapshots_skipped += 1,
+                Err(e) => {
+                    stats.snapshots_skipped += 1;
+                    record_fault(format!("skipping damaged snapshot: {e}"));
+                }
             }
         }
         stats.snapshot_seq = snap_seq;
 
         // Replay every record newer than the snapshot, in order.
-        let segments = list_segments(dir)?;
+        let segments = list_segments_in(vfs, dir)?;
 
         // Decode-ahead: segments are self-delimiting (each frame carries
         // its own length and checksum), so workers can decode all
@@ -319,7 +423,7 @@ impl DurableGraph {
             use rayon::prelude::*;
             segments
                 .par_iter()
-                .map(|(base, path)| Some(read_segment(path, Some(*base))))
+                .map(|(base, path)| Some(read_segment_in(vfs, path, Some(*base))))
                 .collect()
         };
 
@@ -339,7 +443,7 @@ impl DurableGraph {
             #[cfg(feature = "parallel")]
             let contents = decoded[i].take().expect("each segment decoded once")?;
             #[cfg(not(feature = "parallel"))]
-            let contents = read_segment(path, Some(*base))?;
+            let contents = read_segment_in(vfs, path, Some(*base))?;
             stats.segments_read += 1;
             if contents.is_torn() {
                 if !is_last {
@@ -352,6 +456,11 @@ impl DurableGraph {
                     });
                 }
                 stats.torn_tail_bytes = contents.torn_bytes;
+                record_fault(format!(
+                    "truncating {} torn tail bytes from {}",
+                    contents.torn_bytes,
+                    path.display()
+                ));
             }
             for rec in &contents.records {
                 if rec.seq < next_seq {
@@ -393,14 +502,14 @@ impl DurableGraph {
         // dropping any torn tail so new records follow valid ones.
         let writer = match active {
             Some((path, base, valid_len)) if valid_len >= SEGMENT_HEADER_LEN => {
-                SegmentWriter::open_end(&path, base, valid_len)?
+                SegmentWriter::open_end_in(vfs, &path, base, valid_len)?
             }
             Some((path, base, _)) => {
                 // Header itself was torn — rewrite the segment fresh.
-                std::fs::remove_file(&path)?;
-                SegmentWriter::create(dir, base)?
+                with_retry("wal.remove", || vfs.remove_file(&path))?;
+                SegmentWriter::create_in(vfs, dir, base)?
             }
-            None => SegmentWriter::create(dir, last_seq + 1)?,
+            None => SegmentWriter::create_in(vfs, dir, last_seq + 1)?,
         };
 
         stats.wall = start.elapsed();
@@ -409,30 +518,15 @@ impl DurableGraph {
         // Statistics maintenance starts *after* replay (one compute over
         // the recovered state) so the replay loop itself stays lean.
         graph.maintain_stats(true);
-        let s = Self {
-            dir: dir.to_path_buf(),
-            config,
-            graph,
-            writer,
-            telemetry: StoreTelemetry::default(),
-            planner: Planner::new(),
-            last_seq,
-            snapshot_seq: snap_seq,
-            bytes_since_snapshot,
-            last_recovery: stats,
-            poisoned: false,
-        };
-        s.telemetry
-            .set_gauges(s.last_seq, s.snapshot_seq, s.writer.len());
-        Ok(s)
+        Ok((graph, writer, stats, last_seq, snap_seq, bytes_since_snapshot))
     }
 
-    /// Open `dir` if it holds a store, otherwise create one.
-    pub fn open_or_create(dir: &Path, config: StoreConfig) -> Result<Self> {
-        if dir.is_dir() && dir_has_store(dir)? {
-            Self::open(dir, config)
+    /// [`DurableGraph::open_or_create`] against an explicit backend.
+    pub fn open_or_create_on(vfs: V, dir: &Path, config: StoreConfig) -> Result<Self> {
+        if vfs.is_dir(dir) && dir_has_store_in(&vfs, dir)? {
+            Self::open_on(vfs, dir, config)
         } else {
-            Self::create(dir, config)
+            Self::create_on(vfs, dir, config)
         }
     }
 
@@ -442,9 +536,9 @@ impl DurableGraph {
     }
 
     /// Consume the store and keep just the graph (read-only workflows
-    /// that open, inspect and exit).
-    pub fn into_graph(self) -> Graph {
-        self.graph
+    /// that open, inspect and exit). Releases the `LOCK` file.
+    pub fn into_graph(mut self) -> Graph {
+        std::mem::replace(&mut self.graph, Graph::new())
     }
 
     /// The store directory.
@@ -480,13 +574,13 @@ impl DurableGraph {
             active_log_bytes: self.writer.len(),
             ..StoreStatus::default()
         };
-        for (_, path) in list_segments(&self.dir)? {
+        for (_, path) in list_segments_in(&self.vfs, &self.dir)? {
             st.segments += 1;
-            st.segment_bytes += std::fs::metadata(&path)?.len();
+            st.segment_bytes += self.vfs.file_len(&path)?;
         }
-        for (_, path) in list_snapshots(&self.dir)? {
+        for (_, path) in list_snapshots_in(&self.vfs, &self.dir)? {
             st.snapshots += 1;
-            st.snapshot_bytes += std::fs::metadata(&path)?.len();
+            st.snapshot_bytes += self.vfs.file_len(&path)?;
         }
         Ok(st)
     }
@@ -496,11 +590,11 @@ impl DurableGraph {
     /// Whether a journal failure has poisoned this instance (see
     /// [`StoreError::Poisoned`]).
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poison.is_some()
     }
 
     fn ensure_writable(&self) -> Result<()> {
-        if self.poisoned {
+        if self.poison.is_some() {
             return Err(StoreError::Poisoned);
         }
         Ok(())
@@ -510,6 +604,7 @@ impl DurableGraph {
         let seq = self.last_seq + 1;
         let append_started = obs::timer();
         match append_with_rotation(
+            &self.vfs,
             &mut self.writer,
             &self.dir,
             self.config.segment_max_bytes,
@@ -528,7 +623,8 @@ impl DurableGraph {
                 // The graph mutation this record describes has already
                 // been applied in memory; without the record the log can
                 // no longer reproduce the in-memory state.
-                self.poisoned = true;
+                self.poison = Some(Poison::Append);
+                record_fault(format!("journal append failed; store poisoned: {e}"));
                 Err(e)
             }
         }
@@ -536,11 +632,24 @@ impl DurableGraph {
 
     /// `fsync` the active segment — everything journaled so far is
     /// durable once this returns.
+    ///
+    /// An fsync failure is final: the store poisons itself against any
+    /// further commit or mutation (see [`Poison::Fsync`] — retrying an
+    /// fsync after a failure can silently lose the very pages the first
+    /// call failed on). An [append](Poison::Append)-poisoned store may
+    /// still commit: syncing the valid journaled prefix is safe.
     pub fn commit(&mut self) -> Result<()> {
+        if self.poison == Some(Poison::Fsync) {
+            return Err(StoreError::Poisoned);
+        }
         let commit_started = obs::timer();
         if self.config.sync_on_commit {
             let fsync_started = obs::timer();
-            self.writer.sync()?;
+            if let Err(e) = self.writer.sync() {
+                self.poison = Some(Poison::Fsync);
+                record_fault(format!("commit fsync failed; store poisoned: {e}"));
+                return Err(e);
+            }
             obs::record_since_named("wal.fsync_ns", fsync_started);
         }
         obs::record_since_named("store.commit_ns", commit_started);
@@ -704,6 +813,7 @@ impl DurableGraph {
     pub fn repair(&mut self, engine: &RepairEngine, rules: &[Grr]) -> Result<RepairReport> {
         self.ensure_writable()?;
         let DurableGraph {
+            vfs,
             graph,
             writer,
             dir,
@@ -722,6 +832,7 @@ impl DurableGraph {
             let seq = *last_seq + 1;
             let append_started = obs::timer();
             match append_with_rotation(
+                vfs,
                 writer,
                 dir,
                 config.segment_max_bytes,
@@ -737,7 +848,8 @@ impl DurableGraph {
             }
         });
         if let Some(e) = io_err {
-            self.poisoned = true;
+            self.poison = Some(Poison::Append);
+            record_fault(format!("repair journaling failed; store poisoned: {e}"));
             return Err(e);
         }
         self.commit()?;
@@ -759,9 +871,14 @@ impl DurableGraph {
         self.ensure_writable()?;
         // Everything the snapshot will cover must be durable first: if
         // the snapshot landed but its covered records did not, a crash
-        // would recover *ahead* of the log.
-        self.writer.sync()?;
-        write_snapshot(&self.dir, self.last_seq, &self.graph.dump_slots())?;
+        // would recover *ahead* of the log. A failed fsync here poisons
+        // like one in commit (same fsyncgate hazard).
+        if let Err(e) = self.writer.sync() {
+            self.poison = Some(Poison::Fsync);
+            record_fault(format!("pre-snapshot fsync failed; store poisoned: {e}"));
+            return Err(e);
+        }
+        write_snapshot_in(&self.vfs, &self.dir, self.last_seq, &self.graph.dump_slots())?;
         let mut stats = CompactionStats {
             snapshot_seq: self.last_seq,
             ..CompactionStats::default()
@@ -771,19 +888,19 @@ impl DurableGraph {
         // unless it is already a fresh, empty segment at the right base
         // (fresh store, or back-to-back compactions).
         if !(self.writer.is_empty() && self.writer.base_seq() == self.last_seq + 1) {
-            self.writer = SegmentWriter::create(&self.dir, self.last_seq + 1)?;
+            self.writer = SegmentWriter::create_in(&self.vfs, &self.dir, self.last_seq + 1)?;
         }
 
         // Retire snapshots beyond the retention window first; the oldest
         // *kept* snapshot then bounds which segments are still needed —
         // recovery must be able to fall back to it and replay forward,
         // so segments covering (oldest_kept, now] stay.
-        let snapshots = list_snapshots(&self.dir)?;
+        let snapshots = list_snapshots_in(&self.vfs, &self.dir)?;
         let keep = self.config.keep_snapshots.max(1);
         let cutoff = snapshots.len().saturating_sub(keep);
         for (_, path) in &snapshots[..cutoff] {
-            stats.bytes_reclaimed += std::fs::metadata(path)?.len();
-            std::fs::remove_file(path)?;
+            stats.bytes_reclaimed += self.vfs.file_len(path)?;
+            with_retry("snapshot.retire", || self.vfs.remove_file(path))?;
             stats.snapshots_retired += 1;
         }
         let oldest_kept = snapshots[cutoff].0;
@@ -791,15 +908,29 @@ impl DurableGraph {
         // A segment covers [base, next_base); it is retirable once the
         // oldest kept snapshot covers all of it. The active segment has
         // no successor and is never retired.
-        let segments = list_segments(&self.dir)?;
+        let segments = list_segments_in(&self.vfs, &self.dir)?;
         for (i, (_, path)) in segments.iter().enumerate() {
             match segments.get(i + 1) {
                 Some((next_base, _)) if *next_base <= oldest_kept + 1 => {
-                    stats.bytes_reclaimed += std::fs::metadata(path)?.len();
-                    std::fs::remove_file(path)?;
+                    stats.bytes_reclaimed += self.vfs.file_len(path)?;
+                    with_retry("wal.retire", || self.vfs.remove_file(path))?;
                     stats.segments_retired += 1;
                 }
                 _ => break,
+            }
+        }
+        // Make the removals durable — best effort *by design*: if this
+        // directory sync is lost to a crash, the retired files reappear
+        // on reopen, where recovery skips fully-covered segments and
+        // ignores superseded snapshots. Stale files cost disk space,
+        // never correctness, so a failure here is recorded as a
+        // `store.fault` warn event instead of failing the compaction.
+        if stats.snapshots_retired + stats.segments_retired > 0 {
+            if let Err(e) = self.vfs.sync_dir(&self.dir) {
+                record_fault(format!(
+                    "post-retirement dir sync failed (best-effort; stale files may \
+                     reappear after a crash): {e}"
+                ));
             }
         }
         self.snapshot_seq = self.last_seq;
@@ -836,11 +967,110 @@ impl DurableGraph {
     }
 }
 
+impl<V: Vfs> Drop for DurableGraph<V> {
+    fn drop(&mut self) {
+        if self.locked {
+            lock::release(&self.vfs, &self.dir);
+        }
+    }
+}
+
+/// A degradation-tolerant, read-only view of a store directory.
+///
+/// Where [`DurableGraph::open`] fails closed on any damage outside the
+/// active segment's torn tail, a read-only open serves the **newest
+/// loadable snapshot plus the longest cleanly replayable log prefix**,
+/// reporting what it had to give up. It takes no `LOCK` (it never
+/// writes), so it also works beside a live writer — the graph is then a
+/// point-in-time prefix of that writer's history.
+pub struct ReadOnlyStore {
+    graph: Graph,
+    last_seq: u64,
+    snapshot_seq: u64,
+    records_replayed: u64,
+    degraded: bool,
+    issues: Vec<String>,
+}
+
+impl ReadOnlyStore {
+    /// Open `dir` read-only; never takes a lock, never writes, and
+    /// tolerates damage by serving the longest consistent prefix.
+    /// Emits a `store.degraded` warn event when damage forced it to
+    /// stop short of the full log.
+    pub fn open(dir: &Path) -> Result<Self> {
+        Self::open_on(&StdFs, dir)
+    }
+
+    /// [`ReadOnlyStore::open`] against an explicit backend.
+    pub fn open_on<V: Vfs>(vfs: &V, dir: &Path) -> Result<Self> {
+        let (report, graph) = crate::fsck::fsck_with_graph_in(vfs, dir)?;
+        let degraded = report.verdict == crate::fsck::FsckVerdict::Degraded;
+        if degraded {
+            obs::counter("store.degraded").inc();
+            obs::event(
+                obs::Level::Warn,
+                "store.degraded",
+                format!(
+                    "read-only open of {} serving seq {} of a damaged log: {}",
+                    dir.display(),
+                    report.last_seq,
+                    report.issues.join("; ")
+                ),
+            );
+        }
+        Ok(Self {
+            graph,
+            last_seq: report.last_seq,
+            snapshot_seq: report.usable_snapshot_seq,
+            records_replayed: report.records_replayable,
+            degraded,
+            issues: report.issues,
+        })
+    }
+
+    /// The recovered graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consume the view and keep just the graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Highest sequence number the served graph reflects.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Sequence of the snapshot the graph was rebuilt from.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.snapshot_seq
+    }
+
+    /// Log records replayed on top of that snapshot.
+    pub fn records_replayed(&self) -> u64 {
+        self.records_replayed
+    }
+
+    /// Whether damage forced recovery to stop before the end of the
+    /// log (a writable [`DurableGraph::open`] would have failed).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Human-readable descriptions of everything recovery gave up on.
+    pub fn issues(&self) -> &[String] {
+        &self.issues
+    }
+}
+
 /// Append one record, rotating to a fresh segment first if the active
 /// one is over budget. Free function so [`DurableGraph::repair`]'s sink
 /// can call it with split borrows.
-fn append_with_rotation(
-    writer: &mut SegmentWriter,
+fn append_with_rotation<V: Vfs>(
+    vfs: &V,
+    writer: &mut SegmentWriter<V>,
     dir: &Path,
     segment_max_bytes: u64,
     seq: u64,
@@ -848,7 +1078,7 @@ fn append_with_rotation(
 ) -> Result<u64> {
     if writer.len() >= segment_max_bytes && !writer.is_empty() {
         writer.sync()?;
-        *writer = SegmentWriter::create(dir, seq)?;
+        *writer = SegmentWriter::create_in(vfs, dir, seq)?;
     }
     writer.append(seq, m)
 }
@@ -856,6 +1086,8 @@ fn append_with_rotation(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::list_snapshots;
+    use crate::wal::list_segments;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -1089,9 +1321,9 @@ mod tests {
         let durable = s.graph().dump_slots();
         let seq = s.last_seq();
 
-        // Simulate a journal failure having happened (the flag is what
-        // every append error sets).
-        s.poisoned = true;
+        // Simulate a journal failure having happened (the state every
+        // append error sets).
+        s.poison = Some(Poison::Append);
         assert!(s.is_poisoned());
         assert!(matches!(s.add_node("Q"), Err(StoreError::Poisoned)));
         assert!(matches!(s.remove_node(n), Err(StoreError::Poisoned)));

@@ -27,8 +27,7 @@
 use crate::codec::{crc32, ByteReader, ByteWriter};
 use crate::error::{Result, StoreError};
 use crate::record::Mutation;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
+use crate::vfs::{with_retry, StdFs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
 
 /// Segment file magic.
@@ -55,22 +54,33 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
     u64::from_str_radix(hex, 16).ok()
 }
 
-/// Append handle on one segment file.
-pub struct SegmentWriter {
-    file: File,
+/// Append handle on one segment file. Generic over the storage backend;
+/// the default is the production passthrough [`StdFs`].
+pub struct SegmentWriter<V: Vfs = StdFs> {
+    file: V::File,
     path: PathBuf,
     base_seq: u64,
     len: u64,
 }
 
-impl SegmentWriter {
+impl SegmentWriter<StdFs> {
     /// Create a fresh segment (fails if the file exists).
     pub fn create(dir: &Path, base_seq: u64) -> Result<Self> {
+        Self::create_in(&StdFs, dir, base_seq)
+    }
+
+    /// Reopen an existing segment for appending, first truncating it to
+    /// `valid_len` (dropping a crash-torn tail, if any).
+    pub fn open_end(path: &Path, base_seq: u64, valid_len: u64) -> Result<Self> {
+        Self::open_end_in(&StdFs, path, base_seq, valid_len)
+    }
+}
+
+impl<V: Vfs> SegmentWriter<V> {
+    /// [`SegmentWriter::create`] against an explicit backend.
+    pub fn create_in(vfs: &V, dir: &Path, base_seq: u64) -> Result<Self> {
         let path = dir.join(segment_file_name(base_seq));
-        let mut file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(&path)?;
+        let mut file = with_retry("wal.create", || vfs.create_new(&path))?;
         let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
         bytes.extend_from_slice(&SEGMENT_MAGIC);
         bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -80,9 +90,10 @@ impl SegmentWriter {
         // Persist the directory entry too: without this, a power cut can
         // erase the whole (acknowledged) segment on journaling file
         // systems — the file's data was synced but its name was not.
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        // This is the commit path (every acknowledged record in this
+        // segment depends on the name surviving), so the result
+        // propagates as a hard error rather than being dropped.
+        vfs.sync_dir(dir)?;
         Ok(Self {
             file,
             path,
@@ -91,20 +102,15 @@ impl SegmentWriter {
         })
     }
 
-    /// Reopen an existing segment for appending, first truncating it to
-    /// `valid_len` (dropping a crash-torn tail, if any).
-    pub fn open_end(path: &Path, base_seq: u64, valid_len: u64) -> Result<Self> {
-        let file = OpenOptions::new().write(true).read(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut s = Self {
+    /// [`SegmentWriter::open_end`] against an explicit backend.
+    pub fn open_end_in(vfs: &V, path: &Path, base_seq: u64, valid_len: u64) -> Result<Self> {
+        let file = with_retry("wal.open", || vfs.open_append(path, valid_len))?;
+        Ok(Self {
             file,
             path: path.to_path_buf(),
             base_seq,
             len: valid_len,
-        };
-        use std::io::Seek;
-        s.file.seek(std::io::SeekFrom::End(0))?;
-        Ok(s)
+        })
     }
 
     /// Append one framed record; returns the frame size in bytes.
@@ -185,6 +191,11 @@ pub struct SegmentContents {
     pub valid_len: u64,
     /// Bytes past `valid_len` — the torn tail.
     pub torn_bytes: u64,
+    /// Whether a complete, CRC-valid, decodable frame exists *past* the
+    /// first invalid one. A genuine crash tears only the tail, so this
+    /// marks mid-log damage (bad block, bit rot): truncating at
+    /// `valid_len` would silently drop the committed records after it.
+    pub mid_log_damage: bool,
 }
 
 impl SegmentContents {
@@ -203,12 +214,42 @@ impl SegmentContents {
 /// what we wrote, not that a write was interrupted. A decode error for
 /// `expected_base` of `None` skips the name cross-check.
 pub fn read_segment(path: &Path, expected_base: Option<u64>) -> Result<SegmentContents> {
+    read_segment_in(&StdFs, path, expected_base)
+}
+
+/// [`read_segment`] against an explicit backend.
+pub fn read_segment_in<V: Vfs>(
+    vfs: &V,
+    path: &Path,
+    expected_base: Option<u64>,
+) -> Result<SegmentContents> {
+    let bytes = with_retry("wal.read", || vfs.read(path))?;
+    parse_segment(path, &bytes, expected_base, false)
+}
+
+/// Lenient variant for degraded reads and `fsck`: mid-log damage does
+/// not fail — the records before the first invalid frame are returned
+/// as the servable prefix. Header-level damage still fails (zero
+/// records are decodable from a file we cannot identify).
+pub fn read_segment_prefix_in<V: Vfs>(
+    vfs: &V,
+    path: &Path,
+    expected_base: Option<u64>,
+) -> Result<SegmentContents> {
+    let bytes = with_retry("wal.read", || vfs.read(path))?;
+    parse_segment(path, &bytes, expected_base, true)
+}
+
+fn parse_segment(
+    path: &Path,
+    bytes: &[u8],
+    expected_base: Option<u64>,
+    lenient: bool,
+) -> Result<SegmentContents> {
     let corrupt = |detail: String| StoreError::Corrupt {
         path: path.to_path_buf(),
         detail,
     };
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
     if bytes.len() < SEGMENT_HEADER_LEN as usize {
         // A crash can tear even the header of a freshly rotated segment;
         // that is a torn file with zero records, not corruption.
@@ -217,6 +258,7 @@ pub fn read_segment(path: &Path, expected_base: Option<u64>) -> Result<SegmentCo
             records: Vec::new(),
             valid_len: 0,
             torn_bytes: bytes.len() as u64,
+            mid_log_damage: false,
         });
     }
     if bytes[..8] != SEGMENT_MAGIC {
@@ -273,8 +315,11 @@ pub fn read_segment(path: &Path, expected_base: Option<u64>) -> Result<SegmentCo
     // follow the partial frame. If a byte-complete, checksum-valid,
     // decodable frame exists anywhere past the first invalid one, the
     // damage is mid-log (bad block, bit rot) and committed records would
-    // be silently dropped by truncation; fail closed instead.
-    if pos < bytes.len() && contains_valid_frame(&bytes[pos + 1..]) {
+    // be silently dropped by truncation; fail closed instead. The
+    // lenient path keeps the prefix but records the distinction so
+    // `fsck` reaches the same verdict a strict open would.
+    let mid_log_damage = pos < bytes.len() && contains_valid_frame(&bytes[pos + 1..]);
+    if !lenient && mid_log_damage {
         return Err(corrupt(format!(
             "invalid frame at offset {pos} with valid frames after it (mid-segment corruption)"
         )));
@@ -284,6 +329,7 @@ pub fn read_segment(path: &Path, expected_base: Option<u64>) -> Result<SegmentCo
         records,
         valid_len: pos as u64,
         torn_bytes: (bytes.len() - pos) as u64,
+        mid_log_damage,
     })
 }
 
@@ -315,12 +361,15 @@ fn contains_valid_frame(tail: &[u8]) -> bool {
 
 /// Sorted `(base_seq, path)` list of the segment files in `dir`.
 pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    list_segments_in(&StdFs, dir)
+}
+
+/// [`list_segments`] against an explicit backend.
+pub fn list_segments_in<V: Vfs>(vfs: &V, dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        if let Some(base) = name.to_str().and_then(parse_segment_name) {
-            out.push((base, entry.path()));
+    for name in vfs.list_dir(dir)? {
+        if let Some(base) = parse_segment_name(&name) {
+            out.push((base, dir.join(name)));
         }
     }
     out.sort_by_key(|(b, _)| *b);

@@ -1,0 +1,194 @@
+//! Property-based crash-point exploration.
+//!
+//! Where `faults.rs` explores one hand-written script exhaustively, this
+//! test lets proptest pick the *script*: a random sequence of mutations,
+//! commits and compactions runs over the [`FaultyFs`] backend, and a
+//! crash is injected at **every** file-operation boundary of that run —
+//! write, fsync, rename, remove, directory-sync alike. Each crash image
+//! (durable bytes only) is materialized and reopened with the real
+//! backend; the recovered graph must equal the state after some prefix
+//! of the successfully applied mutations, and no commit acknowledged
+//! before the crash may be lost. Typed errors only — a panic anywhere
+//! fails the test.
+
+use grepair_graph::{NodeId, SlotDump, Value};
+use grepair_store::{DurableGraph, FaultyFs, StoreConfig, StoreError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One scripted step. Selectors index the live population modulo its
+/// size at application time, so any byte sequence is a valid script.
+#[derive(Clone, Debug)]
+enum Step {
+    AddNode(u8),
+    AddEdge(u8, u8),
+    RemoveNode(u8),
+    SetAttr(u8, i64),
+    Commit,
+    Compact,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    let add = || any::<u8>().prop_map(Step::AddNode);
+    prop_oneof![
+        add(),
+        add(),
+        add(),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Step::AddEdge(a, b)),
+        any::<u8>().prop_map(Step::RemoveNode),
+        (any::<u8>(), any::<i64>()).prop_map(|(n, v)| Step::SetAttr(n, v)),
+        Just(Step::Commit),
+        Just(Step::Commit),
+        Just(Step::Compact),
+    ]
+}
+
+fn pick(nodes: &[NodeId], sel: u8) -> Option<NodeId> {
+    (!nodes.is_empty()).then(|| nodes[sel as usize % nodes.len()])
+}
+
+#[derive(Default)]
+struct Trace {
+    dumps: BTreeMap<u64, SlotDump>,
+    acked: u64,
+}
+
+/// Run the script, tolerating failures (after a crash point every store
+/// call returns an error; the script carries on regardless, which is
+/// itself part of the property: no panics, only typed errors).
+fn run_script(fs: &FaultyFs, dir: &Path, steps: &[Step]) -> Trace {
+    let config = StoreConfig {
+        segment_max_bytes: 192,
+        compact_log_bytes: u64::MAX,
+        keep_snapshots: 2,
+        sync_on_commit: true,
+        log_growth_warn_bytes: u64::MAX,
+    };
+    let mut trace = Trace::default();
+    let Ok(mut s) = DurableGraph::create_on(fs.clone(), dir, config) else {
+        return trace;
+    };
+    trace.dumps.insert(0, s.graph().dump_slots());
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for step in steps {
+        let mutated = match step {
+            Step::AddNode(l) => match s.add_node(&format!("L{}", l % 4)) {
+                Ok(n) => {
+                    nodes.push(n);
+                    true
+                }
+                Err(_) => false,
+            },
+            Step::AddEdge(a, b) => match (pick(&nodes, *a), pick(&nodes, *b)) {
+                (Some(x), Some(y)) => s.add_edge(x, y, "r").is_ok(),
+                _ => false,
+            },
+            Step::RemoveNode(sel) => match pick(&nodes, *sel) {
+                Some(n) => {
+                    let removed = s.remove_node(n).is_ok();
+                    if removed {
+                        nodes.retain(|&m| m != n);
+                    }
+                    removed
+                }
+                None => false,
+            },
+            Step::SetAttr(sel, v) => match pick(&nodes, *sel) {
+                Some(n) => s.set_attr(n, "k", Value::Int(*v)).is_ok(),
+                None => false,
+            },
+            Step::Commit => {
+                if s.commit().is_ok() {
+                    trace.acked = s.last_seq();
+                }
+                false
+            }
+            Step::Compact => {
+                let _ = s.compact();
+                false
+            }
+        };
+        if mutated {
+            trace.dumps.insert(s.last_seq(), s.graph().dump_slots());
+        }
+    }
+    if s.commit().is_ok() {
+        trace.acked = s.last_seq();
+    }
+    trace
+}
+
+fn tmpdir() -> PathBuf {
+    static UNIQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = UNIQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "grepair-propfault-{}-{:?}-{n}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+proptest! {
+    // Each case replays the whole script once per file operation it
+    // performs (typically 60–200 crash points), so the case count is
+    // modest; coverage comes from the inner exhaustiveness.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn crash_at_every_boundary_recovers_a_committed_prefix(
+        steps in prop::collection::vec(step_strategy(), 5..30),
+        torn_keep in prop::option::of(1usize..12),
+    ) {
+        let vdir = PathBuf::from("/store");
+        let clean = FaultyFs::new();
+        run_script(&clean, &vdir, &steps);
+        let total_ops = clean.ops();
+
+        for crash_at in 0..total_ops {
+            let fs = FaultyFs::new();
+            match torn_keep {
+                Some(keep) => fs.set_torn_crash_point(crash_at, keep),
+                None => fs.set_crash_point(crash_at),
+            }
+            let trace = run_script(&fs, &vdir, &steps);
+
+            let target = tmpdir();
+            let _ = std::fs::remove_dir_all(&target);
+            fs.materialize_durable(&target).unwrap();
+            // The crashed process is dead by construction; drop its LOCK
+            // the way a stale-lock steal would.
+            let _ = std::fs::remove_file(target.join("LOCK"));
+
+            match DurableGraph::open(&target, StoreConfig::default()) {
+                Ok(s) => {
+                    let seq = s.last_seq();
+                    prop_assert!(
+                        seq >= trace.acked,
+                        "crash at {}: acked commit lost ({} < {})",
+                        crash_at, seq, trace.acked
+                    );
+                    let expect = trace.dumps.get(&seq);
+                    prop_assert!(
+                        expect.is_some(),
+                        "crash at {}: recovered seq {} matches no applied state",
+                        crash_at, seq
+                    );
+                    prop_assert_eq!(
+                        &s.graph().dump_slots(),
+                        expect.unwrap(),
+                        "crash at {}: wrong graph at seq {}",
+                        crash_at, seq
+                    );
+                    s.graph().check_invariants().unwrap();
+                }
+                Err(StoreError::NotAStore(_)) => {
+                    prop_assert_eq!(trace.acked, 0, "crash at {}: acked but no store", crash_at);
+                    prop_assert!(trace.dumps.is_empty());
+                }
+                Err(e) => prop_assert!(false, "crash at {}: recovery failed: {}", crash_at, e),
+            }
+            std::fs::remove_dir_all(&target).ok();
+        }
+    }
+}

@@ -106,6 +106,96 @@ fn every_layer_contributes_spans_and_histograms() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The fault path is telemetry-covered too: a damaged snapshot skipped
+/// during writable recovery records `store.fault`, and a degraded
+/// read-only open of a mid-log-damaged store records `store.degraded`
+/// plus an `store.fsck` span and histogram sample from its dry-run
+/// recovery walk.
+#[test]
+fn fault_path_contributes_counters_and_spans() {
+    let _lock = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = tmpdir("faults");
+
+    let mut store = DurableGraph::create(&dir, StoreConfig::default()).unwrap();
+    let mut nodes = Vec::new();
+    for _ in 0..50 {
+        nodes.push(store.add_node("Person").unwrap());
+    }
+    store.commit().unwrap();
+    store.compact().unwrap();
+    for w in nodes.windows(2) {
+        store.add_edge(w[0], w[1], "knows").unwrap();
+    }
+    store.commit().unwrap();
+    store.compact().unwrap(); // second snapshot; the first stays retained
+    for n in &nodes {
+        store
+            .set_attr(*n, "checked", grepair_graph::Value::Int(1))
+            .unwrap();
+    }
+    store.commit().unwrap();
+    let full_seq = store.last_seq();
+    drop(store);
+
+    let fault_ctr = grepair_obs::counter("store.fault");
+    let degraded_ctr = grepair_obs::counter("store.degraded");
+    let fsck_runs = grepair_obs::counter("store.fsck_runs");
+    let fsck_hist = grepair_obs::histogram("store.fsck_ns");
+
+    // Damage the newest snapshot: writable recovery skips it, falls
+    // back to the older one, and records the skip as a store.fault.
+    let (_, snap) = grepair_store::snapshot::list_snapshots(&dir)
+        .unwrap()
+        .pop()
+        .unwrap();
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&snap, bytes).unwrap();
+
+    let faults_before = fault_ctr.get();
+    let reopened = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(reopened.last_recovery().snapshots_skipped, 1);
+    assert_eq!(reopened.last_seq(), full_seq, "log must cover the damage");
+    assert!(
+        fault_ctr.get() > faults_before,
+        "skipped snapshot must record store.fault"
+    );
+    drop(reopened);
+
+    // Mid-log damage (a flipped byte with CRC-valid frames after it):
+    // writable open refuses; the degraded read-only open serves a prefix
+    // and emits store.degraded plus the fsck span + histogram sample.
+    let (_, seg) = grepair_store::wal::list_segments(&dir).unwrap().pop().unwrap();
+    let clean = std::fs::read(&seg).unwrap();
+    let header = grepair_store::wal::SEGMENT_HEADER_LEN as usize;
+    let mut bytes = clean.clone();
+    bytes[header + 10] ^= 0xFF;
+    bytes.extend_from_slice(&clean[header..]);
+    std::fs::write(&seg, bytes).unwrap();
+    assert!(DurableGraph::open(&dir, StoreConfig::default()).is_err());
+
+    let (degraded_before, runs_before, hist_before) =
+        (degraded_ctr.get(), fsck_runs.get(), fsck_hist.count());
+    let (ro, events) = with_tracing(|| grepair_store::ReadOnlyStore::open(&dir).unwrap());
+    assert!(ro.degraded());
+    assert!(ro.last_seq() < full_seq, "damage must cost some tail records");
+    assert!(!ro.issues().is_empty());
+    assert!(
+        degraded_ctr.get() > degraded_before,
+        "degraded open must record store.degraded"
+    );
+    assert!(fsck_runs.get() > runs_before);
+    assert!(fsck_hist.count() > hist_before);
+    assert!(
+        events.iter().any(|e| e.ph == 'X' && e.name == "store.fsck"),
+        "degraded open contributed no store.fsck span"
+    );
+    grepair_obs::spans_well_formed(&events).expect("fault-path trace must nest");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Typed mirror of the Chrome trace schema — the derive rejects missing
 /// required fields, so parsing *is* the schema check.
 #[derive(serde::Deserialize)]
