@@ -1,0 +1,212 @@
+//! Guardrails overhead bench: what the budget layer costs on the
+//! matching hot path when **no limits are set** (the default — must stay
+//! under 5%), and how fast a cooperative cancellation actually lands
+//! (flip-to-return latency, p99).
+//!
+//! Like the observability bench, the disabled overhead is *computed*,
+//! not differenced: the per-probe cost of each budget tier is measured
+//! in a tight loop ([`obs::Budget::is_tripped`] — one relaxed load — and
+//! [`obs::Budget::checkpoint`] — clock read + cap comparisons), the
+//! number of checkpoints a real budgeted pass crosses is read back from
+//! [`obs::Budget::checks`], the cheap-tier count is over-estimated at
+//! `BUDGET_POLL_PERIOD - 1` probes per checkpoint, and the total is
+//! compared to the unbudgeted pass time. Differencing two medians on a
+//! shared CI host would drown a sub-microsecond effect in scheduler
+//! noise; the computed ratio is stable and strictly over-estimates.
+//!
+//! Cancellation latency is measured end-to-end: a worker thread scans in
+//! a loop under a shared budget, the bench thread flips the
+//! [`obs::CancelToken`] and times until the worker returns — the p99 of
+//! that distribution is the "how long after ^C does the tool stop"
+//! number (bounded by checkpoint granularity, not by scan length).
+//!
+//! Set `GREPAIR_BENCH_SMOKE=1` for the CI configuration; the results
+//! land in `BENCH_guardrails.json` (`disabled_check_overhead_ratio`,
+//! `cancel_latency_p99_ms`, `checkpoints_per_pass`), schema-checked by
+//! the `bench_json` test.
+
+use criterion::{criterion_group, Criterion};
+use grepair_bench::dirty_kg_fixture;
+use grepair_core::RuleSet;
+use grepair_gen::gold_kg_rules;
+use grepair_graph::Graph;
+use grepair_match::Matcher;
+use grepair_obs as obs;
+use std::time::{Duration, Instant};
+
+fn smoke() -> bool {
+    std::env::var_os("GREPAIR_BENCH_SMOKE").is_some()
+}
+
+fn fixture_persons() -> usize {
+    if smoke() {
+        300
+    } else {
+        5_000
+    }
+}
+
+/// Mirrors `grepair-match`'s `BUDGET_POLL_PERIOD`: between two full
+/// checkpoints the enumeration loop issues at most this many - 1 cheap
+/// `is_tripped` probes, so `checks() * (PERIOD - 1)` over-estimates the
+/// cheap-tier call count (frontier-forced flushes only shorten runs).
+const BUDGET_POLL_PERIOD: u64 = 64;
+
+/// The matching hot path with no budget attached: the true baseline.
+fn scan(g: &Graph, rules: &RuleSet) -> usize {
+    let m = Matcher::new(g);
+    rules
+        .rules
+        .iter()
+        .map(|r| m.find_all(&r.pattern).len())
+        .sum()
+}
+
+/// The same pass with an (unlimited) budget attached to every matcher.
+fn scan_budgeted(g: &Graph, rules: &RuleSet, budget: &obs::Budget) -> usize {
+    let m = Matcher::new(g).with_budget(budget);
+    rules
+        .rules
+        .iter()
+        .map(|r| m.find_all(&r.pattern).len())
+        .sum()
+}
+
+const PROBE_BATCH: usize = 10_000;
+
+fn bench_guardrails(c: &mut Criterion) {
+    let g = dirty_kg_fixture(fixture_persons());
+    let rules = gold_kg_rules();
+    let mut group = c.benchmark_group("guardrails");
+    group.sample_size(if smoke() { 2 } else { 10 });
+
+    group.bench_function("scan_unbudgeted", |b| b.iter(|| scan(&g, &rules)));
+
+    let unlimited = obs::Budget::unlimited();
+    group.bench_function("scan_budgeted_unlimited", |b| {
+        b.iter(|| scan_budgeted(&g, &rules, &unlimited))
+    });
+
+    group.bench_function("is_tripped_probe_batch", |b| {
+        b.iter(|| {
+            let mut tripped = 0usize;
+            for _ in 0..PROBE_BATCH {
+                tripped += unlimited.is_tripped() as usize;
+            }
+            tripped
+        })
+    });
+
+    group.bench_function("checkpoint_probe_batch", |b| {
+        b.iter(|| {
+            let mut tripped = 0usize;
+            for _ in 0..PROBE_BATCH {
+                tripped += unlimited.checkpoint().is_some() as usize;
+            }
+            tripped
+        })
+    });
+    group.finish();
+}
+
+/// Flip-to-return latency of one cooperative cancellation: a worker
+/// scans in a loop under a shared budget; we flip the token and time
+/// until the worker observes the trip and returns.
+fn cancel_latency_once(g: &Graph, rules: &RuleSet) -> Duration {
+    let budget = obs::Budget::unlimited();
+    let token = budget.token();
+    let worker = {
+        let budget = budget.clone();
+        let g = g.clone();
+        let rules = rules.clone();
+        std::thread::spawn(move || {
+            // Keep scanning until the budget trips — the cancel always
+            // lands mid-scan, never in the gap between iterations.
+            while !budget.is_tripped() {
+                scan_budgeted(&g, &rules, &budget);
+            }
+        })
+    };
+    // Let the worker get into the middle of a pass.
+    std::thread::sleep(Duration::from_millis(1));
+    let flipped = Instant::now();
+    token.cancel();
+    worker.join().expect("cancelled worker must not panic");
+    flipped.elapsed()
+}
+
+fn guardrails_summary() {
+    let g = dirty_kg_fixture(fixture_persons());
+    let rules = gold_kg_rules();
+    let samples = if smoke() { 3 } else { 9 };
+
+    let unbudgeted = criterion::median_time(samples, || scan(&g, &rules));
+
+    // How many full checkpoints one pass crosses, read from the budget
+    // itself (fresh budget per measurement so the count is per-pass).
+    let counted = obs::Budget::unlimited();
+    scan_budgeted(&g, &rules, &counted);
+    let checkpoints_per_pass = counted.checks();
+
+    let unlimited = obs::Budget::unlimited();
+    let probe = criterion::median_time(samples, || {
+        let mut tripped = 0usize;
+        for _ in 0..PROBE_BATCH {
+            tripped += unlimited.is_tripped() as usize;
+        }
+        tripped
+    });
+    let checkpoint = criterion::median_time(samples, || {
+        let mut tripped = 0usize;
+        for _ in 0..PROBE_BATCH {
+            tripped += unlimited.checkpoint().is_some() as usize;
+        }
+        tripped
+    });
+    let probe_ns = probe.as_secs_f64() * 1e9 / PROBE_BATCH as f64;
+    let checkpoint_ns = checkpoint.as_secs_f64() * 1e9 / PROBE_BATCH as f64;
+
+    // Computed overhead: every checkpoint plus the worst-case number of
+    // cheap probes between checkpoints, against the unbudgeted pass.
+    let pass_ns = unbudgeted.as_secs_f64() * 1e9;
+    let budget_ns = checkpoints_per_pass as f64
+        * (checkpoint_ns + (BUDGET_POLL_PERIOD - 1) as f64 * probe_ns);
+    let disabled_check_overhead_ratio = 1.0 + budget_ns / pass_ns.max(1.0);
+
+    // Measured (noisy, informational) ratio for cross-checking.
+    let budgeted = criterion::median_time(samples, || scan_budgeted(&g, &rules, &unlimited));
+    let measured_ratio = budgeted.as_secs_f64() / unbudgeted.as_secs_f64().max(1e-12);
+
+    let latency_samples = if smoke() { 12 } else { 60 };
+    let mut latencies: Vec<Duration> = (0..latency_samples)
+        .map(|_| cancel_latency_once(&g, &rules))
+        .collect();
+    latencies.sort_unstable();
+    let p99 = latencies[((latencies.len() * 99) / 100).min(latencies.len() - 1)];
+    let cancel_latency_p99_ms = p99.as_secs_f64() * 1e3;
+
+    println!(
+        "\nguardrails summary ({} persons): unbudgeted pass {unbudgeted:?}; \
+         {checkpoints_per_pass} checkpoints x ({checkpoint_ns:.1}ns + 63 x {probe_ns:.2}ns) \
+         = {disabled_check_overhead_ratio:.4}x computed ({measured_ratio:.2}x measured); \
+         cancel p99 {cancel_latency_p99_ms:.2}ms over {latency_samples} flips",
+        fixture_persons(),
+    );
+    criterion::record_metric(
+        "disabled_check_overhead_ratio",
+        disabled_check_overhead_ratio,
+    );
+    criterion::record_metric("measured_overhead_ratio", measured_ratio);
+    criterion::record_metric("checkpoints_per_pass", checkpoints_per_pass as f64);
+    criterion::record_metric("probe_ns", probe_ns);
+    criterion::record_metric("checkpoint_ns", checkpoint_ns);
+    criterion::record_metric("cancel_latency_p99_ms", cancel_latency_p99_ms);
+}
+
+criterion_group!(benches, bench_guardrails);
+
+fn main() {
+    benches();
+    guardrails_summary();
+    criterion::write_results_json(env!("CARGO_CRATE_NAME"));
+}

@@ -73,6 +73,9 @@ fn validate(name: &str, text: &str) {
     if parsed.bench == "observability" {
         validate_observability(name, &parsed);
     }
+    if parsed.bench == "guardrails" {
+        validate_guardrails(name, &parsed);
+    }
     if parsed.bench == "store_faults" {
         validate_store_faults(name, &parsed);
     }
@@ -154,6 +157,44 @@ fn validate_observability(name: &str, parsed: &BenchJson) {
     assert!(
         eps > 0.0,
         "{name}: events_per_sec must be positive, got {eps}"
+    );
+}
+
+/// Extra contract for the guardrails bench: budget checks that are not
+/// near-free when no limits are set do not ship, and a cancellation
+/// that does not land promptly is not "cooperative". The computed
+/// disabled-check overhead must stay under 5% (and cannot be a
+/// speedup — that would mean the computation is broken), the
+/// checkpoint count must prove a real budgeted pass ran, and the
+/// flip-to-return p99 must be positive.
+fn validate_guardrails(name: &str, parsed: &BenchJson) {
+    for key in [
+        "disabled_check_overhead_ratio",
+        "checkpoints_per_pass",
+        "cancel_latency_p99_ms",
+    ] {
+        assert!(
+            parsed.metrics.contains_key(key),
+            "{name}: guardrails must record metric {key}"
+        );
+    }
+    let disabled = parsed.metrics["disabled_check_overhead_ratio"];
+    assert!(
+        (1.0..1.05).contains(&disabled),
+        "{name}: no-limit budget checks must cost < 5% on the matching \
+         hot path (and cannot be a speedup), got {disabled}"
+    );
+    let checkpoints = parsed.metrics["checkpoints_per_pass"];
+    assert!(
+        checkpoints >= 1.0 && checkpoints.fract() == 0.0,
+        "{name}: checkpoints_per_pass must be a positive integer \
+         (a budgeted pass that never checkpointed measured nothing), \
+         got {checkpoints}"
+    );
+    let p99 = parsed.metrics["cancel_latency_p99_ms"];
+    assert!(
+        p99 > 0.0,
+        "{name}: cancel_latency_p99_ms must be positive, got {p99}"
     );
 }
 
@@ -329,6 +370,41 @@ fn validator_enforces_store_faults_contract() {
         std::panic::catch_unwind(|| validate("BENCH_store_faults.json", &text)).is_err(),
         "must reject a density axis without its result rows"
     );
+}
+
+#[test]
+fn validator_enforces_guardrails_contract() {
+    let row = r#"[{"id":"a","median_ns":1.0,"iters_per_sec":2.0}]"#;
+    let ok = format!(
+        r#"{{"bench":"guardrails","smoke":true,"results":{row},"metrics":{{
+            "disabled_check_overhead_ratio":1.002,"checkpoints_per_pass":7.0,
+            "cancel_latency_p99_ms":0.3}}}}"#
+    );
+    validate("BENCH_guardrails.json", &ok);
+    for bad_metrics in [
+        // Missing the headline overhead number.
+        r#""checkpoints_per_pass":7.0,"cancel_latency_p99_ms":0.3"#,
+        // Missing the checkpoint count.
+        r#""disabled_check_overhead_ratio":1.002,"cancel_latency_p99_ms":0.3"#,
+        // Missing cancellation latency.
+        r#""disabled_check_overhead_ratio":1.002,"checkpoints_per_pass":7.0"#,
+        // Overhead past the 5% budget.
+        r#""disabled_check_overhead_ratio":1.2,"checkpoints_per_pass":7.0,"cancel_latency_p99_ms":0.3"#,
+        // A "speedup" from adding checks is a measurement bug.
+        r#""disabled_check_overhead_ratio":0.9,"checkpoints_per_pass":7.0,"cancel_latency_p99_ms":0.3"#,
+        // A pass that never checkpointed measured nothing.
+        r#""disabled_check_overhead_ratio":1.002,"checkpoints_per_pass":0.0,"cancel_latency_p99_ms":0.3"#,
+        // Zero latency means the cancellation was never timed.
+        r#""disabled_check_overhead_ratio":1.002,"checkpoints_per_pass":7.0,"cancel_latency_p99_ms":0.0"#,
+    ] {
+        let text = format!(
+            r#"{{"bench":"guardrails","smoke":true,"results":{row},"metrics":{{{bad_metrics}}}}}"#
+        );
+        assert!(
+            std::panic::catch_unwind(|| validate("BENCH_guardrails.json", &text)).is_err(),
+            "must reject metrics: {bad_metrics}"
+        );
+    }
 }
 
 #[test]

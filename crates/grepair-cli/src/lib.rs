@@ -26,16 +26,18 @@
 
 use grepair_core::{
     analyze, lint_rules, parse_rules_with_spans, rule_to_dsl, EngineConfig,
-    LintCode, LintPolicy, Planner, RepairEngine, RuleSet, RuleSpan, Severity,
+    LintCode, LintPolicy, Planner, RepairEngine, RepairOutcome, RuleSet, RuleSpan, Severity,
 };
 use grepair_gen::{
     generate_kg, generate_social, inject_kg_noise, KgConfig, NoiseConfig, SocialConfig,
 };
 use grepair_graph::{Graph, GraphDoc, GraphStats};
 use grepair_mine::{mine_all, MinerConfig};
-use grepair_store::{fsck, DurableGraph, FsckVerdict, StoreConfig};
+use grepair_store::{fsck, DurableGraph, FsckVerdict, StdFs, StoreConfig, Vfs, VfsFile};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
 
 /// CLI error: message + suggested exit code.
 #[derive(Debug)]
@@ -151,12 +153,116 @@ fn trace_arg(args: &Args) -> Option<String> {
 
 /// Disarm tracing and export the buffered spans as a Chrome trace file
 /// (load it in `chrome://tracing` or Perfetto).
-fn write_trace(path: &str, out: &mut String) -> Result<(), CliError> {
+///
+/// Export failure is *not* an error: the repair (or check) the trace
+/// was recording has already succeeded, and losing a diagnostics file
+/// must never make the command that produced real results exit
+/// non-zero. A failure is recorded as a warn-level `trace.export_failed`
+/// obs event and noted in the output instead.
+fn write_trace(path: &str, out: &mut String) {
     grepair_obs::set_tracing(false);
     let events = grepair_obs::take_events();
-    write_atomic(path, &grepair_obs::chrome_trace_json(&events))?;
-    writeln!(out, "wrote trace ({} events) to {path}", events.len()).unwrap();
-    Ok(())
+    match write_atomic(path, &grepair_obs::chrome_trace_json(&events)) {
+        Ok(()) => writeln!(out, "wrote trace ({} events) to {path}", events.len()).unwrap(),
+        Err(e) => {
+            grepair_obs::event(
+                grepair_obs::Level::Warn,
+                "trace.export_failed",
+                e.message.clone(),
+            );
+            writeln!(out, "warning: trace export failed: {}", e.message).unwrap();
+        }
+    }
+}
+
+/// What `--max-ops N` caps: applied repair operations (repair/watch) or
+/// enumerated candidate matches (check, which never applies anything).
+#[derive(Clone, Copy)]
+enum MaxOps {
+    Ops,
+    Matches,
+}
+
+/// Build this run's [`grepair_obs::Budget`] from `--timeout SECS` /
+/// `--max-ops N` and register its cancel token so the binary's SIGINT
+/// handler (see [`cancel_active`]) can flip it for graceful shutdown.
+fn make_budget(args: &Args, cmd: &str, max_ops: MaxOps) -> Result<grepair_obs::Budget, CliError> {
+    let mut budget = grepair_obs::Budget::unlimited();
+    if let Some(v) = args.get(&["timeout"]) {
+        let secs: f64 = v
+            .parse()
+            .ok()
+            .filter(|s: &f64| s.is_finite() && *s > 0.0)
+            .ok_or_else(|| {
+                CliError::usage(format!("{cmd}: bad --timeout {v:?} (want seconds > 0)"))
+            })?;
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = args.get(&["max-ops"]) {
+        let n: u64 = v
+            .parse()
+            .ok()
+            .filter(|n: &u64| *n > 0)
+            .ok_or_else(|| {
+                CliError::usage(format!("{cmd}: bad --max-ops {v:?} (want a positive integer)"))
+            })?;
+        budget = match max_ops {
+            MaxOps::Ops => budget.with_op_cap(n),
+            MaxOps::Matches => budget.with_match_cap(n),
+        };
+    }
+    register_cancel_token(budget.token());
+    Ok(budget)
+}
+
+fn cancel_registry() -> &'static Mutex<Vec<grepair_obs::CancelToken>> {
+    static REGISTRY: OnceLock<Mutex<Vec<grepair_obs::CancelToken>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Register a budget's cancel token with the process-wide SIGINT hook.
+pub fn register_cancel_token(token: grepair_obs::CancelToken) {
+    cancel_registry().lock().unwrap().push(token);
+}
+
+/// Cancel every budget registered so far. The binary wires this to
+/// SIGINT: the engine finishes its current round, commits, and the
+/// command prints a partial report with outcome `cancelled`.
+pub fn cancel_active() {
+    for token in cancel_registry().lock().unwrap().iter() {
+        token.cancel();
+    }
+}
+
+/// Exit code for a repair/check that stopped early: 130 (128+SIGINT)
+/// for cancellation, 5 for every other limit trip (deadline, op
+/// budget, round limit). `None` means the run completed.
+fn outcome_exit_code(outcome: RepairOutcome) -> Option<i32> {
+    match outcome {
+        RepairOutcome::Completed => None,
+        RepairOutcome::Cancelled => Some(130),
+        RepairOutcome::RoundLimit | RepairOutcome::Deadline | RepairOutcome::OpBudget => Some(5),
+    }
+}
+
+/// One-line human explanation of a non-`Completed` outcome.
+fn explain_outcome(outcome: RepairOutcome) -> &'static str {
+    match outcome {
+        RepairOutcome::Completed => "ran to convergence",
+        RepairOutcome::RoundLimit => {
+            "round limit exhausted before convergence (raise max_rounds or check rule termination; \
+             residual violations remain)"
+        }
+        RepairOutcome::Deadline => {
+            "deadline exceeded; stopped at a round boundary (the graph holds the completed rounds)"
+        }
+        RepairOutcome::Cancelled => {
+            "cancelled; stopped at a round boundary (the graph holds the completed rounds)"
+        }
+        RepairOutcome::OpBudget => {
+            "op budget exhausted; stopped at a round boundary (the graph holds the completed rounds)"
+        }
+    }
 }
 
 fn load_graph(path: &str) -> Result<Graph, CliError> {
@@ -194,26 +300,40 @@ fn write_atomic(path: &str, contents: &str) -> Result<(), CliError> {
     if std::fs::metadata(&target).is_ok_and(|m| !m.is_file()) {
         return std::fs::write(&target, contents).map_err(io_err);
     }
+    write_atomic_on(&StdFs, &target, contents).map_err(io_err)
+}
+
+/// The atomic-write core, over a swappable [`Vfs`] backend: temp file
+/// in the target's directory, `fdatasync`, rename over the target,
+/// temp cleanup on any failure. [`write_atomic`] (every CLI file
+/// output and the `--trace` export) runs this over [`StdFs`] after
+/// resolving symlinks and diverting non-regular targets; the
+/// fault-injection tests drive the *same code* over a `FaultyFs` that
+/// fails each step in turn.
+pub fn write_atomic_on<V: Vfs>(vfs: &V, target: &Path, contents: &str) -> std::io::Result<()> {
     let dir = target.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = target
         .file_name()
         .and_then(|n| n.to_str())
-        .ok_or_else(|| CliError::io(format!("invalid output path {path}")))?;
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid output path {}", target.display()),
+            )
+        })?;
     let tmp = dir
         .unwrap_or_else(|| Path::new("."))
         .join(format!(".{file_name}.{}.tmp", std::process::id()));
     let write_tmp = || -> std::io::Result<()> {
-        use std::io::Write as _;
-        let mut f = std::fs::File::create(&tmp)?;
+        let mut f = vfs.create(&tmp)?;
         f.write_all(contents.as_bytes())?;
         f.sync_data()
     };
     write_tmp()
-        .and_then(|()| std::fs::rename(&tmp, &target))
-        .map_err(|e| {
+        .and_then(|()| vfs.rename(&tmp, target))
+        .inspect_err(|_| {
             // Never leave temp droppings, whichever step failed.
-            let _ = std::fs::remove_file(&tmp);
-            io_err(e)
+            let _ = vfs.remove_file(&tmp);
         })
 }
 
@@ -305,10 +425,13 @@ commands:
   gen social    --accounts N [--seed S] -o OUT
   stats         GRAPH
   check         -r RULES (-g GRAPH | --store DIR [--read-only]) [--frozen] [--trace FILE]
+                [--timeout SECS] [--max-ops N]
   explain       -r RULES (-g GRAPH | --store DIR [--read-only])
   repair        -r RULES -g GRAPH -o OUT [--naive] [--frozen] [--report R] [--trace FILE]
+                [--timeout SECS] [--max-ops N]
   repair        -r RULES --store DIR [-o OUT] [--naive] [--frozen] [--report R] [--trace FILE]
   watch         -r RULES (-g GRAPH [-o OUT] | --store DIR) [--runs N] [--trace FILE]
+                [--timeout SECS] [--max-ops N]
   metrics       [-r RULES (-g GRAPH | --store DIR)] [--format json]
   lint          -r RULES [--format json] [--deny CODE] [--warn CODE] [--allow CODE]
   analyze       -r RULES
@@ -362,6 +485,17 @@ absorb) prints the report on stderr and exits 4. check/explain accept
 (safe beside a live writer) and, when degraded, serves the newest
 loadable snapshot plus the longest clean log prefix instead of
 refusing.
+
+Runtime limits: --timeout SECS and --max-ops N (on check/repair/watch)
+attach a budget to the run — a deadline and an applied-op cap (for
+check, a candidate-match cap). Limits are observed cooperatively at
+round and scan boundaries: a tripped repair finishes nothing mid-round,
+commits the completed rounds (durably, with --store), prints a partial
+report with a typed outcome, and exits 5. SIGINT (^C) cancels the same
+way — finish round, commit, report, exit 130; a second ^C aborts
+immediately. A repair that exhausts max_rounds without converging
+reports outcome 'round-limit' and also exits 5, distinguishing a blown
+limit from residual violations under a completed fixpoint.
 
 Observability: --trace FILE (on check/repair/watch) records spans from
 every layer — engine rounds, matching, planning, freezes, WAL writes —
@@ -560,13 +694,16 @@ fn cmd_check(tokens: &[String]) -> CliResult {
     // pattern shape.
     let planner = Planner::new();
     planner.refresh_stats(&g);
+    let budget = make_budget(&args, "check", MaxOps::Matches)?;
     let cfg = grepair_match::MatchConfig::default();
     let counts: Vec<usize> = if args.has("frozen") {
         let frozen = grepair_graph::FrozenGraph::freeze(&g);
-        let matcher = grepair_match::Matcher::with_planner(&frozen, cfg, &planner);
+        let matcher =
+            grepair_match::Matcher::with_planner(&frozen, cfg, &planner).with_budget(&budget);
         rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
     } else {
-        let matcher = grepair_match::Matcher::with_planner(&g, cfg, &planner);
+        let matcher =
+            grepair_match::Matcher::with_planner(&g, cfg, &planner).with_budget(&budget);
         rules.rules.iter().map(|r| matcher.count(&r.pattern)).collect()
     };
     let mut out = header;
@@ -576,8 +713,19 @@ fn cmd_check(tokens: &[String]) -> CliResult {
         writeln!(out, "{:<40} {:>6}", r.name, n).unwrap();
     }
     writeln!(out, "{:<40} {:>6}", "TOTAL", total).unwrap();
+    if let Some(reason) = budget.tripped() {
+        writeln!(
+            out,
+            "stopped early ({reason}); counts are a lower bound over the scanned prefix"
+        )
+        .unwrap();
+    }
     if let Some(path) = &trace {
-        write_trace(path, &mut out)?;
+        write_trace(path, &mut out);
+    }
+    if let Some(reason) = budget.tripped() {
+        let code = outcome_exit_code(RepairOutcome::from(reason)).unwrap_or(5);
+        return Err(CliError { message: out, code });
     }
     Ok(out)
 }
@@ -664,8 +812,10 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
     lint_preflight("watch", &rules_path, &rules, &spans, &args)?;
     let runs = args.get_usize(&["runs"], 2)?.max(1);
     let trace = trace_arg(&args);
-    let engine = RepairEngine::new(EngineConfig::default());
+    let budget = make_budget(&args, "watch", MaxOps::Ops)?;
+    let engine = RepairEngine::new(EngineConfig::default()).with_budget(&budget);
     let mut out = String::new();
+    let mut final_outcome = RepairOutcome::Completed;
     // Per-update metrics: global counters sampled around each run so the
     // line shows this run's delta.
     let rounds_ctr = grepair_obs::counter("engine.rounds");
@@ -682,7 +832,7 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
     let print_run = |out: &mut String, i: usize, report: &grepair_core::RepairReport| {
         writeln!(
             out,
-            "run {}: {} repairs, residual {}, {} plans compiled, {} cache hits{}",
+            "run {}: {} repairs, residual {}, {} plans compiled, {} cache hits{}, outcome {}",
             i + 1,
             report.repairs_applied,
             report.violations_remaining,
@@ -692,7 +842,8 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
                 format!(", {} re-plans", report.plan_replans)
             } else {
                 String::new()
-            }
+            },
+            report.outcome
         )
         .unwrap();
     };
@@ -707,7 +858,15 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
                 let report = engine.repair_with_planner(&mut g, &rules.rules, &planner);
                 print_run(&mut out, i, &report);
                 print_metrics(&mut out, r0, m0);
+                final_outcome = report.outcome;
+                // A budget trip is sticky: every later run would return
+                // the same outcome immediately. Stop at this boundary.
+                if report.outcome.is_budget_trip() {
+                    break;
+                }
             }
+            // The graph holds the committed prefix even on a trip —
+            // still worth exporting.
             if let Some(out_path) = args.get(&["o", "out"]) {
                 save_graph(&g, out_path)?;
                 writeln!(out, "wrote repaired graph to {out_path}").unwrap();
@@ -723,6 +882,10 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
                     .map_err(|e| CliError::io(format!("durable repair failed: {e}")))?;
                 print_run(&mut out, i, &report);
                 print_metrics(&mut out, r0, m0);
+                final_outcome = report.outcome;
+                if report.outcome.is_budget_trip() {
+                    break;
+                }
             }
             writeln!(out, "last seq {}", store.last_seq()).unwrap();
         }
@@ -732,10 +895,16 @@ fn cmd_watch(tokens: &[String]) -> CliResult {
             ))
         }
     }
+    if final_outcome != RepairOutcome::Completed {
+        writeln!(out, "stopped: {}", explain_outcome(final_outcome)).unwrap();
+    }
     if let Some(path) = &trace {
-        write_trace(path, &mut out)?;
+        write_trace(path, &mut out);
     }
     out.truncate(out.trim_end().len());
+    if let Some(code) = outcome_exit_code(final_outcome) {
+        return Err(CliError { message: out, code });
+    }
     Ok(out)
 }
 
@@ -756,7 +925,8 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     if args.has("frozen") {
         config.freeze_scans = true;
     }
-    let engine = RepairEngine::new(config);
+    let budget = make_budget(&args, "repair", MaxOps::Ops)?;
+    let engine = RepairEngine::new(config).with_budget(&budget);
 
     let mut out = String::new();
     let report = match (args.get(&["g", "graph"]), args.get(&["store"])) {
@@ -812,17 +982,27 @@ fn cmd_repair(tokens: &[String]) -> CliResult {
     }
     writeln!(
         out,
-        "applied {} repairs in {:?} (converged: {}, residual: {})",
-        report.repairs_applied, report.wall, report.converged, report.violations_remaining
+        "applied {} repairs in {:?} (converged: {}, outcome: {}, residual: {})",
+        report.repairs_applied,
+        report.wall,
+        report.converged,
+        report.outcome,
+        report.violations_remaining
     )
     .unwrap();
     for s in report.per_rule.iter().filter(|s| s.repairs_applied > 0) {
         writeln!(out, "  {:<40} {:>6}", s.name, s.repairs_applied).unwrap();
     }
+    if report.outcome != RepairOutcome::Completed {
+        writeln!(out, "stopped: {}", explain_outcome(report.outcome)).unwrap();
+    }
     if let Some(path) = &trace {
-        write_trace(path, &mut out)?;
+        write_trace(path, &mut out);
     }
     out.truncate(out.trim_end().len());
+    if let Some(code) = outcome_exit_code(report.outcome) {
+        return Err(CliError { message: out, code });
+    }
     Ok(out)
 }
 
@@ -1842,5 +2022,125 @@ repair set x.seen = true
         assert!(out.contains("\"engine.rounds\""), "{out}");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Write a dirty KG and the gold rules into `dir`; returns their
+    /// paths.
+    fn guardrail_fixture(dir: &Path) -> (std::path::PathBuf, std::path::PathBuf) {
+        let dirty = dir.join("guardrail-dirty.json");
+        let rules = dir.join("guardrail-rules.grr");
+        dispatch(&toks(&[
+            "gen", "kg", "--persons", "300", "--noise", "0.1",
+            "-o", dirty.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&rules, grepair_gen::catalog::GOLD_KG_DSL).unwrap();
+        (dirty, rules)
+    }
+
+    #[test]
+    fn repair_max_ops_trips_with_exit_5() {
+        let dir = tmpdir();
+        let (dirty, rules) = guardrail_fixture(&dir);
+        let out_path = dir.join("partial.json");
+        let err = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", out_path.to_str().unwrap(), "--max-ops", "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 5, "{}", err.message);
+        assert!(err.message.contains("outcome: op-budget"), "{}", err.message);
+        assert!(err.message.contains("stopped:"), "{}", err.message);
+        // The partial (committed-prefix) graph was still exported.
+        assert!(out_path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_max_ops_caps_matches_with_exit_5() {
+        let dir = tmpdir();
+        let (dirty, rules) = guardrail_fixture(&dir);
+        let err = dispatch(&toks(&[
+            "check", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "--max-ops", "1",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 5, "{}", err.message);
+        assert!(err.message.contains("lower bound"), "{}", err.message);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_budget_flags_are_usage_errors() {
+        let dir = tmpdir();
+        let (dirty, rules) = guardrail_fixture(&dir);
+        for flags in [["--timeout", "abc"], ["--timeout", "0"], ["--max-ops", "0"]] {
+            let err = dispatch(&toks(&[
+                "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+                "-o", "/dev/null", flags[0], flags[1],
+            ]))
+            .unwrap_err();
+            assert_eq!(err.code, 2, "{flags:?}: {}", err.message);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cancel_registry_flips_registered_tokens() {
+        let budget = grepair_obs::Budget::unlimited();
+        register_cancel_token(budget.token());
+        cancel_active();
+        assert_eq!(
+            budget.checkpoint(),
+            Some(grepair_obs::TripReason::Cancelled)
+        );
+    }
+
+    #[test]
+    fn failed_trace_export_warns_but_never_fails_the_repair() {
+        let dir = tmpdir();
+        let (dirty, rules) = guardrail_fixture(&dir);
+        // A directory as the trace target makes the export fail; the
+        // repair itself must still succeed (exit 0).
+        let trace_target = dir.join("not-a-file");
+        std::fs::create_dir_all(&trace_target).unwrap();
+        let out = dispatch(&toks(&[
+            "repair", "-r", rules.to_str().unwrap(), "-g", dirty.to_str().unwrap(),
+            "-o", dir.join("repaired.json").to_str().unwrap(),
+            "--trace", trace_target.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("converged: true"), "{out}");
+        assert!(out.contains("warning: trace export failed"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_on_faulty_fs_cleans_up_and_recovers() {
+        use grepair_store::{FaultOp, FaultyFs, InjectedError};
+        let vfs = FaultyFs::new();
+        let target = Path::new("/out/result.json");
+        vfs.create_dir_all(Path::new("/out")).unwrap();
+
+        // Fail each step of the atomic write in turn; the target must
+        // never hold partial content and no temp droppings may remain.
+        for op in [FaultOp::Create, FaultOp::Write, FaultOp::Sync, FaultOp::Rename] {
+            vfs.inject(op, 0, InjectedError::Enospc);
+            assert!(
+                write_atomic_on(&vfs, target, "fresh contents").is_err(),
+                "{op:?} fault must surface"
+            );
+            for (path, _) in vfs.durable_image() {
+                assert!(
+                    !path.to_string_lossy().contains(".tmp"),
+                    "temp dropping survived a {op:?} fault: {}",
+                    path.display()
+                );
+            }
+        }
+
+        // Fault-free retry over the same backend succeeds.
+        write_atomic_on(&vfs, target, "fresh contents").unwrap();
+        assert_eq!(vfs.read(target).unwrap(), b"fresh contents");
     }
 }

@@ -1,6 +1,13 @@
 //! `grepair` binary: thin wrapper over [`grepair_cli::dispatch`].
 
 fn main() {
+    // Graceful shutdown: the first ^C flips every active budget's
+    // cancel token — the engine finishes its round, commits, and the
+    // command exits 130 with a partial report. A second ^C hard-exits.
+    let _ = ctrlc::set_handler(|| {
+        eprintln!("interrupt: stopping at the next round boundary (^C again to abort)");
+        grepair_cli::cancel_active();
+    });
     let tokens: Vec<String> = std::env::args().skip(1).collect();
     match grepair_cli::dispatch(&tokens) {
         Ok(out) => println!("{out}"),

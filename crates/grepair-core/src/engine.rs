@@ -143,6 +143,101 @@ impl EngineConfig {
     }
 }
 
+/// How a repair run ended — the typed answer to "did it finish, and if
+/// not, what stopped it". `converged = false` alone is ambiguous: it
+/// covers both "residual violations the rules cannot fix" (outcome
+/// [`RepairOutcome::Completed`]) and "a guard stopped the run early"
+/// (any other variant).
+///
+/// Guardrail trips ([`Deadline`](RepairOutcome::Deadline),
+/// [`Cancelled`](RepairOutcome::Cancelled),
+/// [`OpBudget`](RepairOutcome::OpBudget)) are **round-atomic**: the
+/// engine only observes its [`obs::Budget`] between rounds (and aborts
+/// in-progress scans before applying anything), so the graph is always
+/// left equal to some completed prefix of the untripped run's rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepairOutcome {
+    /// The run reached its natural fixpoint (or gave up on residual
+    /// violations only noop/churn-guarded repairs could touch).
+    #[default]
+    Completed,
+    /// An engine iteration cap tripped: `max_rounds` exhausted or the
+    /// `max_repairs` backstop hit.
+    RoundLimit,
+    /// The budget deadline passed.
+    Deadline,
+    /// Cooperative cancellation (SIGINT, a [`obs::CancelToken`], or a
+    /// scripted cancel schedule).
+    Cancelled,
+    /// The budget's op/match cap was exhausted.
+    OpBudget,
+}
+
+impl RepairOutcome {
+    /// Stable lowercase label (`completed`, `round-limit`, `deadline`,
+    /// `cancelled`, `op-budget`) for CLI/JSON surfaces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RepairOutcome::Completed => "completed",
+            RepairOutcome::RoundLimit => "round-limit",
+            RepairOutcome::Deadline => "deadline",
+            RepairOutcome::Cancelled => "cancelled",
+            RepairOutcome::OpBudget => "op-budget",
+        }
+    }
+
+    /// Whether a runtime guardrail (not an engine iteration cap) ended
+    /// the run.
+    pub fn is_budget_trip(&self) -> bool {
+        matches!(
+            self,
+            RepairOutcome::Deadline | RepairOutcome::Cancelled | RepairOutcome::OpBudget
+        )
+    }
+}
+
+impl std::fmt::Display for RepairOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<obs::TripReason> for RepairOutcome {
+    fn from(r: obs::TripReason) -> Self {
+        match r {
+            obs::TripReason::Deadline => RepairOutcome::Deadline,
+            obs::TripReason::Cancelled => RepairOutcome::Cancelled,
+            obs::TripReason::OpBudget => RepairOutcome::OpBudget,
+        }
+    }
+}
+
+/// Consumer of a repair run's applied operations, with round-boundary
+/// notifications.
+///
+/// [`RepairSink::op`] fires for every applied operation as it lands, in
+/// application order. [`RepairSink::round_committed`] fires when the
+/// ops delivered since the previous boundary form one *completed* round
+/// (one full naive/stratified round, or one applied repair in
+/// incremental mode) — the unit of atomicity for durable journaling and
+/// graceful shutdown: a budget trip never leaves the graph between two
+/// boundaries. Plain `FnMut(&AppliedOp)` closures implement the trait
+/// with a no-op boundary, so op-only consumers are unaffected.
+pub trait RepairSink {
+    /// One applied operation, as it lands.
+    fn op(&mut self, op: &AppliedOp);
+    /// The ops since the previous boundary form one committed round.
+    /// Also fired before an early `max_repairs` return, where the final
+    /// (possibly short) batch is the run's last round.
+    fn round_committed(&mut self) {}
+}
+
+impl<F: FnMut(&AppliedOp)> RepairSink for F {
+    fn op(&mut self, op: &AppliedOp) {
+        self(op)
+    }
+}
+
 /// Per-rule outcome counters.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RuleStats {
@@ -200,6 +295,13 @@ pub struct RepairReport {
     /// Wall-clock duration.
     #[serde(skip)]
     pub wall: Duration,
+    /// How the run ended: natural fixpoint, an engine iteration cap, or
+    /// a runtime guardrail trip. `violations_remaining` is only
+    /// meaningful for [`RepairOutcome::Completed`] /
+    /// [`RepairOutcome::RoundLimit`] — budget trips skip the final
+    /// verification scan (it would itself be cut short).
+    #[serde(default)]
+    pub outcome: RepairOutcome,
 }
 
 /// Per-run engine telemetry: child counters of the global registry's
@@ -303,9 +405,12 @@ impl Ord for Violation {
 }
 
 /// The repair engine. Stateless across runs; all state lives in the
-/// [`RepairReport`].
+/// [`RepairReport`] — except the attached [`obs::Budget`], whose trips
+/// are *sticky*: once tripped it stops every later run too, so attach a
+/// fresh budget per logical request.
 pub struct RepairEngine {
     config: EngineConfig,
+    budget: obs::Budget,
 }
 
 impl Default for RepairEngine {
@@ -315,9 +420,28 @@ impl Default for RepairEngine {
 }
 
 impl RepairEngine {
-    /// Engine with the given configuration.
+    /// Engine with the given configuration and an unlimited budget.
     pub fn new(config: EngineConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            budget: obs::Budget::unlimited(),
+        }
+    }
+
+    /// Attach a runtime [`obs::Budget`] (deadline / cancel token /
+    /// op-match caps). The engine polls it between rounds and threads it
+    /// into every matcher scan; on a trip the run stops at a round
+    /// boundary with a typed [`RepairReport::outcome`].
+    #[must_use]
+    pub fn with_budget(mut self, budget: &obs::Budget) -> Self {
+        self.budget = budget.clone();
+        self
+    }
+
+    /// The attached budget (unlimited unless [`RepairEngine::with_budget`]
+    /// was used).
+    pub fn budget(&self) -> &obs::Budget {
+        &self.budget
     }
 
     /// The configuration in use.
@@ -327,7 +451,7 @@ impl RepairEngine {
 
     /// Repair `g` with `rules` until fixpoint (or a guard trips).
     pub fn repair(&self, g: &mut Graph, rules: &[Grr]) -> RepairReport {
-        self.repair_with_sink(g, rules, |_| {})
+        self.repair_with_sink(g, rules, |_: &AppliedOp| {})
     }
 
     /// Like [`RepairEngine::repair`], but invokes `sink` with every
@@ -339,11 +463,14 @@ impl RepairEngine {
     /// mutated the graph (no-ops are never reported), before the next
     /// violation is attempted. The ops also still accumulate in
     /// [`RepairReport::ops`].
+    ///
+    /// `sink` is any [`RepairSink`]; a plain `FnMut(&AppliedOp)` closure
+    /// works unchanged (round boundaries become no-ops).
     pub fn repair_with_sink(
         &self,
         g: &mut Graph,
         rules: &[Grr],
-        sink: impl FnMut(&AppliedOp),
+        sink: impl RepairSink,
     ) -> RepairReport {
         let planner = Planner::new();
         self.repair_with_planner_and_sink(g, rules, &planner, sink)
@@ -370,7 +497,7 @@ impl RepairEngine {
         rules: &[Grr],
         planner: &Planner,
     ) -> RepairReport {
-        self.repair_with_planner_and_sink(g, rules, planner, |_| {})
+        self.repair_with_planner_and_sink(g, rules, planner, |_: &AppliedOp| {})
     }
 
     /// [`RepairEngine::repair_with_planner`] + the op sink of
@@ -381,7 +508,7 @@ impl RepairEngine {
         g: &mut Graph,
         rules: &[Grr],
         planner: &Planner,
-        mut sink: impl FnMut(&AppliedOp),
+        mut sink: impl RepairSink,
     ) -> RepairReport {
         let start = Instant::now();
         let _span = obs::span("engine.repair", "engine");
@@ -451,10 +578,29 @@ impl RepairEngine {
             stats.scans = scans.get() as usize;
         }
 
-        if self.config.verify_fixpoint {
+        if self.config.verify_fixpoint && !report.outcome.is_budget_trip() {
             report.violations_remaining = self.count_violations_with(g, rules, planner);
             report.converged = report.violations_remaining == 0;
+            // The deadline can expire during the verification scan
+            // itself, cutting the count short — surface the trip rather
+            // than report a bogus fixpoint.
+            if report.outcome == RepairOutcome::Completed {
+                if let Some(trip) = self.budget.tripped() {
+                    report.outcome = trip.into();
+                    report.converged = false;
+                }
+            }
         }
+        obs::instant(
+            match report.outcome {
+                RepairOutcome::Completed => "engine.outcome.completed",
+                RepairOutcome::RoundLimit => "engine.outcome.round_limit",
+                RepairOutcome::Deadline => "engine.outcome.deadline",
+                RepairOutcome::Cancelled => "engine.outcome.cancelled",
+                RepairOutcome::OpBudget => "engine.outcome.op_budget",
+            },
+            "engine",
+        );
         report.pattern_compiles = planner.compile_count() - compiles0;
         report.plan_cache_hits = planner.cache_hit_count() - hits0;
         report.plan_replans = planner.replan_count() - replans0;
@@ -478,7 +624,7 @@ impl RepairEngine {
     /// [`EngineConfig::parallel`] is set.
     #[cfg(feature = "parallel")]
     pub fn par_match_sweep(&self, g: &Graph, rules: &crate::ruleset::RuleSet) -> Vec<Vec<Match>> {
-        let matcher = Matcher::with_config(g, self.config.match_config);
+        let matcher = Matcher::with_config(g, self.config.match_config).with_budget(&self.budget);
         let refs: Vec<&Grr> = rules.rules.iter().collect();
         Self::parallel_scan(&matcher, &refs)
     }
@@ -547,12 +693,14 @@ impl RepairEngine {
         if self.config.freeze_scans {
             let frozen = self.freeze_for_scan(g);
             self.count_with(
-                &Matcher::with_planner(&frozen, self.config.match_config, planner),
+                &Matcher::with_planner(&frozen, self.config.match_config, planner)
+                    .with_budget(&self.budget),
                 rules,
             )
         } else {
             self.count_with(
-                &Matcher::with_planner(g, self.config.match_config, planner),
+                &Matcher::with_planner(g, self.config.match_config, planner)
+                    .with_budget(&self.budget),
                 rules,
             )
         }
@@ -592,10 +740,12 @@ impl RepairEngine {
         let subset: Vec<&Grr> = selected.iter().map(|&i| &rules[i]).collect();
         let per_rule: Vec<Vec<Match>> = if self.config.freeze_scans {
             let frozen = self.freeze_for_scan(g);
-            let matcher = Matcher::with_planner(&frozen, self.config.match_config, planner);
+            let matcher = Matcher::with_planner(&frozen, self.config.match_config, planner)
+                .with_budget(&self.budget);
             self.scan_matches(&matcher, &subset)
         } else {
-            let matcher = Matcher::with_planner(g, self.config.match_config, planner);
+            let matcher = Matcher::with_planner(g, self.config.match_config, planner)
+                .with_budget(&self.budget);
             self.scan_matches(&matcher, &subset)
         };
         let mut out = Vec::new();
@@ -621,7 +771,7 @@ impl RepairEngine {
         rules: &[Grr],
         report: &mut RepairReport,
         max_repairs: usize,
-        sink: &mut dyn FnMut(&AppliedOp),
+        sink: &mut dyn RepairSink,
         planner: &Planner,
         tel: &EngineTelemetry,
     ) {
@@ -639,9 +789,14 @@ impl RepairEngine {
         let preconditions: Vec<Preconditions> = rules.iter().map(preconditions_of).collect();
         let mut dirty = vec![true; rules.len()];
         for _round in 0..self.config.max_rounds {
+            // Guardrail boundary: cancels/deadlines/caps are observed
+            // *between* rounds, so a trip always leaves the graph at a
+            // completed-round prefix.
+            if let Some(trip) = self.budget.checkpoint() {
+                report.outcome = trip.into();
+                return;
+            }
             let _round_span = obs::span("engine.round", "engine");
-            report.rounds += 1;
-            tel.rounds.inc();
             // Repairs drift the distributions; re-snapshot statistics
             // once the drift is large enough to matter. Small drifts keep
             // the statistics epoch — and with it every cached plan.
@@ -654,6 +809,15 @@ impl RepairEngine {
                 }
             }
             let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
+            if self.budget.is_tripped() {
+                // Mid-scan trip: the scan (and so the round) is partial —
+                // abandon it without applying anything. Nothing of this
+                // round reached the graph or the sink.
+                report.outcome = self.budget.tripped().map(Into::into).unwrap_or_default();
+                return;
+            }
+            report.rounds += 1;
+            tel.rounds.inc();
             if violations.is_empty() {
                 return;
             }
@@ -667,6 +831,10 @@ impl RepairEngine {
             let mut applied_any = false;
             for mut v in violations {
                 if report.repairs_applied >= max_repairs {
+                    report.outcome = RepairOutcome::RoundLimit;
+                    if report.ops.len() > round_ops_start {
+                        sink.round_committed();
+                    }
                     return;
                 }
                 if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
@@ -685,6 +853,9 @@ impl RepairEngine {
                     next_dirty[v.rule] = true;
                 }
             }
+            sink.round_committed();
+            self.budget
+                .charge_ops((report.ops.len() - round_ops_start) as u64);
             if !applied_any {
                 return;
             }
@@ -699,6 +870,7 @@ impl RepairEngine {
                 return;
             }
         }
+        report.outcome = RepairOutcome::RoundLimit;
     }
 
     /// Stratified scheduling over an acyclic trigger graph. `strata` is a
@@ -718,7 +890,7 @@ impl RepairEngine {
         strata: &[Vec<usize>],
         report: &mut RepairReport,
         max_repairs: usize,
-        sink: &mut dyn FnMut(&AppliedOp),
+        sink: &mut dyn RepairSink,
         planner: &Planner,
         tel: &EngineTelemetry,
     ) {
@@ -729,9 +901,13 @@ impl RepairEngine {
                 dirty[ri] = true;
             }
             loop {
+                // Guardrail boundary — covers both the round edge and the
+                // stratum edge (the first iteration per stratum).
+                if let Some(trip) = self.budget.checkpoint() {
+                    report.outcome = trip.into();
+                    return;
+                }
                 let _round_span = obs::span("engine.round", "engine");
-                report.rounds += 1;
-                tel.rounds.inc();
                 if self.wants_stats() {
                     planner.refresh_if_drifted(g);
                 }
@@ -741,6 +917,13 @@ impl RepairEngine {
                     }
                 }
                 let mut violations = self.full_scan_filtered(g, rules, Some(&dirty), planner);
+                if self.budget.is_tripped() {
+                    // Mid-scan trip: abandon the partial round entirely.
+                    report.outcome = self.budget.tripped().map(Into::into).unwrap_or_default();
+                    return;
+                }
+                report.rounds += 1;
+                tel.rounds.inc();
                 if violations.is_empty() {
                     break;
                 }
@@ -755,6 +938,10 @@ impl RepairEngine {
                 let mut applied_any = false;
                 for mut v in violations {
                     if report.repairs_applied >= max_repairs {
+                        report.outcome = RepairOutcome::RoundLimit;
+                        if report.ops.len() > pass_ops_start {
+                            sink.round_committed();
+                        }
                         return;
                     }
                     if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
@@ -767,6 +954,9 @@ impl RepairEngine {
                         next_dirty[v.rule] = true;
                     }
                 }
+                sink.round_committed();
+                self.budget
+                    .charge_ops((report.ops.len() - pass_ops_start) as u64);
                 if !applied_any {
                     // Only noop repairs remain (ineffective rules): the
                     // stratum cannot make further progress.
@@ -796,7 +986,7 @@ impl RepairEngine {
         rules: &[Grr],
         report: &mut RepairReport,
         max_repairs: usize,
-        sink: &mut dyn FnMut(&AppliedOp),
+        sink: &mut dyn RepairSink,
         planner: &Planner,
         tel: &EngineTelemetry,
     ) {
@@ -815,12 +1005,26 @@ impl RepairEngine {
             let _seed_span = obs::span("engine.round", "engine");
             self.full_scan(g, rules, planner).into()
         };
+        if self.budget.is_tripped() {
+            // Mid-seed-scan trip: the queue is partial — stop before
+            // applying anything, leaving the graph untouched.
+            report.outcome = self.budget.tripped().map(Into::into).unwrap_or_default();
+            return;
+        }
         for v in queue.iter() {
             report.per_rule[v.rule].matches_found += 1;
         }
         let mut last_ops_start: usize;
         while let Some(mut v) = queue.pop() {
+            // Guardrail boundary: in incremental mode one applied repair
+            // (plus its cascade) is the atomic unit, so the budget is
+            // observed between pops only.
+            if let Some(trip) = self.budget.checkpoint() {
+                report.outcome = trip.into();
+                return;
+            }
             if report.repairs_applied >= max_repairs {
+                report.outcome = RepairOutcome::RoundLimit;
                 return;
             }
             if !revalidate(g, &rules[v.rule].pattern, &mut v.m) {
@@ -833,6 +1037,9 @@ impl RepairEngine {
             let Some(touched) = self.apply_one_touched(g, rules, &v, report, sink, tel) else {
                 continue;
             };
+            sink.round_committed();
+            self.budget
+                .charge_ops((report.ops.len() - last_ops_start) as u64);
             let new_ops = &report.ops[last_ops_start..];
             // A repair may not fully eliminate its own violation (e.g. it
             // deleted one of several parallel witness edges): revalidate
@@ -852,7 +1059,8 @@ impl RepairEngine {
             // matches anchored in the delta. The planner's cache serves
             // the per-anchor plans — compiled once per (pattern, anchor),
             // not once per repair.
-            let matcher = Matcher::with_planner(g, self.config.match_config, planner);
+            let matcher =
+                Matcher::with_planner(g, self.config.match_config, planner).with_budget(&self.budget);
             for (ri, rule) in rules.iter().enumerate() {
                 if !ops_can_enable(new_ops, &preconditions[ri]) {
                     continue;
@@ -890,7 +1098,7 @@ impl RepairEngine {
         rules: &[Grr],
         v: &Violation,
         report: &mut RepairReport,
-        sink: &mut dyn FnMut(&AppliedOp),
+        sink: &mut dyn RepairSink,
         tel: &EngineTelemetry,
     ) -> bool {
         self.apply_one_touched(g, rules, v, report, sink, tel).is_some()
@@ -903,7 +1111,7 @@ impl RepairEngine {
         rules: &[Grr],
         v: &Violation,
         report: &mut RepairReport,
-        sink: &mut dyn FnMut(&AppliedOp),
+        sink: &mut dyn RepairSink,
         tel: &EngineTelemetry,
     ) -> Option<TouchSet> {
         let repair_started = obs::timer();
@@ -919,7 +1127,7 @@ impl RepairEngine {
         report.per_rule[v.rule].repairs_applied += 1;
         report.per_rule[v.rule].cost += applied.cost;
         for op in &applied.ops {
-            sink(op);
+            sink.op(op);
         }
         report.ops.extend(applied.ops);
         Some(applied.touched)
@@ -1181,6 +1389,151 @@ mod tests {
         let report = RepairEngine::new(config).repair(&mut g, &rules);
         assert_eq!(report.rounds, 3);
         assert!(!report.converged);
+        assert_eq!(report.outcome, RepairOutcome::RoundLimit);
+    }
+
+    /// A few flagged nodes plus the single rule that clears the flag.
+    fn flag_fixture() -> (Graph, Vec<Grr>) {
+        let mut g = Graph::new();
+        let k = g.attr_key("flag");
+        for _ in 0..3 {
+            let n = g.add_node_named("P");
+            g.set_attr(n, k, Value::Int(0)).unwrap();
+        }
+        let rules =
+            parse_rules("rule f [conflict] match (x:P) where x.flag == 0 repair set x.flag = 1")
+                .unwrap();
+        (g, rules)
+    }
+
+    #[test]
+    fn converged_run_reports_completed_outcome() {
+        let (mut g, rules) = flag_fixture();
+        let report = RepairEngine::new(EngineConfig::default()).repair(&mut g, &rules);
+        assert!(report.converged);
+        assert_eq!(report.outcome, RepairOutcome::Completed);
+        assert!(!report.outcome.is_budget_trip());
+    }
+
+    #[test]
+    fn pre_cancelled_budget_yields_cancelled_outcome_and_untouched_graph() {
+        let (mut g, rules) = flag_fixture();
+        let before = g.to_doc();
+        let budget = obs::Budget::unlimited();
+        budget.cancel();
+        let report = RepairEngine::new(EngineConfig::default())
+            .with_budget(&budget)
+            .repair(&mut g, &rules);
+        assert_eq!(report.outcome, RepairOutcome::Cancelled);
+        assert!(report.ops.is_empty());
+        assert_eq!(g.to_doc(), before);
+    }
+
+    #[test]
+    fn expired_test_clock_deadline_yields_deadline_outcome() {
+        let (mut g, rules) = flag_fixture();
+        let clock = obs::TestClock::new();
+        let budget = obs::Budget::unlimited()
+            .with_test_clock(&clock)
+            .with_deadline(std::time::Duration::from_millis(5));
+        clock.advance(std::time::Duration::from_millis(10));
+        for mode in [EngineMode::Naive, EngineMode::Incremental] {
+            let mut g2 = g.clone();
+            let fresh = obs::Budget::unlimited()
+                .with_test_clock(&clock)
+                .with_deadline(std::time::Duration::from_millis(5));
+            let report = RepairEngine::new(EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            })
+            .with_budget(&fresh)
+            .repair(&mut g2, &rules);
+            assert_eq!(report.outcome, RepairOutcome::Deadline, "mode {mode:?}");
+            assert!(report.ops.is_empty());
+        }
+        let report = RepairEngine::new(EngineConfig::default())
+            .with_budget(&budget)
+            .repair(&mut g, &rules);
+        assert_eq!(report.outcome, RepairOutcome::Deadline);
+    }
+
+    #[test]
+    fn op_budget_trips_after_committed_round() {
+        // Two independent violations repaired across rounds; op cap of 1 trips
+        // after the first committed round in incremental mode.
+        let mut g = Graph::new();
+        let k = g.attr_key("flag");
+        for _ in 0..4 {
+            let n = g.add_node_named("P");
+            g.set_attr(n, k, Value::Int(0)).unwrap();
+        }
+        let rules =
+            parse_rules("rule f [conflict] match (x:P) where x.flag == 0 repair set x.flag = 1")
+                .unwrap();
+        let budget = obs::Budget::unlimited().with_op_cap(1);
+        let report = RepairEngine::new(EngineConfig {
+            mode: EngineMode::Incremental,
+            ..EngineConfig::default()
+        })
+        .with_budget(&budget)
+        .repair(&mut g, &rules);
+        assert_eq!(report.outcome, RepairOutcome::OpBudget);
+        assert!(!report.ops.is_empty());
+        assert!(report.ops.len() < 4, "should stop before fixing all nodes");
+    }
+
+    #[test]
+    fn sink_round_committed_marks_every_applied_prefix() {
+        #[derive(Clone, Default)]
+        struct Recorder {
+            state: std::rc::Rc<std::cell::RefCell<(usize, Vec<usize>)>>,
+        }
+        impl RepairSink for Recorder {
+            fn op(&mut self, _op: &AppliedOp) {
+                self.state.borrow_mut().0 += 1;
+            }
+            fn round_committed(&mut self) {
+                let mut st = self.state.borrow_mut();
+                let n = std::mem::take(&mut st.0);
+                st.1.push(n);
+            }
+        }
+        let mut g = Graph::new();
+        let k = g.attr_key("flag");
+        for _ in 0..3 {
+            let n = g.add_node_named("P");
+            g.set_attr(n, k, Value::Int(0)).unwrap();
+        }
+        let rules =
+            parse_rules("rule f [conflict] match (x:P) where x.flag == 0 repair set x.flag = 1")
+                .unwrap();
+        let configs = [
+            (EngineMode::Naive, false),
+            (EngineMode::Naive, true),
+            (EngineMode::Incremental, false),
+        ];
+        for (mode, stratify) in configs {
+            let mut g2 = g.clone();
+            let rec = Recorder::default();
+            let report = RepairEngine::new(EngineConfig {
+                mode,
+                stratify,
+                ..EngineConfig::default()
+            })
+            .repair_with_sink(&mut g2, &rules, rec.clone());
+            assert_eq!(
+                report.outcome,
+                RepairOutcome::Completed,
+                "mode {mode:?}/stratify {stratify}"
+            );
+            let st = rec.state.borrow();
+            assert_eq!(
+                st.0, 0,
+                "mode {mode:?}/stratify {stratify}: ops after final round_committed"
+            );
+            let total: usize = st.1.iter().sum();
+            assert_eq!(total, report.ops.len(), "mode {mode:?}/stratify {stratify}");
+        }
     }
 
     #[test]
@@ -1262,7 +1615,7 @@ mod tests {
         for config in [EngineConfig::default(), EngineConfig::naive()] {
             let mut g = dirty_graph();
             let mut seen: Vec<AppliedOp> = Vec::new();
-            let report = RepairEngine::new(config).repair_with_sink(&mut g, &rules(), |op| {
+            let report = RepairEngine::new(config).repair_with_sink(&mut g, &rules(), |op: &AppliedOp| {
                 seen.push(op.clone())
             });
             assert!(report.converged);

@@ -327,7 +327,22 @@ pub struct Matcher<'g, G: GraphView + ?Sized = Graph> {
     g: &'g G,
     cfg: MatchConfig,
     planner: Option<&'g Planner>,
+    budget: Option<obs::Budget>,
 }
+
+/// Candidate batches between full [`obs::Budget::checkpoint`]
+/// evaluations. The per-batch poll is a single relaxed load
+/// ([`obs::Budget::is_tripped`]); every `BUDGET_POLL_PERIOD`th batch
+/// additionally flushes the locally accumulated frontier charge and
+/// reads the deadline clock — the same two-tier cost split the tracing
+/// layer uses.
+const BUDGET_POLL_PERIOD: u32 = 64;
+
+/// Locally accumulated frontier rows that force a flush/checkpoint even
+/// before the batch-count period elapses, so one huge candidate batch
+/// cannot defer cap enforcement indefinitely. Match/frontier caps are
+/// therefore enforced with a granularity of roughly this many rows.
+const FRONTIER_FLUSH_ROWS: u64 = 1024;
 
 impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
     /// Matcher with default (fully optimized) configuration.
@@ -336,6 +351,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             g,
             cfg: MatchConfig::default(),
             planner: None,
+            budget: None,
         }
     }
 
@@ -345,6 +361,7 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             g,
             cfg,
             planner: None,
+            budget: None,
         }
     }
 
@@ -362,6 +379,41 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             g,
             cfg,
             planner: Some(planner),
+            budget: None,
+        }
+    }
+
+    /// Attach a runtime [`obs::Budget`]: enumeration loops poll it once
+    /// per candidate batch (amortized per the two-tier cost model) and
+    /// stop early when it trips. A tripped scan returns a *partial*
+    /// match set — callers that need all-or-nothing semantics must
+    /// check [`obs::Budget::is_tripped`] afterwards and discard, which
+    /// is exactly what the repair engine's round-atomicity does.
+    #[must_use]
+    pub fn with_budget(mut self, budget: &obs::Budget) -> Self {
+        self.budget = Some(budget.clone());
+        self
+    }
+
+    /// Amortized guardrail poll, called once per candidate batch.
+    /// Returns true when the search should stop. Flushes the state's
+    /// locally accumulated frontier charge on full-checkpoint ticks so
+    /// the hot path never touches the shared counters.
+    #[inline]
+    fn poll_budget(&self, st: &mut SearchState) -> bool {
+        let Some(b) = &self.budget else {
+            return false;
+        };
+        st.budget_tick = st.budget_tick.wrapping_add(1);
+        if st.budget_tick.is_multiple_of(BUDGET_POLL_PERIOD)
+            || st.frontier_acc >= FRONTIER_FLUSH_ROWS
+        {
+            if st.frontier_acc > 0 {
+                b.charge_matches(std::mem::take(&mut st.frontier_acc));
+            }
+            b.checkpoint().is_some()
+        } else {
+            b.is_tripped()
         }
     }
 
@@ -539,6 +591,15 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
             // morsels and re-shaped only on a pattern switch.
             let mut held: Option<(usize, SearchState)> = None;
             loop {
+                // Morsel-drain early exit: a tripped budget stops this
+                // worker from claiming further morsels (a full
+                // checkpoint here also promotes pending cancels and
+                // deadline expiry mid-sweep).
+                if let Some(b) = &self.budget {
+                    if b.checkpoint().is_some() {
+                        break;
+                    }
+                }
                 let m = cursor_ref.fetch_add(1, Ordering::Relaxed);
                 if m >= morsels_ref.len() {
                     break;
@@ -1386,6 +1447,11 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         touched: &TouchSet,
     ) {
         let v0 = comp.plan[0];
+        st.frontier_acc += roots.len() as u64;
+        if self.poll_budget(st) {
+            st.stopped = true;
+            return;
+        }
         for &root in roots {
             if st.stopped {
                 return;
@@ -1421,6 +1487,11 @@ impl<'g, G: GraphView + ?Sized> Matcher<'g, G> {
         }
         let v = comp.plan[depth];
         let candidates = self.candidates(comp, st, depth, touched);
+        st.frontier_acc += candidates.len() as u64;
+        if self.poll_budget(st) {
+            st.stopped = true;
+            return;
+        }
         // Adaptive frontier monitor: once the candidates generated at
         // this plan position exceed the estimate by the configured
         // factor — and nothing has been emitted yet, so a restart cannot
@@ -1678,6 +1749,11 @@ pub(crate) struct SearchState {
     /// Set when the monitor aborts the search: plan position whose
     /// observed frontier blew past its estimate.
     replan_at: Option<usize>,
+    /// Candidate-batch counter for the amortized budget poll.
+    budget_tick: u32,
+    /// Frontier rows generated since the last full budget checkpoint —
+    /// accumulated locally so the hot path stays off the shared atomics.
+    frontier_acc: u64,
 }
 
 impl SearchState {
@@ -1694,6 +1770,8 @@ impl SearchState {
         self.gen.resize(n_vars, 0);
         self.emitted = false;
         self.replan_at = None;
+        self.budget_tick = 0;
+        self.frontier_acc = 0;
     }
 
     /// Materialize the completed assignment as an owned [`Match`].
@@ -1751,6 +1829,51 @@ mod tests {
             assert_eq!(er.src, mt.nodes[0]);
             assert_eq!(er.dst, mt.nodes[1]);
         }
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let g = kg();
+        let plain = Matcher::new(&g).find_all(&lives_pattern());
+        let budget = obs::Budget::unlimited();
+        let budgeted = Matcher::new(&g)
+            .with_budget(&budget)
+            .find_all(&lives_pattern());
+        assert_eq!(plain.len(), budgeted.len());
+        assert!(!budget.is_tripped());
+    }
+
+    #[test]
+    fn tripped_budget_stops_enumeration_early() {
+        let g = kg();
+        let budget = obs::Budget::unlimited().cancel_at_check(1);
+        // Drive the pre-tripped state through the first checkpoint.
+        assert!(budget.checkpoint().is_some());
+        let found = Matcher::new(&g)
+            .with_budget(&budget)
+            .find_all(&lives_pattern());
+        assert!(found.is_empty(), "tripped scan must stop before emitting");
+        assert!(budget.is_tripped());
+    }
+
+    #[test]
+    fn match_cap_trips_on_large_scan() {
+        // A scan big enough to cross the 64-batch amortized flush.
+        let mut g = Graph::new();
+        let p = g.label("Person");
+        let c = g.label("City");
+        let lives = g.label("livesIn");
+        let city = g.add_node(c);
+        for _ in 0..2000 {
+            let n = g.add_node(p);
+            g.add_edge(n, city, lives).unwrap();
+        }
+        let budget = obs::Budget::unlimited().with_match_cap(500);
+        let found = Matcher::new(&g)
+            .with_budget(&budget)
+            .find_all(&lives_pattern());
+        assert!(found.len() < 2000, "match cap never observed");
+        assert_eq!(budget.tripped(), Some(obs::TripReason::OpBudget));
     }
 
     #[test]

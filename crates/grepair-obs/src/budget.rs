@@ -1,0 +1,468 @@
+//! Runtime guardrails: a shared [`Budget`] carrying a deadline, a
+//! cooperative cancel token, and op/match caps.
+//!
+//! The budget mirrors the two-tier cost model of the tracing layer: the
+//! hot-path probe ([`Budget::is_tripped`]) is a single relaxed atomic
+//! load, while the full evaluation ([`Budget::checkpoint`] — cancel
+//! flag, deadline clock read, cap comparisons) runs only at coarse
+//! boundaries (engine round/stratum edges, every Nth matcher candidate
+//! batch, WAL-replay segment edges). A trip is *sticky*: the first
+//! reason wins, every later probe sees it, and the corresponding
+//! `limit.*` counter is bumped exactly once.
+//!
+//! Cancellation is cooperative. [`Budget::cancel`] (or a
+//! [`CancelToken`], which is `Send + 'static` and safe to flip from a
+//! signal-watcher thread) raises a flag that the next [`checkpoint`]
+//! call promotes into a [`TripReason::Cancelled`] trip — nothing is
+//! interrupted mid-operation, which is what lets the engine guarantee
+//! round-atomic shutdown and the store keep append→fsync windows
+//! uninterruptible.
+//!
+//! Deterministic testing hooks, in the spirit of the store's scripted
+//! `FaultyFs` schedules: [`TestClock`] replaces the wall clock with a
+//! manually advanced counter, and [`Budget::cancel_at_check`] trips
+//! cancellation at exactly the Nth checkpoint, so a property test can
+//! drive a cancellation through *every* check boundary of a run.
+//!
+//! [`checkpoint`]: Budget::checkpoint
+//!
+//! ```
+//! use grepair_obs::{Budget, TripReason};
+//! let b = Budget::unlimited().with_op_cap(2);
+//! assert!(!b.is_tripped());
+//! b.charge_ops(2);
+//! assert_eq!(b.tripped(), Some(TripReason::OpBudget));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{counter, event, Level};
+
+/// Why a [`Budget`] stopped the run. Sticky: the first trip wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripReason {
+    /// The wall-clock (or [`TestClock`]) deadline passed.
+    Deadline,
+    /// [`Budget::cancel`] / a [`CancelToken`] / the cancel-at-Nth-check
+    /// test driver requested a stop.
+    Cancelled,
+    /// An op or match cap was exhausted.
+    OpBudget,
+}
+
+impl TripReason {
+    /// Stable lowercase label (exit-code tables, span attributes,
+    /// JSON reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TripReason::Deadline => "deadline",
+            TripReason::Cancelled => "cancelled",
+            TripReason::OpBudget => "op-budget",
+        }
+    }
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+const TRIP_NONE: u8 = 0;
+const TRIP_DEADLINE: u8 = 1;
+const TRIP_CANCELLED: u8 = 2;
+const TRIP_OP_BUDGET: u8 = 3;
+
+fn decode(raw: u8) -> Option<TripReason> {
+    match raw {
+        TRIP_DEADLINE => Some(TripReason::Deadline),
+        TRIP_CANCELLED => Some(TripReason::Cancelled),
+        TRIP_OP_BUDGET => Some(TripReason::OpBudget),
+        _ => None,
+    }
+}
+
+/// Time source for deadline evaluation: the real monotonic clock, or a
+/// manually advanced [`TestClock`] for deterministic trips.
+enum Clock {
+    Real(Instant),
+    Test(Arc<AtomicU64>),
+}
+
+impl Clock {
+    fn elapsed_nanos(&self) -> u64 {
+        match self {
+            Clock::Real(start) => start.elapsed().as_nanos() as u64,
+            Clock::Test(nanos) => nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A manually advanced clock for deterministic deadline tests. Cloned
+/// handles share the same underlying counter; attach with
+/// [`Budget::with_test_clock`].
+#[derive(Clone, Default)]
+pub struct TestClock {
+    nanos: Arc<AtomicU64>,
+}
+
+impl TestClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `d`. Visible to every budget sharing it at
+    /// their next [`Budget::checkpoint`].
+    pub fn advance(&self, d: Duration) {
+        self.nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    /// Sticky first-trip reason (`TRIP_*`); the one word hot-path
+    /// probes load.
+    tripped: AtomicU8,
+    /// Cooperative cancel request, promoted to a trip at a checkpoint.
+    cancel: AtomicBool,
+    /// Deadline in clock nanos since budget construction (`u64::MAX` =
+    /// none).
+    deadline_nanos: u64,
+    /// Applied-op cap (`u64::MAX` = none) and its counter.
+    op_cap: u64,
+    ops: AtomicU64,
+    /// Emitted-match / frontier cap (`u64::MAX` = none) and its counter.
+    match_cap: u64,
+    matches: AtomicU64,
+    /// Checkpoint counter, and the test driver's trip-at value.
+    checks: AtomicU64,
+    cancel_at_check: u64,
+    clock: Clock,
+}
+
+/// A shared runtime budget: deadline + cancel token + op/match caps.
+///
+/// Cloning is cheap and shares the same state — hand clones to the
+/// engine, matchers, and store so a single trip stops every layer.
+/// Configure with the `with_*` builders *before* cloning (they require
+/// exclusive ownership). See the [module docs](self) for the cost model
+/// and determinism hooks.
+#[derive(Clone)]
+pub struct Budget {
+    inner: Arc<Inner>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Budget")
+            .field("tripped", &self.tripped())
+            .field("checks", &self.checks())
+            .field("ops", &self.inner.ops.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips on its own (it can still be
+    /// [`cancel`](Budget::cancel)led). This is the always-attached
+    /// default, so hot paths pay the probe cost unconditionally and the
+    /// disabled-overhead bench measures the real configuration.
+    pub fn unlimited() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                tripped: AtomicU8::new(TRIP_NONE),
+                cancel: AtomicBool::new(false),
+                deadline_nanos: u64::MAX,
+                op_cap: u64::MAX,
+                ops: AtomicU64::new(0),
+                match_cap: u64::MAX,
+                matches: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+                cancel_at_check: u64::MAX,
+                clock: Clock::Real(Instant::now()),
+            }),
+        }
+    }
+
+    fn configure(&mut self) -> &mut Inner {
+        Arc::get_mut(&mut self.inner).expect("configure a Budget before cloning/sharing it")
+    }
+
+    /// Trip [`TripReason::Deadline`] once `d` has elapsed on the
+    /// attached clock (measured from construction, or from [`TestClock`]
+    /// zero).
+    #[must_use]
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.configure().deadline_nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self
+    }
+
+    /// Trip [`TripReason::OpBudget`] once `cap` ops have been charged
+    /// via [`Budget::charge_ops`]. A cap of 0 trips at the first
+    /// checkpoint.
+    #[must_use]
+    pub fn with_op_cap(mut self, cap: u64) -> Self {
+        self.configure().op_cap = cap;
+        self
+    }
+
+    /// Trip [`TripReason::OpBudget`] once `cap` matches/frontier rows
+    /// have been charged via [`Budget::charge_matches`] — the
+    /// frontier-memory backstop.
+    #[must_use]
+    pub fn with_match_cap(mut self, cap: u64) -> Self {
+        self.configure().match_cap = cap;
+        self
+    }
+
+    /// Evaluate deadlines against `clock` instead of the monotonic
+    /// wall clock.
+    #[must_use]
+    pub fn with_test_clock(mut self, clock: &TestClock) -> Self {
+        self.configure().clock = Clock::Test(Arc::clone(&clock.nanos));
+        self
+    }
+
+    /// Deterministic cancel driver: trip [`TripReason::Cancelled`] at
+    /// the `n`th [`Budget::checkpoint`] call (1-based; 0 trips at the
+    /// first). Checkpoint counting is deterministic for serial runs.
+    #[must_use]
+    pub fn cancel_at_check(mut self, n: u64) -> Self {
+        self.configure().cancel_at_check = n;
+        self
+    }
+
+    /// Hot-path probe: has any trip been recorded? One relaxed atomic
+    /// load — safe to call per candidate batch.
+    #[inline]
+    pub fn is_tripped(&self) -> bool {
+        self.inner.tripped.load(Ordering::Relaxed) != TRIP_NONE
+    }
+
+    /// The sticky trip reason, if any.
+    pub fn tripped(&self) -> Option<TripReason> {
+        decode(self.inner.tripped.load(Ordering::Relaxed))
+    }
+
+    /// Request cooperative cancellation. Observed at the next
+    /// [`Budget::checkpoint`] — never mid-operation.
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// A `Send + 'static` handle that can flip this budget's cancel
+    /// flag from another thread (e.g. a SIGINT watcher).
+    pub fn token(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// How many checkpoints have been evaluated so far — the domain of
+    /// [`Budget::cancel_at_check`] schedules.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// Full guardrail evaluation: promotes a pending cancel, checks the
+    /// deadline clock and caps, and returns the (possibly pre-existing)
+    /// trip. Call at coarse boundaries only; hot loops should probe
+    /// [`Budget::is_tripped`] and let an enclosing amortized site call
+    /// this every N batches.
+    pub fn checkpoint(&self) -> Option<TripReason> {
+        if let Some(r) = self.tripped() {
+            return Some(r);
+        }
+        let inner = &*self.inner;
+        let check_no = inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        if check_no >= inner.cancel_at_check || inner.cancel.load(Ordering::Relaxed) {
+            return Some(self.trip(TripReason::Cancelled));
+        }
+        if inner.deadline_nanos != u64::MAX && inner.clock.elapsed_nanos() >= inner.deadline_nanos
+        {
+            return Some(self.trip(TripReason::Deadline));
+        }
+        if inner.ops.load(Ordering::Relaxed) >= inner.op_cap
+            || inner.matches.load(Ordering::Relaxed) >= inner.match_cap
+        {
+            return Some(self.trip(TripReason::OpBudget));
+        }
+        None
+    }
+
+    /// Charge `n` applied ops against the op cap; trips
+    /// [`TripReason::OpBudget`] immediately when the cap is reached.
+    pub fn charge_ops(&self, n: u64) {
+        let total = self.inner.ops.fetch_add(n, Ordering::Relaxed) + n;
+        if total >= self.inner.op_cap && !self.is_tripped() {
+            self.trip(TripReason::OpBudget);
+        }
+    }
+
+    /// Charge `n` emitted matches / frontier rows against the match
+    /// cap; trips [`TripReason::OpBudget`] when the cap is reached.
+    pub fn charge_matches(&self, n: u64) {
+        let total = self.inner.matches.fetch_add(n, Ordering::Relaxed) + n;
+        if total >= self.inner.match_cap && !self.is_tripped() {
+            self.trip(TripReason::OpBudget);
+        }
+    }
+
+    /// Record a trip. First reason wins (compare-exchange from
+    /// `TRIP_NONE`); the winner bumps the matching `limit.*` counter and
+    /// emits a warn event, exactly once per budget.
+    fn trip(&self, reason: TripReason) -> TripReason {
+        let raw = match reason {
+            TripReason::Deadline => TRIP_DEADLINE,
+            TripReason::Cancelled => TRIP_CANCELLED,
+            TripReason::OpBudget => TRIP_OP_BUDGET,
+        };
+        match self.inner.tripped.compare_exchange(
+            TRIP_NONE,
+            raw,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                let (name, msg) = match reason {
+                    TripReason::Deadline => ("limit.deadline_trips", "deadline exceeded"),
+                    TripReason::Cancelled => ("limit.cancelled", "cancellation requested"),
+                    TripReason::OpBudget => ("limit.op_budget_trips", "op/match budget exhausted"),
+                };
+                counter(name).inc();
+                event(Level::Warn, "limit.trip", msg);
+                reason
+            }
+            // Lost the race: report the established reason.
+            Err(prev) => decode(prev).unwrap_or(reason),
+        }
+    }
+}
+
+/// A cancellation handle detached from the [`Budget`]'s lifetime
+/// bookkeeping: `Send + Sync + 'static`, cheap to clone, safe to stash
+/// in a global for a signal handler's watcher thread.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// Request cooperative cancellation of the owning budget.
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (not necessarily yet
+    /// observed by a checkpoint).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancel.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            assert_eq!(b.checkpoint(), None);
+        }
+        assert!(!b.is_tripped());
+        assert_eq!(b.checks(), 1000);
+    }
+
+    #[test]
+    fn cancel_is_observed_at_next_checkpoint_only() {
+        let b = Budget::unlimited();
+        assert_eq!(b.checkpoint(), None);
+        b.cancel();
+        // Probe alone does not promote the request.
+        assert!(!b.is_tripped());
+        assert_eq!(b.checkpoint(), Some(TripReason::Cancelled));
+        assert!(b.is_tripped());
+        assert_eq!(b.tripped(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn token_cancels_across_clones() {
+        let b = Budget::unlimited();
+        let clone = b.clone();
+        let token = b.token();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+        assert_eq!(clone.checkpoint(), Some(TripReason::Cancelled));
+        assert!(b.is_tripped());
+    }
+
+    #[test]
+    fn test_clock_deadline_trips_deterministically() {
+        let clock = TestClock::new();
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_millis(10))
+            .with_test_clock(&clock);
+        assert_eq!(b.checkpoint(), None);
+        clock.advance(Duration::from_millis(9));
+        assert_eq!(b.checkpoint(), None);
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(b.checkpoint(), Some(TripReason::Deadline));
+    }
+
+    #[test]
+    fn op_cap_trips_on_charge_and_checkpoint() {
+        let b = Budget::unlimited().with_op_cap(3);
+        b.charge_ops(2);
+        assert!(!b.is_tripped());
+        b.charge_ops(1);
+        assert_eq!(b.tripped(), Some(TripReason::OpBudget));
+    }
+
+    #[test]
+    fn match_cap_trips() {
+        let b = Budget::unlimited().with_match_cap(5);
+        b.charge_matches(4);
+        assert_eq!(b.checkpoint(), None);
+        b.charge_matches(1);
+        assert_eq!(b.tripped(), Some(TripReason::OpBudget));
+    }
+
+    #[test]
+    fn cancel_at_nth_check_trips_exactly_there() {
+        let b = Budget::unlimited().cancel_at_check(3);
+        assert_eq!(b.checkpoint(), None);
+        assert_eq!(b.checkpoint(), None);
+        assert_eq!(b.checkpoint(), Some(TripReason::Cancelled)); // the 3rd check trips
+    }
+
+    #[test]
+    fn first_trip_reason_is_sticky() {
+        let b = Budget::unlimited().with_op_cap(1);
+        b.charge_ops(1);
+        assert_eq!(b.tripped(), Some(TripReason::OpBudget));
+        b.cancel();
+        assert_eq!(b.checkpoint(), Some(TripReason::OpBudget));
+    }
+
+    #[test]
+    fn trip_increments_limit_counter_once() {
+        let before = crate::counter("limit.op_budget_trips").get();
+        let b = Budget::unlimited().with_op_cap(1);
+        b.charge_ops(1);
+        b.charge_ops(1);
+        assert_eq!(b.checkpoint(), Some(TripReason::OpBudget));
+        let after = crate::counter("limit.op_budget_trips").get();
+        assert_eq!(after - before, 1);
+    }
+}

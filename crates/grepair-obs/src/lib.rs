@@ -57,6 +57,10 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+pub mod budget;
+
+pub use budget::{Budget, CancelToken, TestClock, TripReason};
+
 // ---------------------------------------------------------------------------
 // Tracing
 // ---------------------------------------------------------------------------

@@ -46,6 +46,11 @@ pub enum StoreError {
         /// Pid recorded in it.
         pid: u32,
     },
+    /// Recovery stopped at a budget checkpoint (deadline, cancellation,
+    /// or cap) before the full log was replayed. Nothing was written:
+    /// replay is read-only, so the on-disk store is untouched and a
+    /// later open with a fresh budget recovers it in full.
+    Interrupted(grepair_obs::TripReason),
     /// The directory does not look like a store.
     NotAStore(PathBuf),
     /// `create` was pointed at a directory that already holds a store.
@@ -73,6 +78,9 @@ impl fmt::Display for StoreError {
                     "store locked by live process {pid} (remove {} only if that process is gone)",
                     path.display()
                 )
+            }
+            StoreError::Interrupted(reason) => {
+                write!(f, "store recovery interrupted by budget trip: {reason}")
             }
             StoreError::NotAStore(p) => {
                 write!(f, "{} is not a grepair store (no segments or snapshots)", p.display())

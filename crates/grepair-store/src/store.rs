@@ -34,7 +34,7 @@ use crate::vfs::{with_retry, StdFs, Vfs};
 #[cfg(feature = "parallel")]
 use crate::wal::SegmentContents;
 use crate::wal::{list_segments_in, read_segment_in, SegmentWriter, SEGMENT_HEADER_LEN};
-use grepair_core::{AppliedOp, Grr, Planner, RepairEngine, RepairReport};
+use grepair_core::{AppliedOp, Grr, Planner, RepairEngine, RepairReport, RepairSink};
 use grepair_graph::{EdgeId, Graph, MergeOutcome, NodeId, Value};
 use grepair_obs as obs;
 use std::path::{Path, PathBuf};
@@ -274,6 +274,16 @@ impl DurableGraph<StdFs> {
         Self::open_on(StdFs, dir, config)
     }
 
+    /// [`DurableGraph::open`] under a runtime [`obs::Budget`] — see
+    /// [`DurableGraph::open_on_with_budget`].
+    pub fn open_with_budget(
+        dir: &Path,
+        config: StoreConfig,
+        budget: &obs::Budget,
+    ) -> Result<Self> {
+        Self::open_on_with_budget(StdFs, dir, config, budget)
+    }
+
     /// Open `dir` if it holds a store, otherwise create one.
     pub fn open_or_create(dir: &Path, config: StoreConfig) -> Result<Self> {
         Self::open_or_create_on(StdFs, dir, config)
@@ -327,6 +337,21 @@ impl<V: Vfs> DurableGraph<V> {
 
     /// [`DurableGraph::open`] against an explicit backend.
     pub fn open_on(vfs: V, dir: &Path, config: StoreConfig) -> Result<Self> {
+        Self::open_on_with_budget(vfs, dir, config, &obs::Budget::unlimited())
+    }
+
+    /// [`DurableGraph::open_on`] under a runtime [`obs::Budget`]:
+    /// recovery observes the budget between segment applications and
+    /// returns [`StoreError::Interrupted`] on a trip. Replay is
+    /// read-only, so an interrupted open leaves the directory exactly
+    /// as it was (the lock is released); reopen with a fresh budget to
+    /// recover in full.
+    pub fn open_on_with_budget(
+        vfs: V,
+        dir: &Path,
+        config: StoreConfig,
+        budget: &obs::Budget,
+    ) -> Result<Self> {
         if !vfs.is_dir(dir) {
             return Err(StoreError::NotAStore(dir.to_path_buf()));
         }
@@ -337,7 +362,7 @@ impl<V: Vfs> DurableGraph<V> {
             return Err(StoreError::NotAStore(dir.to_path_buf()));
         }
         lock::acquire(&vfs, dir)?;
-        match Self::recover(&vfs, dir, &config) {
+        match Self::recover(&vfs, dir, &config, budget) {
             Ok((graph, writer, stats, last_seq, snap_seq, bytes_since_snapshot)) => {
                 let s = Self {
                     vfs,
@@ -373,6 +398,7 @@ impl<V: Vfs> DurableGraph<V> {
         vfs: &V,
         dir: &Path,
         config: &StoreConfig,
+        budget: &obs::Budget,
     ) -> Result<(Graph, SegmentWriter<V>, RecoveryStats, u64, u64, u64)> {
         let _ = config;
         let start = Instant::now();
@@ -418,19 +444,32 @@ impl<V: Vfs> DurableGraph<V> {
         // as a serial read: a segment the loop decides to skip never has
         // its decode result inspected, so a damaged fully-covered
         // segment stays as harmless as it is serially.
+        // Under a budget the decode fan-out stops early: morsel claims
+        // are index-ordered, so a trip leaves a contiguous decoded
+        // prefix and the consume loop below hits its own checkpoint
+        // before ever needing a missing entry.
         #[cfg(feature = "parallel")]
         let mut decoded: Vec<Option<Result<SegmentContents>>> = {
-            use rayon::prelude::*;
-            segments
-                .par_iter()
-                .map(|(base, path)| Some(read_segment_in(vfs, path, Some(*base))))
-                .collect()
+            let stop = || budget.is_tripped();
+            let mut v = rayon::par_pass_until(
+                segments.iter().collect::<Vec<_>>(),
+                &stop,
+                |(base, path)| Some(read_segment_in(vfs, path, Some(*base))),
+            );
+            v.resize_with(segments.len(), || None);
+            v
         };
 
         let mut bytes_since_snapshot = 0u64;
         let mut next_seq = snap_seq + 1;
         let mut active: Option<(PathBuf, u64, u64)> = None; // path, base, valid_len
         for (i, (base, path)) in segments.iter().enumerate() {
+            // Budget boundary: between segment applications only. A
+            // segment replays atomically once started, and nothing here
+            // writes, so an interrupted open is side-effect free.
+            if let Some(reason) = budget.checkpoint() {
+                return Err(StoreError::Interrupted(reason));
+            }
             let is_last = i + 1 == segments.len();
             // A segment is entirely covered by the snapshot if the next
             // segment starts at or below the first needed sequence.
@@ -792,10 +831,16 @@ impl<V: Vfs> DurableGraph<V> {
 
     // ---- repairs -----------------------------------------------------------
 
-    /// Run a repair to fixpoint with every applied operation journaled
-    /// as it lands, then commit (fsync). On return the repaired state is
-    /// durable; a crash mid-run recovers a prefix of the repair ops — a
-    /// consistent graph, never a torn one.
+    /// Run a repair to fixpoint with applied operations journaled
+    /// round-atomically, then commit (fsync). Ops buffer in memory and
+    /// hit the log only at the engine's `round_committed` boundary, so
+    /// the journal only ever holds whole rounds: a crash — or a
+    /// [budget](RepairEngine::with_budget) trip, which makes the engine
+    /// abandon the in-flight round before applying anything — recovers
+    /// to exactly a committed-round prefix, a consistent graph, never a
+    /// torn one. Cancellation is never observed between an append and
+    /// the final fsync: the budget is the engine's concern, and the
+    /// flush path here runs straight through.
     ///
     /// Planning is always warm: the store owns a long-lived
     /// [`Planner`], so plans compiled during one repair serve every
@@ -825,28 +870,18 @@ impl<V: Vfs> DurableGraph<V> {
             ..
         } = self;
         let mut io_err: Option<StoreError> = None;
-        let report = engine.repair_with_planner_and_sink(graph, rules, planner, |op| {
-            if io_err.is_some() {
-                return;
-            }
-            let seq = *last_seq + 1;
-            let append_started = obs::timer();
-            match append_with_rotation(
-                vfs,
-                writer,
-                dir,
-                config.segment_max_bytes,
-                seq,
-                &Mutation::from_applied(op),
-            ) {
-                Ok(written) => {
-                    obs::record_since(&telemetry.append_ns, append_started);
-                    *last_seq = seq;
-                    *bytes_since_snapshot += written;
-                }
-                Err(e) => io_err = Some(e),
-            }
-        });
+        let sink = WalRoundSink {
+            vfs,
+            writer,
+            dir,
+            segment_max_bytes: config.segment_max_bytes,
+            last_seq,
+            bytes_since_snapshot,
+            telemetry,
+            pending: Vec::new(),
+            io_err: &mut io_err,
+        };
+        let report = engine.repair_with_planner_and_sink(graph, rules, planner, sink);
         if let Some(e) = io_err {
             self.poison = Some(Poison::Append);
             record_fault(format!("repair journaling failed; store poisoned: {e}"));
@@ -1081,6 +1116,77 @@ fn append_with_rotation<V: Vfs>(
         *writer = SegmentWriter::create_in(vfs, dir, seq)?;
     }
     writer.append(seq, m)
+}
+
+/// Round-buffering journal sink for [`DurableGraph::repair`]: applied
+/// ops accumulate in memory and reach the WAL only at the engine's
+/// `round_committed` boundary, so the journal only ever holds whole
+/// rounds. The engine fires the boundary after every applied round
+/// (including the short final batch before a `max_repairs` return) and
+/// abandons a budget-tripped round *before* applying anything, so a
+/// cancelled durable repair recovers to exactly a committed-round
+/// prefix. The `Drop` flush is defense-in-depth: any op delivered
+/// without a closing boundary still lands in the log rather than
+/// silently drifting the in-memory graph ahead of it.
+struct WalRoundSink<'a, V: Vfs> {
+    vfs: &'a V,
+    writer: &'a mut SegmentWriter<V>,
+    dir: &'a Path,
+    segment_max_bytes: u64,
+    last_seq: &'a mut u64,
+    bytes_since_snapshot: &'a mut u64,
+    telemetry: &'a StoreTelemetry,
+    pending: Vec<Mutation>,
+    io_err: &'a mut Option<StoreError>,
+}
+
+impl<V: Vfs> RepairSink for WalRoundSink<'_, V> {
+    fn op(&mut self, op: &AppliedOp) {
+        // After a failed append the log can no longer reproduce the
+        // in-memory state; stop journaling and let the caller poison.
+        if self.io_err.is_none() {
+            self.pending.push(Mutation::from_applied(op));
+        }
+    }
+
+    fn round_committed(&mut self) {
+        if self.io_err.is_some() {
+            self.pending.clear();
+            return;
+        }
+        for m in self.pending.drain(..) {
+            let seq = *self.last_seq + 1;
+            let append_started = obs::timer();
+            match append_with_rotation(
+                self.vfs,
+                self.writer,
+                self.dir,
+                self.segment_max_bytes,
+                seq,
+                &m,
+            ) {
+                Ok(written) => {
+                    obs::record_since(&self.telemetry.append_ns, append_started);
+                    *self.last_seq = seq;
+                    *self.bytes_since_snapshot += written;
+                }
+                Err(e) => {
+                    *self.io_err = Some(e);
+                    break;
+                }
+            }
+        }
+        self.pending.clear();
+    }
+}
+
+impl<V: Vfs> Drop for WalRoundSink<'_, V> {
+    fn drop(&mut self) {
+        if !self.pending.is_empty() {
+            debug_assert!(false, "repair engine dropped ops without a round boundary");
+            self.round_committed();
+        }
+    }
 }
 
 #[cfg(test)]

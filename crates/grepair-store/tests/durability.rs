@@ -269,3 +269,85 @@ fn store_planner_stays_warm_across_repairs() {
     assert_eq!(r3.repairs_applied, 0);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn cancelled_durable_repair_recovers_committed_round_prefix() {
+    // Cancel a durable repair at a handful of checkpoint boundaries.
+    // The journal must hold exactly the committed rounds: the in-memory
+    // graph at return and the reopened graph are identical, and the log
+    // length equals the reported op count.
+    let rules: RuleSet = gold_kg_rules();
+    for cancel_at in [1u64, 2, 3, 5, 8, 13] {
+        let dir = tmpdir(&format!("cancel-prefix-{cancel_at}"));
+        let mut store =
+            DurableGraph::create_with(&dir, StoreConfig::default(), dirty_kg(80)).unwrap();
+        let budget = grepair_obs::Budget::unlimited().cancel_at_check(cancel_at);
+        let engine = RepairEngine::default().with_budget(&budget);
+        let report = store.repair(&engine, &rules.rules).unwrap();
+        let in_memory = store.graph().dump_slots();
+        let last_seq = store.last_seq();
+        assert_eq!(
+            last_seq,
+            report.ops.len() as u64,
+            "cancel_at {cancel_at}: journal length == reported ops"
+        );
+        drop(store);
+
+        let store = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(
+            store.graph().dump_slots(),
+            in_memory,
+            "cancel_at {cancel_at}: outcome {:?}: reopened state must equal \
+             the committed-round prefix the engine returned",
+            report.outcome
+        );
+        store.graph().check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn op_budget_tripped_durable_repair_journals_whole_rounds() {
+    let rules: RuleSet = gold_kg_rules();
+    let dir = tmpdir("op-budget-prefix");
+    let mut store =
+        DurableGraph::create_with(&dir, StoreConfig::default(), dirty_kg(80)).unwrap();
+    let budget = grepair_obs::Budget::unlimited().with_op_cap(3);
+    let engine = RepairEngine::default().with_budget(&budget);
+    let report = store.repair(&engine, &rules.rules).unwrap();
+    assert_eq!(report.outcome, grepair_core::RepairOutcome::OpBudget);
+    assert!(!report.ops.is_empty(), "cap of 3 lands after a round");
+    let in_memory = store.graph().dump_slots();
+    drop(store);
+    let store = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.graph().dump_slots(), in_memory);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_recovery_is_side_effect_free() {
+    let rules: RuleSet = gold_kg_rules();
+    let dir = tmpdir("interrupted-recovery");
+    let mut store =
+        DurableGraph::create_with(&dir, StoreConfig::default(), dirty_kg(80)).unwrap();
+    store.repair(&RepairEngine::default(), &rules.rules).unwrap();
+    let committed = store.graph().dump_slots();
+    drop(store);
+
+    // A pre-cancelled budget trips at the first segment boundary.
+    let cancelled = grepair_obs::Budget::unlimited();
+    cancelled.cancel();
+    match DurableGraph::open_with_budget(&dir, StoreConfig::default(), &cancelled) {
+        Err(grepair_store::StoreError::Interrupted(reason)) => {
+            assert_eq!(reason, grepair_obs::TripReason::Cancelled);
+        }
+        Err(other) => panic!("expected Interrupted, got {other}"),
+        Ok(_) => panic!("expected Interrupted, got a successful open"),
+    }
+
+    // Replay is read-only and the lock was released: a plain reopen
+    // recovers everything.
+    let store = DurableGraph::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.graph().dump_slots(), committed);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -216,22 +216,34 @@ impl Latch {
 }
 
 /// Shared state of one parallel pass: chunked inputs, per-chunk output
-/// slots, a claim counter, and the first captured panic.
-struct PassCtx<T, R, F> {
+/// slots, a claim counter, an optional early-exit predicate, and the
+/// first captured panic.
+struct PassCtx<'s, T, R, F> {
     chunks: Vec<Mutex<Option<Vec<T>>>>,
     outs: Vec<Mutex<Vec<R>>>,
     next: AtomicUsize,
     f: F,
     budget: usize,
+    /// Morsel-drain early exit: consulted before each chunk claim.
+    /// Claims are handed out in index order, so however the workers
+    /// interleave, the set of processed chunks is always a contiguous
+    /// prefix of the input.
+    stop: Option<&'s (dyn Fn() -> bool + Sync)>,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-impl<T, R, F: Fn(T) -> R> PassCtx<T, R, F> {
-    /// Claim and map chunks until the pass is drained. Panics from `f`
-    /// are caught and parked in `self.panic` (first wins); draining
-    /// continues so the latch always completes.
+impl<T, R, F: Fn(T) -> R> PassCtx<'_, T, R, F> {
+    /// Claim and map chunks until the pass is drained or the stop
+    /// predicate fires. Panics from `f` are caught and parked in
+    /// `self.panic` (first wins); draining continues so the latch
+    /// always completes.
     fn drain(&self) {
         loop {
+            if let Some(stop) = self.stop {
+                if stop() {
+                    return;
+                }
+            }
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.chunks.len() {
                 return;
@@ -257,9 +269,43 @@ impl<T, R, F: Fn(T) -> R> PassCtx<T, R, F> {
 /// One order-preserving parallel map pass over `items`, executed on the
 /// persistent pool with the submitter helping.
 fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    par_pass_inner(items, None, f)
+}
+
+/// Shim extension (not in upstream rayon): an order-preserving parallel
+/// map pass that stops claiming work once `stop` returns true — the
+/// cooperative-cancellation hook for budgeted drains (e.g. WAL-replay
+/// decode-ahead under a deadline).
+///
+/// Chunk claims are handed out in index order, so the returned vector
+/// is always a *contiguous prefix* of the full map result (the whole
+/// result when `stop` never fires); chunks claimed before the stop was
+/// observed are finished, never torn. `stop` must be cheap — it runs
+/// once per chunk claim on every worker.
+pub fn par_pass_until<T: Send, R: Send>(
+    items: Vec<T>,
+    stop: &(dyn Fn() -> bool + Sync),
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
+    par_pass_inner(items, Some(stop), f)
+}
+
+fn par_pass_inner<T: Send, R: Send>(
+    items: Vec<T>,
+    stop: Option<&(dyn Fn() -> bool + Sync)>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
     let budget = current_num_threads();
     if budget <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        // Serial fallback: per-item stop granularity, same prefix
+        // contract.
+        return match stop {
+            Some(stop) => items
+                .into_iter()
+                .map_while(|t| if stop() { None } else { Some(f(t)) })
+                .collect(),
+            None => items.into_iter().map(f).collect(),
+        };
     }
     grepair_obs::counter("rayon.passes").inc();
     let pass_started = grepair_obs::timer();
@@ -285,6 +331,7 @@ fn par_pass<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R
         next: AtomicUsize::new(0),
         f,
         budget,
+        stop,
         panic: Mutex::new(None),
     };
     let helpers = workers.saturating_sub(1).min(n_chunks.saturating_sub(1));
@@ -563,6 +610,43 @@ mod tests {
         let pairs: Vec<i32> = v.into_par_iter().flat_map(|x| vec![x, -x]).collect();
         assert_eq!(pairs.len(), 200);
         assert_eq!(pairs[0..2], [0, 0]);
+    }
+
+    #[test]
+    fn par_pass_until_without_stop_matches_full_map() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            par_pass_until((0..1000u64).collect(), &|| false, |x| x * 3)
+        });
+        assert_eq!(out, (0..1000u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_pass_until_yields_contiguous_prefix() {
+        use std::sync::atomic::AtomicBool;
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let tripped = AtomicBool::new(false);
+            let processed = AtomicUsize::new(0);
+            let out: Vec<u64> = pool.install(|| {
+                par_pass_until(
+                    (0..4096u64).collect(),
+                    &|| tripped.load(Ordering::Relaxed),
+                    |x| {
+                        // Trip mid-drain: later chunk claims must stop.
+                        if processed.fetch_add(1, Ordering::Relaxed) == 100 {
+                            tripped.store(true, Ordering::Relaxed);
+                        }
+                        x
+                    },
+                )
+            });
+            assert!(out.len() < 4096, "stop ignored at {threads} threads");
+            // Prefix contract: element i of the output is input i.
+            for (i, &x) in out.iter().enumerate() {
+                assert_eq!(x, i as u64, "torn prefix at {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -93,6 +93,12 @@ fn every_layer_contributes_spans_and_histograms() {
             "layer {layer} contributed no {span} span"
         );
     }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == "engine.outcome.completed"),
+        "converged run must tag its outcome in the trace"
+    );
     grepair_obs::spans_well_formed(&events).expect("trace must nest properly");
 
     for ((layer, name), before) in layer_histograms.iter().zip(before) {
@@ -104,6 +110,49 @@ fn every_layer_contributes_spans_and_histograms() {
     }
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Guardrail trips are telemetry-covered too: a repair cut short by an
+/// expired deadline bumps `limit.deadline_trips` exactly once (the trip
+/// is sticky and first-wins), emits the `limit.trip` warn event, and
+/// tags the run's outcome with an `engine.outcome.deadline` instant in
+/// the trace — so a truncated trace is distinguishable from a completed
+/// one without out-of-band context.
+#[test]
+fn tripped_deadline_run_contributes_limit_counters_and_outcome_instant() {
+    let _lock = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    let (mut g, refs) = generate_kg(&KgConfig::with_persons(150));
+    inject_kg_noise(&mut g, &refs, &NoiseConfig::default());
+    let rules = gold_kg_rules();
+
+    let clock = grepair_obs::TestClock::new();
+    let budget = grepair_obs::Budget::unlimited()
+        .with_test_clock(&clock)
+        .with_deadline(std::time::Duration::from_millis(5));
+    clock.advance(std::time::Duration::from_secs(1));
+
+    let trips = grepair_obs::counter("limit.deadline_trips");
+    let trips_before = trips.get();
+    let (report, events) = with_tracing(|| {
+        RepairEngine::new(EngineConfig::default())
+            .with_budget(&budget)
+            .repair(&mut g, &rules.rules)
+    });
+
+    assert_eq!(report.outcome, grepair_core::RepairOutcome::Deadline);
+    assert_eq!(
+        trips.get(),
+        trips_before + 1,
+        "sticky trip must bump limit.deadline_trips exactly once"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.ph == 'i' && e.name == "engine.outcome.deadline"),
+        "tripped run must tag its outcome in the trace"
+    );
+    grepair_obs::spans_well_formed(&events).expect("tripped trace must still nest");
 }
 
 /// The fault path is telemetry-covered too: a damaged snapshot skipped
